@@ -1,0 +1,37 @@
+//! **Ablation (§5.3)**: the hash accumulator's load factor. The paper
+//! fixes 0.25 (capacity factor 4); this sweep shows the collision/footprint
+//! trade-off at factors 1, 2, 4, 8.
+
+use masked_spgemm::algos::hash::HashKernel;
+use masked_spgemm::phases::{run_push, Phases};
+use mspgemm_bench::{banner, reps};
+use mspgemm_gen::{er, er_pattern};
+use mspgemm_harness::report::{fmt_secs, Table};
+use mspgemm_harness::time_best;
+use mspgemm_sparse::semiring::PlusTimesF64;
+
+fn main() {
+    banner("Ablation §5.3", "hash accumulator capacity factor (1/load-factor)");
+    let n = 1usize << 13;
+    let reps = reps();
+    let a = er(n, n, 16, 7);
+    let b = er(n, n, 16, 8);
+    let mut table = Table::new(&["d_mask", "factor_1", "factor_2", "factor_4", "factor_8"]);
+    for d_mask in [4usize, 16, 64, 256] {
+        let mask = er_pattern(n, n, d_mask, 9);
+        let mut row = vec![d_mask.to_string()];
+        let mut outputs = Vec::new();
+        for factor in [1usize, 2, 4, 8] {
+            let kernel = HashKernel { complement: false, capacity_factor: factor };
+            let (secs, c) = time_best(reps, || {
+                run_push::<PlusTimesF64, _, ()>(&mask, &a, &b, false, Phases::One, &kernel)
+            });
+            row.push(fmt_secs(secs));
+            outputs.push(c);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "load factors disagree");
+        table.row(&row);
+    }
+    println!("{}", table.to_csv());
+    eprintln!("{}", table.to_text());
+}

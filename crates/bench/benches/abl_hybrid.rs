@@ -1,0 +1,51 @@
+//! **Ablation (§9 future work)**: the per-row Hybrid against each fixed
+//! algorithm across the Fig 7 density grid. The hybrid should track the
+//! best fixed scheme within a small factor everywhere — the payoff the
+//! paper anticipates from mixing accumulators inside one multiplication.
+
+use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+use mspgemm_bench::{banner, reps};
+use mspgemm_gen::{er, er_pattern};
+use mspgemm_harness::report::{fmt_secs, Table};
+use mspgemm_harness::time_best;
+use mspgemm_sparse::semiring::PlusTimesF64;
+
+fn main() {
+    banner("Ablation §9", "per-row Hybrid vs fixed algorithms on the density grid");
+    let n = 1usize << 12;
+    let reps = reps();
+    let fixed = [Algorithm::Msa, Algorithm::Hash, Algorithm::Mca, Algorithm::Heap];
+    let mut headers = vec!["d_input".to_string(), "d_mask".to_string(), "Hybrid".to_string()];
+    headers.extend(fixed.iter().map(|a| a.name().to_string()));
+    headers.push("hybrid_vs_best_fixed".to_string());
+    let hr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&hr);
+
+    for d_input in [2usize, 8, 32] {
+        let a = er(n, n, d_input, 51);
+        let b = er(n, n, d_input, 52);
+        for d_mask in [1usize, 8, 64, 512] {
+            let mask = er_pattern(n, n, d_mask, 53);
+            let run = |algo| {
+                time_best(reps, || {
+                    masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, algo, MaskMode::Mask, Phases::One)
+                        .unwrap()
+                })
+                .0
+            };
+            let hybrid = run(Algorithm::Hybrid);
+            let mut row =
+                vec![d_input.to_string(), d_mask.to_string(), fmt_secs(hybrid)];
+            let mut best_fixed = f64::INFINITY;
+            for &algo in &fixed {
+                let s = run(algo);
+                best_fixed = best_fixed.min(s);
+                row.push(fmt_secs(s));
+            }
+            row.push(format!("{:.2}x", hybrid / best_fixed));
+            table.row(&row);
+        }
+    }
+    println!("{}", table.to_csv());
+    eprintln!("{}", table.to_text());
+}

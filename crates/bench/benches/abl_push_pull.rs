@@ -1,0 +1,48 @@
+//! **Ablation (§4.3)**: push vs pull crossover. Fixed-degree ER inputs,
+//! sweep mask degree, time MSA (push) against Inner (pull) with an
+//! amortized transpose. The paper's analysis predicts pull wins when the
+//! mask is asymptotically sparser than the inputs.
+
+use masked_spgemm::{masked_mxm, masked_mxm_with_bt, Algorithm, MaskMode, Phases};
+use mspgemm_bench::{banner, reps};
+use mspgemm_gen::{er, er_pattern};
+use mspgemm_harness::report::{fmt_secs, Table};
+use mspgemm_harness::time_best;
+use mspgemm_sparse::semiring::PlusTimesF64;
+use mspgemm_sparse::transpose;
+
+fn main() {
+    banner("Ablation §4.3", "push (MSA) vs pull (Inner) crossover in mask degree");
+    let n = 1usize << 13;
+    let reps = reps();
+    let mut table = Table::new(&["d_input", "d_mask", "push_MSA", "pull_Inner", "winner"]);
+    for d_input in [8usize, 32] {
+        let a = er(n, n, d_input, 1);
+        let b = er(n, n, d_input, 2);
+        let bt = transpose(&b);
+        for d_mask in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let mask = er_pattern(n, n, d_mask, 3);
+            let (push_s, push_c) = time_best(reps, || {
+                masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, Algorithm::Msa, MaskMode::Mask, Phases::One)
+                    .unwrap()
+            });
+            let (pull_s, pull_c) = time_best(reps, || {
+                masked_mxm_with_bt::<PlusTimesF64, ()>(&mask, &a, &bt, MaskMode::Mask, Phases::One)
+                    .unwrap()
+            });
+            assert_eq!(push_c.pattern(), pull_c.pattern(), "push/pull disagree on pattern");
+            for (x, y) in push_c.values().iter().zip(pull_c.values()) {
+                assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "push/pull values diverge");
+            }
+            table.row(&[
+                d_input.to_string(),
+                d_mask.to_string(),
+                fmt_secs(push_s),
+                fmt_secs(pull_s),
+                if pull_s < push_s { "pull" } else { "push" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_csv());
+    eprintln!("{}", table.to_text());
+}

@@ -1,0 +1,22 @@
+//! **Figure 8**: Triangle Counting performance profiles of all 12 of our
+//! scheme variants (6 algorithms × 1P/2P) over the benchmark suite.
+//!
+//! Emits the profile curves as CSV (`tau, MSA-1P, MSA-2P, …`).
+
+use mspgemm_bench::{banner, reps, suite};
+use mspgemm_graph::scheme::Scheme;
+use mspgemm_harness::runner::tc_runs;
+use mspgemm_harness::{default_taus, performance_profile};
+
+fn main() {
+    banner("Fig 8", "TC performance profiles — our 12 variants");
+    let suite = suite();
+    eprintln!("suite: {} graphs", suite.len());
+    let schemes = Scheme::all_ours();
+    let runs = tc_runs(&suite, &schemes, reps());
+    let profile = performance_profile(&runs, &default_taus(2.4, 0.1));
+    println!("{}", profile.to_csv());
+    for (name, fr) in &profile.curves {
+        eprintln!("{name:>12}: best on {:5.1}% of cases", fr[0] * 100.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! **Figure 9**: Triangle Counting — our three best schemes (MSA-1P,
+//! Hash-1P, MCA-1P) vs the SuiteSparse-modelled baselines (SS:SAXPY,
+//! SS:DOT), as performance profiles over the suite.
+
+use mspgemm_bench::{banner, reps, suite, tc_vs_ssgb_schemes};
+use mspgemm_harness::runner::tc_runs;
+use mspgemm_harness::{default_taus, performance_profile};
+
+fn main() {
+    banner("Fig 9", "TC — ours vs SS:GB-modelled baselines");
+    let suite = suite();
+    let runs = tc_runs(&suite, &tc_vs_ssgb_schemes(), reps());
+    let profile = performance_profile(&runs, &default_taus(2.4, 0.1));
+    println!("{}", profile.to_csv());
+    for (name, fr) in &profile.curves {
+        eprintln!("{name:>12}: best on {:5.1}% of cases", fr[0] * 100.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! **Figure 12**: k-truss (k = 5) performance profiles of our 12 scheme
+//! variants over the suite (the paper excludes its slowest graph; our
+//! suite sizes are uniform enough to keep all).
+
+use mspgemm_bench::{banner, reps, suite};
+use mspgemm_graph::scheme::Scheme;
+use mspgemm_harness::runner::ktruss_runs;
+use mspgemm_harness::{default_taus, performance_profile};
+
+fn main() {
+    banner("Fig 12", "k-truss (k=5) performance profiles — our 12 variants");
+    let suite = suite();
+    let runs = ktruss_runs(&suite, &Scheme::all_ours(), 5, reps());
+    let profile = performance_profile(&runs, &default_taus(1.8, 0.1));
+    println!("{}", profile.to_csv());
+    for (name, fr) in &profile.curves {
+        eprintln!("{name:>12}: best on {:5.1}% of cases", fr[0] * 100.0);
+    }
+}

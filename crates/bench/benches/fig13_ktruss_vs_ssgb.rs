@@ -1,0 +1,18 @@
+//! **Figure 13**: k-truss — our four best schemes (MSA-1P, Inner-1P,
+//! Hash-1P, MCA-1P) vs the SuiteSparse-modelled baselines, as performance
+//! profiles (k = 5).
+
+use mspgemm_bench::{banner, ktruss_vs_ssgb_schemes, reps, suite};
+use mspgemm_harness::runner::ktruss_runs;
+use mspgemm_harness::{default_taus, performance_profile};
+
+fn main() {
+    banner("Fig 13", "k-truss (k=5) — ours vs SS:GB-modelled baselines");
+    let suite = suite();
+    let runs = ktruss_runs(&suite, &ktruss_vs_ssgb_schemes(), 5, reps());
+    let profile = performance_profile(&runs, &default_taus(1.8, 0.1));
+    println!("{}", profile.to_csv());
+    for (name, fr) in &profile.curves {
+        eprintln!("{name:>12}: best on {:5.1}% of cases", fr[0] * 100.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! **Figure 15**: Betweenness Centrality MTEPS vs R-MAT scale.
+//! MTEPS = batch_size × num_edges / total_time (§8.4; paper batch 512,
+//! default here `MSPGEMM_BATCH` = 32).
+
+use mspgemm_bench::{banner, bc_batch, bc_schemes, max_scale, reps};
+use mspgemm_gen::{rmat_symmetric, RmatParams};
+use mspgemm_graph::bc;
+use mspgemm_harness::report::{fmt_metric, Table};
+use mspgemm_harness::{mteps, time_best};
+
+fn main() {
+    banner("Fig 15", "BC MTEPS vs R-MAT scale");
+    let schemes = bc_schemes();
+    let batch = bc_batch();
+    let reps = reps();
+    eprintln!("batch = {batch}");
+    let mut headers = vec!["scale".to_string()];
+    headers.extend(schemes.iter().map(|s| s.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&headers_ref);
+
+    for scale in 8..=max_scale() {
+        let g = rmat_symmetric(scale, RmatParams::default(), 13 + scale as u64);
+        let sources: Vec<usize> = (0..batch.min(g.nrows())).collect();
+        let edges = g.nnz() / 2;
+        let mut row = vec![scale.to_string()];
+        for &s in &schemes {
+            let (_, r) = time_best(reps, || bc::betweenness(&g, &sources, s));
+            row.push(fmt_metric(mteps(sources.len(), edges, r.total_seconds)));
+        }
+        table.row(&row);
+    }
+    println!("{}", table.to_csv());
+    eprintln!("{}", table.to_text());
+}

@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks for the four accumulators' per-row
+//! operations: mask load, product accumulation, and gather — the §5 cost
+//! centers, isolated from the row driver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use masked_spgemm::accumulator::hash::HashAccum;
+use masked_spgemm::accumulator::mca::Mca;
+use masked_spgemm::accumulator::msa::Msa;
+use mspgemm_sparse::Idx;
+
+const NCOLS: usize = 1 << 16;
+
+/// A synthetic row workload: `mask_len` allowed keys, `hits` products that
+/// land on allowed keys, and `misses` products that are masked out.
+struct RowWork {
+    mask: Vec<Idx>,
+    products: Vec<Idx>,
+}
+
+fn make_work(mask_len: usize, hits: usize, misses: usize) -> RowWork {
+    // Evenly spread the mask; hits cycle through it; misses fall between.
+    let stride = (NCOLS / (mask_len + 1)).max(2) as Idx;
+    let mask: Vec<Idx> = (0..mask_len as Idx).map(|i| i * stride).collect();
+    let mut products = Vec::with_capacity(hits + misses);
+    for i in 0..hits {
+        products.push(mask[i % mask_len]);
+    }
+    for i in 0..misses {
+        products.push((i as Idx % (mask_len as Idx)) * stride + 1);
+    }
+    products
+        .sort_unstable_by_key(|&j| j.wrapping_mul(2654435761)); // pseudo-shuffle
+    RowWork { mask, products }
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulator_row");
+    for &(mask_len, hits, misses) in &[(64usize, 256usize, 256usize), (1024, 4096, 4096)] {
+        let work = make_work(mask_len, hits, misses);
+        let label = format!("m{mask_len}_h{hits}_x{misses}");
+
+        group.bench_with_input(BenchmarkId::new("msa", &label), &work, |b, w| {
+            let mut acc: Msa<f64> = Msa::new(NCOLS);
+            let mut out_c = vec![0 as Idx; w.mask.len()];
+            let mut out_v = vec![0.0f64; w.mask.len()];
+            b.iter(|| {
+                acc.begin_row();
+                acc.load_mask(&w.mask);
+                for &j in &w.products {
+                    acc.accumulate(j, 1.0, |a, b| a + b);
+                }
+                black_box(acc.gather_into(&w.mask, &mut out_c, &mut out_v))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("hash", &label), &work, |b, w| {
+            let mut acc: HashAccum<f64> = HashAccum::new();
+            let mut out_c = vec![0 as Idx; w.mask.len()];
+            let mut out_v = vec![0.0f64; w.mask.len()];
+            b.iter(|| {
+                acc.begin_row(w.mask.len());
+                for &j in &w.mask {
+                    acc.mark_allowed(j);
+                }
+                for &j in &w.products {
+                    acc.accumulate(j, 1.0, |a, b| a + b);
+                }
+                black_box(acc.gather_into(&w.mask, &mut out_c, &mut out_v))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("mca", &label), &work, |b, w| {
+            // MCA is rank-indexed: precompute each product's mask rank
+            // (the row kernel gets this from its merge; here we isolate
+            // the accumulator cost).
+            let ranks: Vec<Option<usize>> =
+                w.products.iter().map(|j| w.mask.binary_search(j).ok()).collect();
+            let mut acc: Mca<f64> = Mca::new();
+            let mut out_c = vec![0 as Idx; w.mask.len()];
+            let mut out_v = vec![0.0f64; w.mask.len()];
+            b.iter(|| {
+                acc.begin_row(w.mask.len());
+                for r in ranks.iter().flatten() {
+                    acc.accumulate(*r, 1.0, |a, b| a + b);
+                }
+                black_box(acc.gather_into(&w.mask, &mut out_c, &mut out_v))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! **Input table**: properties of the benchmark-suite graphs — the
+//! counterpart of the input table the paper references (§7 points at
+//! Nagasaka et al.'s Table 2 for its 26 SuiteSparse graphs; this prints
+//! the same columns for our synthetic stand-ins).
+
+use mspgemm_bench::{banner, suite};
+use mspgemm_graph::scheme::Scheme;
+use mspgemm_graph::tricount;
+use mspgemm_harness::report::Table;
+use masked_spgemm::{Algorithm, Phases};
+
+fn main() {
+    banner("Input table", "suite graph properties (cf. Nagasaka Table 2)");
+    let mut table = Table::new(&[
+        "graph",
+        "vertices",
+        "edges",
+        "avg_deg",
+        "max_deg",
+        "triangles",
+        "tc_flops",
+    ]);
+    for g in suite() {
+        let n = g.adj.nrows();
+        let nnz = g.adj.nnz();
+        let max_deg = (0..n).map(|i| g.adj.row_nnz(i)).max().unwrap_or(0);
+        let tc = tricount::triangle_count(&g.adj, Scheme::Ours(Algorithm::Msa, Phases::One));
+        table.row(&[
+            g.name.to_string(),
+            n.to_string(),
+            (nnz / 2).to_string(),
+            format!("{:.1}", nnz as f64 / n as f64),
+            max_deg.to_string(),
+            tc.triangles.to_string(),
+            tc.flops.to_string(),
+        ]);
+    }
+    println!("{}", table.to_csv());
+    eprintln!("{}", table.to_text());
+}

@@ -1,0 +1,229 @@
+//! The multiway-merge heap for the Heap algorithm (paper §5.5, after Buluç
+//! & Gilbert's column-by-column heap SpGEMM).
+//!
+//! The heap holds one cursor per contributing row of `B` (one per nonzero
+//! of the `A` row), ordered by the cursor's current column id. Popping the
+//! minimum repeatedly streams the multiset `{B_kj | u_k ≠ 0}` in sorted
+//! column order without materializing it — Knuth's multiway merge.
+//!
+//! Implemented as a flat binary min-heap with a `replace_top`/sift-down
+//! fast path: advancing the minimum cursor is one sift-down, not a
+//! pop + push pair.
+
+use mspgemm_sparse::Idx;
+
+/// A cursor into one row of `B`, tagged with the position of the `A`-row
+/// nonzero that selected it (so the kernel can recover `a_ik`).
+#[derive(Clone, Copy, Debug)]
+pub struct Cursor {
+    /// Column id the cursor currently points at (the heap key).
+    pub col: Idx,
+    /// Index into the `A` row's nonzeros (identifies `a_ik` and `B_k*`).
+    pub a_pos: u32,
+    /// Offset of the *next* element within the `B` row.
+    pub b_next: u32,
+}
+
+/// Flat binary min-heap of row cursors keyed by `col`.
+pub struct RowHeap {
+    heap: Vec<Cursor>,
+}
+
+impl RowHeap {
+    /// Empty heap; capacity grows to the densest `A` row seen.
+    pub fn new() -> Self {
+        Self { heap: Vec::new() }
+    }
+
+    /// Remove all cursors (start of a row).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Number of live cursors.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no cursors remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Push a cursor (used during row initialization; O(log n)).
+    pub fn push(&mut self, c: Cursor) {
+        self.heap.push(c);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Establish the heap property over arbitrarily ordered cursors in
+    /// O(n) (Floyd's heapify) — cheaper than n pushes at row start.
+    pub fn rebuild(&mut self) {
+        let n = self.heap.len();
+        for i in (0..n / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    /// Append without restoring the heap property (pair with [`rebuild`]).
+    pub fn push_raw(&mut self, c: Cursor) {
+        self.heap.push(c);
+    }
+
+    /// The minimum cursor, if any.
+    #[inline(always)]
+    pub fn peek(&self) -> Option<&Cursor> {
+        self.heap.first()
+    }
+
+    /// Replace the minimum with `c` and sift down (advance-in-place).
+    #[inline(always)]
+    pub fn replace_top(&mut self, c: Cursor) {
+        debug_assert!(!self.heap.is_empty());
+        self.heap[0] = c;
+        self.sift_down(0);
+    }
+
+    /// Drop the minimum cursor.
+    #[inline(always)]
+    pub fn pop_top(&mut self) {
+        debug_assert!(!self.heap.is_empty());
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].col < self.heap[parent].col {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.heap[l].col < self.heap[smallest].col {
+                smallest = l;
+            }
+            if r < n && self.heap[r].col < self.heap[smallest].col {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+impl Default for RowHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cursor(col: Idx) -> Cursor {
+        Cursor { col, a_pos: 0, b_next: 0 }
+    }
+
+    #[test]
+    fn drains_in_sorted_order() {
+        let mut h = RowHeap::new();
+        for c in [5u32, 1, 9, 3, 7, 2, 8] {
+            h.push(cursor(c));
+        }
+        let mut out = Vec::new();
+        while let Some(top) = h.peek().copied() {
+            out.push(top.col);
+            h.pop_top();
+        }
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn rebuild_matches_pushes() {
+        let cols = [13u32, 2, 2, 40, 0, 17];
+        let mut a = RowHeap::new();
+        let mut b = RowHeap::new();
+        for &c in &cols {
+            a.push(cursor(c));
+            b.push_raw(cursor(c));
+        }
+        b.rebuild();
+        let drain = |h: &mut RowHeap| {
+            let mut v = Vec::new();
+            while let Some(t) = h.peek().copied() {
+                v.push(t.col);
+                h.pop_top();
+            }
+            v
+        };
+        assert_eq!(drain(&mut a), drain(&mut b));
+    }
+
+    #[test]
+    fn replace_top_advances_merge() {
+        // Simulate merging [1,4,7] and [2,3,9].
+        let mut h = RowHeap::new();
+        let rows: [&[Idx]; 2] = [&[1, 4, 7], &[2, 3, 9]];
+        for (r, row) in rows.iter().enumerate() {
+            h.push(Cursor { col: row[0], a_pos: r as u32, b_next: 1 });
+        }
+        let mut merged = Vec::new();
+        while let Some(&top) = h.peek() {
+            merged.push(top.col);
+            let row = rows[top.a_pos as usize];
+            if (top.b_next as usize) < row.len() {
+                h.replace_top(Cursor {
+                    col: row[top.b_next as usize],
+                    a_pos: top.a_pos,
+                    b_next: top.b_next + 1,
+                });
+            } else {
+                h.pop_top();
+            }
+        }
+        assert_eq!(merged, vec![1, 2, 3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn duplicate_columns_all_surface() {
+        let mut h = RowHeap::new();
+        for c in [4u32, 4, 4, 1, 1] {
+            h.push(cursor(c));
+        }
+        let mut out = Vec::new();
+        while let Some(t) = h.peek().copied() {
+            out.push(t.col);
+            h.pop_top();
+        }
+        assert_eq!(out, vec![1, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = RowHeap::new();
+        h.push(cursor(3));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.peek().is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Mask Compressed Accumulator (paper §5.4) — the accumulator designed
+//! specifically for Masked SpGEMM. Key observation: the output row can
+//! never hold more entries than the mask row, so the accumulator arrays
+//! need only `nnz(m_i)` slots, indexed by the **rank** of each mask entry
+//! (the number of mask nonzeros with a smaller column index).
+//!
+//! Because only in-mask coordinates are representable at all, the
+//! NOTALLOWED state is unnecessary: the automaton has just ALLOWED and SET
+//! (Fig 5). MCA does not support complemented masks (§8.4) — ranks are
+//! only defined for in-mask columns.
+
+use super::{Accumulator, State};
+use mspgemm_sparse::Idx;
+
+/// Rank-indexed two-state accumulator.
+pub struct Mca<V> {
+    states: Vec<State>,
+    values: Vec<V>,
+    len: usize,
+}
+
+impl<V: Copy + Default> Mca<V> {
+    /// New, empty accumulator; allocation grows to the largest row seen.
+    pub fn new() -> Self {
+        Self { states: Vec::new(), values: Vec::new(), len: 0 }
+    }
+
+    /// Prepare for a row whose mask has `mask_nnz` entries. All slots start
+    /// ALLOWED (maintained by the gathers).
+    pub fn begin_row(&mut self, mask_nnz: usize) {
+        if self.states.len() < mask_nnz {
+            self.states.resize(mask_nnz, State::Allowed);
+            self.values.resize(mask_nnz, V::default());
+        }
+        self.len = mask_nnz;
+    }
+
+    /// Accumulate a product at mask rank `idx`.
+    #[inline(always)]
+    pub fn accumulate(&mut self, idx: usize, value: V, add: impl FnOnce(V, V) -> V) {
+        debug_assert!(idx < self.len);
+        match self.states[idx] {
+            State::Allowed => {
+                self.values[idx] = value;
+                self.states[idx] = State::Set;
+            }
+            State::Set => self.values[idx] = add(self.values[idx], value),
+            State::NotAllowed => unreachable!("MCA has no NOTALLOWED state"),
+        }
+    }
+
+    /// Symbolic accumulate; returns `true` the first time a rank is SET.
+    #[inline(always)]
+    pub fn accumulate_symbolic(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        if self.states[idx] == State::Allowed {
+            self.states[idx] = State::Set;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Gather SET ranks in order (already column-sorted, since ranks follow
+    /// mask order), translating rank → column via `mask_cols`. Resets every
+    /// slot to ALLOWED.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by rank
+    pub fn gather_into(&mut self, mask_cols: &[Idx], out_cols: &mut [Idx], out_vals: &mut [V]) -> usize {
+        debug_assert_eq!(mask_cols.len(), self.len);
+        let mut w = 0;
+        for idx in 0..self.len {
+            if self.states[idx] == State::Set {
+                out_cols[w] = mask_cols[idx];
+                out_vals[w] = self.values[idx];
+                w += 1;
+                self.states[idx] = State::Allowed;
+            }
+        }
+        w
+    }
+
+    /// Symbolic gather: count SET ranks and reset.
+    pub fn count_and_reset(&mut self) -> usize {
+        let mut n = 0;
+        for idx in 0..self.len {
+            if self.states[idx] == State::Set {
+                n += 1;
+                self.states[idx] = State::Allowed;
+            }
+        }
+        n
+    }
+}
+
+impl<V: Copy + Default> Default for Mca<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> Accumulator<V> for Mca<V> {
+    /// MCA slots are allowed by construction; provided for interface
+    /// completeness (no-op).
+    fn set_allowed(&mut self, _key: Idx) {}
+
+    fn insert_with(&mut self, key: Idx, value: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) -> bool {
+        let idx = key as usize;
+        if idx >= self.len {
+            return false;
+        }
+        let v = value();
+        self.accumulate(idx, v, add);
+        true
+    }
+
+    fn remove(&mut self, key: Idx) -> Option<V> {
+        let idx = key as usize;
+        if idx < self.len && self.states[idx] == State::Set {
+            self.states[idx] = State::Allowed;
+            Some(self.values[idx])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_rank_and_emits_columns() {
+        let mut m: Mca<i64> = Mca::new();
+        let mask_cols: &[Idx] = &[5, 17, 40];
+        m.begin_row(3);
+        m.accumulate(0, 3, |a, b| a + b);
+        m.accumulate(2, 7, |a, b| a + b);
+        m.accumulate(2, 1, |a, b| a + b);
+        let mut cols = [0 as Idx; 3];
+        let mut vals = [0i64; 3];
+        let n = m.gather_into(mask_cols, &mut cols, &mut vals);
+        assert_eq!(n, 2);
+        assert_eq!(&cols[..2], &[5, 40]);
+        assert_eq!(&vals[..2], &[3, 8]);
+    }
+
+    #[test]
+    fn symbolic_matches_numeric_count() {
+        let mut m: Mca<i64> = Mca::new();
+        m.begin_row(4);
+        assert!(m.accumulate_symbolic(1));
+        assert!(!m.accumulate_symbolic(1));
+        assert!(m.accumulate_symbolic(3));
+        assert_eq!(m.count_and_reset(), 2);
+        // Reset means a fresh row sees everything ALLOWED again.
+        m.begin_row(4);
+        assert!(m.accumulate_symbolic(1));
+    }
+
+    #[test]
+    fn grows_for_larger_rows() {
+        let mut m: Mca<i64> = Mca::new();
+        m.begin_row(2);
+        m.accumulate(1, 5, |a, b| a + b);
+        assert_eq!(m.count_and_reset(), 1);
+        m.begin_row(100);
+        m.accumulate(99, 1, |a, b| a + b);
+        assert_eq!(m.count_and_reset(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Hash push kernel (paper §5.3): same flow as MSA but over an
+//! open-addressing table sized by the mask row — smaller footprint, hash
+//! cost per access.
+
+use crate::accumulator::hash::HashAccum;
+use crate::accumulator::Accumulator;
+use crate::phases::{PushKernel, RowCtx};
+use mspgemm_sparse::semiring::Semiring;
+use mspgemm_sparse::Idx;
+
+/// Kernel configuration.
+pub struct HashKernel {
+    /// Interpret the mask as its complement.
+    pub complement: bool,
+    /// Table size multiplier (4 ⇔ the paper's 0.25 load factor).
+    pub capacity_factor: usize,
+}
+
+impl HashKernel {
+    /// The paper's configuration (load factor 0.25).
+    pub fn new(complement: bool) -> Self {
+        Self { complement, capacity_factor: crate::accumulator::hash::DEFAULT_CAPACITY_FACTOR }
+    }
+
+    /// Expected distinct keys this row: the mask row size in normal mode;
+    /// mask + admissible products in complement mode.
+    fn row_capacity<S: Semiring>(&self, ctx: &RowCtx<'_, S>) -> usize {
+        if !self.complement {
+            ctx.mask_cols.len()
+        } else {
+            let flops: usize =
+                ctx.a_cols.iter().map(|&k| ctx.b.row_nnz(k as usize)).sum();
+            let ncols = ctx.b.ncols();
+            ctx.mask_cols.len() + flops.min(ncols - ctx.mask_cols.len())
+        }
+    }
+}
+
+impl<S: Semiring> PushKernel<S> for HashKernel {
+    type Ws = HashAccum<S::Out>;
+
+    fn make_ws(&self, _ncols: usize) -> Self::Ws {
+        HashAccum::with_capacity_factor(self.capacity_factor)
+    }
+
+    fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
+        ws.begin_row(self.row_capacity(&ctx));
+        if self.complement {
+            for &j in ctx.mask_cols {
+                ws.mark_not_allowed(j);
+            }
+            for &k in ctx.a_cols {
+                for &j in ctx.b.row_cols(k as usize) {
+                    ws.accumulate_symbolic_complement(j);
+                }
+            }
+            ws.count_complement()
+        } else {
+            for &j in ctx.mask_cols {
+                ws.mark_allowed(j);
+            }
+            for &k in ctx.a_cols {
+                for &j in ctx.b.row_cols(k as usize) {
+                    ws.accumulate_symbolic(j);
+                }
+            }
+            ws.count(ctx.mask_cols)
+        }
+    }
+
+    fn row_numeric(
+        &self,
+        ws: &mut Self::Ws,
+        ctx: RowCtx<'_, S>,
+        out_cols: &mut [Idx],
+        out_vals: &mut [S::Out],
+    ) -> usize {
+        ws.begin_row(self.row_capacity(&ctx));
+        if self.complement {
+            for &j in ctx.mask_cols {
+                ws.mark_not_allowed(j);
+            }
+            for (&k, &av) in ctx.a_cols.iter().zip(ctx.a_vals) {
+                let (bc, bv) = ctx.b.row(k as usize);
+                for (&j, &bvv) in bc.iter().zip(bv) {
+                    ws.insert_complement_with(j, || S::mul(av, bvv), S::add);
+                }
+            }
+            ws.gather_complement_into(out_cols, out_vals)
+        } else {
+            for &j in ctx.mask_cols {
+                ws.mark_allowed(j);
+            }
+            for (&k, &av) in ctx.a_cols.iter().zip(ctx.a_vals) {
+                let (bc, bv) = ctx.b.row(k as usize);
+                for (&j, &bvv) in bc.iter().zip(bv) {
+                    ws.insert_with(j, || S::mul(av, bvv), S::add);
+                }
+            }
+            ws.gather_into(ctx.mask_cols, out_cols, out_vals)
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The pull-based Inner (dot-product) algorithm (paper §4.1): for every
+//! unmasked output coordinate `(i, j)`, compute the sparse dot product
+//! `A_i* · B_*j`. Needs `B` in column-major order, supplied here as
+//! `Bᵀ` stored in CSR. Embarrassingly parallel over mask rows
+//! (`O(nnz(M))`-way parallelism).
+//!
+//! The complemented variant must consider every *non*-mask column whose
+//! `Bᵀ` row is nonempty — inherently expensive (the paper reports it
+//! prohibitively slow for BC); it is implemented for completeness and
+//! always sizes rows exactly (internally two-phase) to avoid quadratic
+//! memory.
+
+use crate::phases::Phases;
+use mspgemm_sparse::semiring::Semiring;
+use mspgemm_sparse::{Csr, Idx};
+
+/// Sparse dot product of two sorted index/value lists. Returns `None` when
+/// the patterns do not intersect (no output entry — GraphBLAS structural
+/// semantics).
+#[inline]
+pub fn sparse_dot<S: Semiring>(
+    ac: &[Idx],
+    av: &[S::Left],
+    bc: &[Idx],
+    bv: &[S::Right],
+) -> Option<S::Out> {
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut acc: Option<S::Out> = None;
+    while x < ac.len() && y < bc.len() {
+        match ac[x].cmp(&bc[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                let p = S::mul(av[x], bv[y]);
+                acc = Some(match acc {
+                    None => p,
+                    Some(s) => S::add(s, p),
+                });
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Pattern-intersection test with early exit — the symbolic-phase dot.
+#[inline]
+pub fn patterns_intersect(ac: &[Idx], bc: &[Idx]) -> bool {
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < ac.len() && y < bc.len() {
+        match ac[x].cmp(&bc[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Masked SpGEMM via dot products. `bt` is `Bᵀ` in CSR (i.e. `B` in CSC).
+///
+/// One-phase allocates `nnz(m_i)` per row (the exact mask bound) and
+/// compacts; two-phase runs the early-exit symbolic dots first.
+pub fn inner_masked_mxm<S, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    bt: &Csr<S::Right>,
+    phases: Phases,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    M: Send + Sync,
+{
+    let count: Box<dyn Fn(usize) -> usize + Sync> = match phases {
+        // 1P: the mask row is the bound.
+        Phases::One => Box::new(|i: usize| mask.row_nnz(i)),
+        // 2P: exact symbolic sizing with early-exit intersection tests.
+        Phases::Two => Box::new(|i: usize| {
+            let ac = a.row_cols(i);
+            mask.row_cols(i)
+                .iter()
+                .filter(|&&j| patterns_intersect(ac, bt.row_cols(j as usize)))
+                .count()
+        }),
+    };
+    Csr::from_row_fill(
+        mask.nrows(),
+        bt.nrows(),
+        count,
+        |i, out_cols, out_vals| {
+            let (ac, av) = a.row(i);
+            let mut w = 0usize;
+            for &j in mask.row_cols(i) {
+                let (bc, bv) = bt.row(j as usize);
+                if let Some(v) = sparse_dot::<S>(ac, av, bc, bv) {
+                    out_cols[w] = j;
+                    out_vals[w] = v;
+                    w += 1;
+                }
+            }
+            w
+        },
+        S::Out::default(),
+    )
+}
+
+/// Complemented-mask dot-product algorithm: dot `A_i*` against every
+/// nonempty `Bᵀ` row whose column is *not* in the mask row. Always sizes
+/// exactly (internal symbolic pass) — see module docs.
+pub fn inner_masked_mxm_complement<S, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    bt: &Csr<S::Right>,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    M: Send + Sync,
+{
+    // Candidate columns: nonempty rows of Bᵀ (computed once).
+    let nonempty: Vec<Idx> =
+        (0..bt.nrows()).filter(|&j| bt.row_nnz(j) > 0).map(|j| j as Idx).collect();
+    let candidates = |i: usize| {
+        // nonempty \ mask_row, both sorted: merge-subtract.
+        let mc = mask.row_cols(i);
+        NonMask { cand: &nonempty, mask: mc, x: 0, y: 0 }
+    };
+    Csr::from_row_fill(
+        mask.nrows(),
+        bt.nrows(),
+        |i| {
+            let ac = a.row_cols(i);
+            candidates(i)
+                .filter(|&j| patterns_intersect(ac, bt.row_cols(j as usize)))
+                .count()
+        },
+        |i, out_cols, out_vals| {
+            let (ac, av) = a.row(i);
+            let mut w = 0usize;
+            for j in candidates(i) {
+                let (bc, bv) = bt.row(j as usize);
+                if let Some(v) = sparse_dot::<S>(ac, av, bc, bv) {
+                    out_cols[w] = j;
+                    out_vals[w] = v;
+                    w += 1;
+                }
+            }
+            w
+        },
+        S::Out::default(),
+    )
+}
+
+/// Sorted-merge iterator yielding `cand \ mask`.
+struct NonMask<'a> {
+    cand: &'a [Idx],
+    mask: &'a [Idx],
+    x: usize,
+    y: usize,
+}
+
+impl Iterator for NonMask<'_> {
+    type Item = Idx;
+
+    fn next(&mut self) -> Option<Idx> {
+        while self.x < self.cand.len() {
+            let j = self.cand[self.x];
+            while self.y < self.mask.len() && self.mask[self.y] < j {
+                self.y += 1;
+            }
+            self.x += 1;
+            if self.y < self.mask.len() && self.mask[self.y] == j {
+                continue; // masked out
+            }
+            return Some(j);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::semiring::PlusTimesI64;
+
+    #[test]
+    fn dot_basics() {
+        let ac: &[Idx] = &[1, 4, 7];
+        let av: &[i64] = &[2, 3, 5];
+        let bc: &[Idx] = &[4, 7, 9];
+        let bv: &[i64] = &[10, 100, 1000];
+        assert_eq!(sparse_dot::<PlusTimesI64>(ac, av, bc, bv), Some(530));
+        assert_eq!(sparse_dot::<PlusTimesI64>(ac, av, &[0, 2], &[1, 1]), None);
+        assert_eq!(sparse_dot::<PlusTimesI64>(&[], &[], bc, bv), None);
+    }
+
+    #[test]
+    fn intersection_test_matches_dot_existence() {
+        let cases: &[(&[Idx], &[Idx])] = &[
+            (&[1, 2, 3], &[3, 4]),
+            (&[1, 2], &[3, 4]),
+            (&[], &[1]),
+            (&[5], &[5]),
+        ];
+        for (ac, bc) in cases {
+            let av: Vec<i64> = ac.iter().map(|_| 1).collect();
+            let bv: Vec<i64> = bc.iter().map(|_| 1).collect();
+            assert_eq!(
+                patterns_intersect(ac, bc),
+                sparse_dot::<PlusTimesI64>(ac, &av, bc, &bv).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn nonmask_iterator_subtracts() {
+        let cand: &[Idx] = &[0, 2, 4, 6, 8];
+        let mask: &[Idx] = &[2, 3, 8];
+        let got: Vec<Idx> = NonMask { cand, mask, x: 0, y: 0 }.collect();
+        assert_eq!(got, vec![0, 4, 6]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Row kernels for each Masked SpGEMM algorithm family: the push-based
+//! MSA/Hash/MCA/Heap kernels plug into the [`crate::phases`] driver; the
+//! pull-based Inner algorithm has its own drivers.
+
+pub mod adaptive;
+pub mod hash;
+pub mod heap;
+pub mod inner;
+pub mod mca;
+pub mod msa;

@@ -1,0 +1,227 @@
+//! One-phase / two-phase execution of the row-parallel push algorithms
+//! (paper §6).
+//!
+//! * **Two-phase** first runs a *symbolic* pass computing the exact number
+//!   of output nonzeros per row, allocates the output tightly, then runs
+//!   the *numeric* pass writing in place.
+//! * **One-phase** skips the symbolic pass: the mask bounds every output
+//!   row (`|c_i| ≤ nnz(m_i)`, or `min(flops_i, ncols − nnz(m_i))` when the
+//!   mask is complemented), so slack buffers sized by a prefix sum of those
+//!   bounds are filled directly and compacted once. The paper finds this
+//!   usually wins for Masked SpGEMM — the mask makes the bound tight enough
+//!   that the symbolic pass does not pay for itself.
+//!
+//! Rows are distributed over rayon with per-split reusable workspaces
+//! (`for_each_init`), matching the paper's thread-private accumulators.
+
+use mspgemm_sparse::semiring::Semiring;
+use mspgemm_sparse::util::{par_exclusive_prefix_sum, UnsafeSlice};
+use mspgemm_sparse::{Csr, Idx};
+use rayon::prelude::*;
+
+/// Execution strategy (§6): with (`Two`) or without (`One`) a symbolic
+/// phase. Suffixes `-1P`/`-2P` in the paper's plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phases {
+    /// Single numeric pass into mask-bounded slack buffers + compaction.
+    One,
+    /// Symbolic sizing pass, then an exact numeric pass.
+    Two,
+}
+
+/// Everything a kernel needs to produce one output row.
+pub struct RowCtx<'a, S: Semiring> {
+    /// Sorted mask columns of this row.
+    pub mask_cols: &'a [Idx],
+    /// Sorted column indices of the `A` row.
+    pub a_cols: &'a [Idx],
+    /// Values of the `A` row.
+    pub a_vals: &'a [S::Left],
+    /// The full `B` matrix (kernels fetch rows `B_k*` for `A_ik ≠ 0`).
+    pub b: &'a Csr<S::Right>,
+}
+
+/// A push-based Masked SpGEVM kernel: computes one output row given one
+/// mask row and one `A` row (§5's row-by-row formulation,
+/// `c_i = m_i ⊙ Σ_k a_ik · B_k*`).
+pub trait PushKernel<S: Semiring>: Sync {
+    /// Per-thread reusable scratch (the accumulator).
+    type Ws: Send;
+
+    /// Allocate scratch for a matrix with `ncols` output columns.
+    fn make_ws(&self, ncols: usize) -> Self::Ws;
+
+    /// Symbolic pass: the exact number of entries row `i` will produce.
+    fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize;
+
+    /// Numeric pass: write the row into `out_cols`/`out_vals` (sorted by
+    /// column); returns the entry count. The slices are large enough for
+    /// the row's bound.
+    fn row_numeric(
+        &self,
+        ws: &mut Self::Ws,
+        ctx: RowCtx<'_, S>,
+        out_cols: &mut [Idx],
+        out_vals: &mut [S::Out],
+    ) -> usize;
+}
+
+/// Minimum rows per rayon split: keeps workspace (re)initialization
+/// amortized while leaving enough splits for load balancing on skewed
+/// degree distributions.
+const MIN_SPLIT: usize = 16;
+
+/// Per-row output upper bounds for the one-phase pass.
+///
+/// Normal mask: the output is a subset of the mask row. Complemented mask:
+/// at most one entry per product (`flops_i`) and at most the non-mask
+/// columns.
+pub(crate) fn one_phase_bounds<S: Semiring, M: Send + Sync>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    complement: bool,
+) -> Vec<usize> {
+    if !complement {
+        (0..mask.nrows()).into_par_iter().map(|i| mask.row_nnz(i)).collect()
+    } else {
+        let ncols = b.ncols();
+        (0..mask.nrows())
+            .into_par_iter()
+            .map(|i| {
+                let flops: usize =
+                    a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
+                flops.min(ncols - mask.row_nnz(i))
+            })
+            .collect()
+    }
+}
+
+/// Run a push kernel over all rows with the chosen phase strategy.
+pub fn run_push<S, K, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    complement: bool,
+    phases: Phases,
+    kernel: &K,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    K: PushKernel<S>,
+    M: Send + Sync,
+{
+    match phases {
+        Phases::One => run_one_phase(mask, a, b, complement, kernel),
+        Phases::Two => run_two_phase(mask, a, b, kernel),
+    }
+}
+
+fn run_one_phase<S, K, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    complement: bool,
+    kernel: &K,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    K: PushKernel<S>,
+    M: Send + Sync,
+{
+    let nrows = mask.nrows();
+    let ncols = b.ncols();
+    let bounds = one_phase_bounds::<S, M>(mask, a, b, complement);
+    let offsets = par_exclusive_prefix_sum(&bounds);
+    let cap = offsets[nrows];
+    let mut tmp_cols = vec![0 as Idx; cap];
+    let mut tmp_vals = vec![S::Out::default(); cap];
+    let mut sizes = vec![0usize; nrows];
+    {
+        let cw = UnsafeSlice::new(&mut tmp_cols);
+        let vw = UnsafeSlice::new(&mut tmp_vals);
+        sizes
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(MIN_SPLIT)
+            .for_each_init(
+                || kernel.make_ws(ncols),
+                |ws, (i, size)| {
+                    let ctx = RowCtx::<S> {
+                        mask_cols: mask.row_cols(i),
+                        a_cols: a.row_cols(i),
+                        a_vals: a.row_vals(i),
+                        b,
+                    };
+                    // SAFETY: prefix-sum offsets make row ranges disjoint.
+                    let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
+                    let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
+                    *size = kernel.row_numeric(ws, ctx, oc, ov);
+                    debug_assert!(*size <= bounds[i], "row {i} overflowed its bound");
+                },
+            );
+    }
+    Csr::compact(nrows, ncols, &offsets, &sizes, tmp_cols, tmp_vals, S::Out::default())
+}
+
+fn run_two_phase<S, K, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    kernel: &K,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    K: PushKernel<S>,
+    M: Send + Sync,
+{
+    let nrows = mask.nrows();
+    let ncols = b.ncols();
+    // Symbolic phase: exact per-row sizes.
+    let sizes: Vec<usize> = (0..nrows)
+        .into_par_iter()
+        .with_min_len(MIN_SPLIT)
+        .map_init(
+            || kernel.make_ws(ncols),
+            |ws, i| {
+                let ctx = RowCtx::<S> {
+                    mask_cols: mask.row_cols(i),
+                    a_cols: a.row_cols(i),
+                    a_vals: a.row_vals(i),
+                    b,
+                };
+                kernel.row_symbolic(ws, ctx)
+            },
+        )
+        .collect();
+    let rowptr = par_exclusive_prefix_sum(&sizes);
+    let nnz = rowptr[nrows];
+    // Numeric phase into the exact allocation.
+    let mut colidx = vec![0 as Idx; nnz];
+    let mut values = vec![S::Out::default(); nnz];
+    {
+        let cw = UnsafeSlice::new(&mut colidx);
+        let vw = UnsafeSlice::new(&mut values);
+        (0..nrows).into_par_iter().with_min_len(MIN_SPLIT).for_each_init(
+            || kernel.make_ws(ncols),
+            |ws, i| {
+                let ctx = RowCtx::<S> {
+                    mask_cols: mask.row_cols(i),
+                    a_cols: a.row_cols(i),
+                    a_vals: a.row_vals(i),
+                    b,
+                };
+                let len = sizes[i];
+                // SAFETY: rowptr ranges are disjoint.
+                let oc = unsafe { cw.slice_mut(rowptr[i], len) };
+                let ov = unsafe { vw.slice_mut(rowptr[i], len) };
+                let n = kernel.row_numeric(ws, ctx, oc, ov);
+                debug_assert_eq!(
+                    n, len,
+                    "row {i}: symbolic phase predicted {len} entries, numeric produced {n}"
+                );
+            },
+        );
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}

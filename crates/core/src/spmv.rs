@@ -1,0 +1,206 @@
+//! Masked sparse vector-matrix products — the primitive where masking
+//! first appeared (§4: direction-optimized graph traversal [38], push-pull
+//! [5, 7]). `v⊺ = m⊺ ⊙ (u⊺·B)`, with the same push (scatter rows of `B`)
+//! vs pull (dot products against `Bᵀ`) duality as the matrix-matrix case.
+//!
+//! These kernels are the single-row specialization of the SpGEMM kernels
+//! (§5 derives the matrix algorithms from SpGEVM); they exist as a public
+//! API because traversal workloads (BFS, frontier expansion) are
+//! vector-shaped.
+
+use crate::accumulator::msa::Msa;
+use crate::accumulator::Accumulator;
+use mspgemm_sparse::semiring::Semiring;
+use mspgemm_sparse::vec::SparseVec;
+use mspgemm_sparse::{Csr, Idx};
+
+/// Push-based masked SpVM: `v = m ⊙ (u⊺B)` (or `¬m ⊙ …`). Scatters the
+/// rows `B_k*` for `u_k ≠ 0` into an MSA accumulator filtered by the mask.
+pub fn masked_spmv_push<S, M>(
+    mask: &SparseVec<M>,
+    u: &SparseVec<S::Left>,
+    b: &Csr<S::Right>,
+    complement: bool,
+) -> SparseVec<S::Out>
+where
+    S: Semiring,
+{
+    assert_eq!(u.len(), b.nrows(), "u length must match B rows");
+    assert_eq!(mask.len(), b.ncols(), "mask length must match B cols");
+    let mut acc: Msa<S::Out> =
+        if complement { Msa::new_complement(b.ncols()) } else { Msa::new(b.ncols()) };
+    acc.begin_row();
+    acc.load_mask(mask.indices());
+    for (k, &uv) in u.iter() {
+        let (bc, bv) = b.row(k as usize);
+        for (&j, &bvv) in bc.iter().zip(bv) {
+            acc.insert_with(j, || S::mul(uv, bvv), S::add);
+        }
+    }
+    let bound = if complement {
+        let flops: usize = u.indices().iter().map(|&k| b.row_nnz(k as usize)).sum();
+        flops.min(b.ncols() - mask.nnz())
+    } else {
+        mask.nnz()
+    };
+    let mut idx = vec![0 as Idx; bound];
+    let mut vals = vec![S::Out::default(); bound];
+    let n = if complement {
+        acc.gather_complement_into(mask.indices(), &mut idx, &mut vals)
+    } else {
+        acc.gather_into(mask.indices(), &mut idx, &mut vals)
+    };
+    idx.truncate(n);
+    vals.truncate(n);
+    SparseVec::from_parts_unchecked(b.ncols(), idx, vals)
+}
+
+/// Pull-based masked SpVM: for each unmasked coordinate `j`, the sparse
+/// dot `u · Bᵀ_j*`. `bt` is `Bᵀ` in CSR. For complemented masks every
+/// non-mask column with a nonempty `Bᵀ` row is a candidate.
+pub fn masked_spmv_pull<S, M>(
+    mask: &SparseVec<M>,
+    u: &SparseVec<S::Left>,
+    bt: &Csr<S::Right>,
+    complement: bool,
+) -> SparseVec<S::Out>
+where
+    S: Semiring,
+{
+    assert_eq!(u.len(), bt.ncols(), "u length must match B rows (= Bᵀ cols)");
+    assert_eq!(mask.len(), bt.nrows(), "mask length must match B cols (= Bᵀ rows)");
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut try_col = |j: Idx| {
+        let (bc, bv) = bt.row(j as usize);
+        if let Some(v) =
+            crate::algos::inner::sparse_dot::<S>(u.indices(), u.values(), bc, bv)
+        {
+            idx.push(j);
+            vals.push(v);
+        }
+    };
+    if !complement {
+        for &j in mask.indices() {
+            try_col(j);
+        }
+    } else {
+        let mc = mask.indices();
+        let mut y = 0usize;
+        for j in 0..bt.nrows() as Idx {
+            while y < mc.len() && mc[y] < j {
+                y += 1;
+            }
+            if y < mc.len() && mc[y] == j {
+                continue;
+            }
+            if bt.row_nnz(j as usize) > 0 {
+                try_col(j);
+            }
+        }
+    }
+    SparseVec::from_parts_unchecked(bt.nrows(), idx, vals)
+}
+
+/// Direction-optimized masked SpVM (§4's push-pull, after Beamer [5]):
+/// pull when the frontier's push work exceeds the pull candidate count by
+/// `alpha`, push otherwise. `bt` must be `Bᵀ`.
+pub fn masked_spmv_auto<S, M>(
+    mask: &SparseVec<M>,
+    u: &SparseVec<S::Left>,
+    b: &Csr<S::Right>,
+    bt: &Csr<S::Right>,
+    complement: bool,
+    alpha: usize,
+) -> SparseVec<S::Out>
+where
+    S: Semiring,
+{
+    let push_flops: usize = u.indices().iter().map(|&k| b.row_nnz(k as usize)).sum();
+    let pull_candidates =
+        if complement { b.ncols().saturating_sub(mask.nnz()) } else { mask.nnz() };
+    if push_flops > alpha.max(1) * pull_candidates.max(1) {
+        masked_spmv_pull::<S, M>(mask, u, bt, complement)
+    } else {
+        masked_spmv_push::<S, M>(mask, u, b, complement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::semiring::PlusTimesI64;
+    use mspgemm_sparse::transpose;
+
+    fn b3() -> Csr<i64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Csr::from_dense(
+            &[
+                vec![Some(1), None, Some(2)],
+                vec![None, Some(3), None],
+                vec![Some(4), None, Some(5)],
+            ],
+            3,
+        )
+    }
+
+    fn dense_ref(mask: &SparseVec<()>, u: &SparseVec<i64>, b: &Csr<i64>, compl_: bool) -> Vec<Option<i64>> {
+        let mut acc = vec![None; b.ncols()];
+        for (k, &uv) in u.iter() {
+            let (bc, bv) = b.row(k as usize);
+            for (&j, &bvv) in bc.iter().zip(bv) {
+                let cell = &mut acc[j as usize];
+                *cell = Some(cell.unwrap_or(0) + uv * bvv);
+            }
+        }
+        for (j, cell) in acc.iter_mut().enumerate() {
+            if (mask.get(j as Idx).is_some()) == compl_ {
+                *cell = None;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn push_pull_auto_agree_with_reference() {
+        let b = b3();
+        let bt = transpose(&b);
+        let u = SparseVec::try_from_parts(3, vec![0, 2], vec![10i64, 100]).unwrap();
+        for mask_idx in [vec![0u32], vec![0, 1, 2], vec![1], vec![]] {
+            let vals = vec![(); mask_idx.len()];
+            let mask = SparseVec::try_from_parts(3, mask_idx, vals).unwrap();
+            for compl_ in [false, true] {
+                let want = dense_ref(&mask, &u, &b, compl_);
+                let push = masked_spmv_push::<PlusTimesI64, ()>(&mask, &u, &b, compl_);
+                let pull = masked_spmv_pull::<PlusTimesI64, ()>(&mask, &u, &bt, compl_);
+                let auto = masked_spmv_auto::<PlusTimesI64, ()>(&mask, &u, &b, &bt, compl_, 4);
+                assert_eq!(push.to_dense(), want, "push compl={compl_}");
+                assert_eq!(pull.to_dense(), want, "pull compl={compl_}");
+                assert_eq!(auto.to_dense(), want, "auto compl={compl_}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_frontier_gives_empty_result() {
+        let b = b3();
+        let u: SparseVec<i64> = SparseVec::empty(3);
+        let mask = SparseVec::try_from_parts(3, vec![0, 1, 2], vec![(), (), ()]).unwrap();
+        assert_eq!(masked_spmv_push::<PlusTimesI64, ()>(&mask, &u, &b, false).nnz(), 0);
+    }
+
+    #[test]
+    fn lazy_mul_not_evaluated_for_masked_out() {
+        // plus_times over i64 with a poisoned value would overflow if
+        // evaluated; masked-out keys must skip the lambda entirely. We
+        // can't observe panics through Semiring::mul (it's pure), but we
+        // can check the masked-out coordinate never appears.
+        let b = b3();
+        let u = SparseVec::try_from_parts(3, vec![0], vec![i64::MAX]).unwrap();
+        let mask = SparseVec::try_from_parts(3, vec![0], vec![()]).unwrap();
+        let v = masked_spmv_push::<PlusTimesI64, ()>(&mask, &u, &b, false);
+        assert_eq!(v.indices(), &[0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Erdős-Rényi generators with controlled expected degree — the inputs of
+//! the paper's density sweep (Fig 7), which varies the degree of `A`/`B`
+//! and of the mask independently on square matrices of dimension 2¹²–2²².
+
+use crate::rng::chunk_rng;
+use mspgemm_sparse::{Csr, Idx};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// An ER matrix with `nrows × ncols` shape where each row draws `degree`
+/// columns uniformly at random (duplicates merged, so realized row degree
+/// is ≤ `degree`, ≈ `degree` when `degree ≪ ncols`). Values are uniform in
+/// `[0, 1)`. Deterministic in `(seed)`, independent of thread count.
+pub fn er(nrows: usize, ncols: usize, degree: usize, seed: u64) -> Csr<f64> {
+    let rows: Vec<(Vec<Idx>, Vec<f64>)> = (0..nrows)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = chunk_rng(seed, i as u64);
+            let mut cols: Vec<Idx> = (0..degree.min(ncols))
+                .map(|_| rng.gen_range(0..ncols as Idx))
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            let vals: Vec<f64> = cols.iter().map(|_| rng.gen::<f64>()).collect();
+            (cols, vals)
+        })
+        .collect();
+    assemble(nrows, ncols, rows)
+}
+
+/// Pattern-only ER matrix (structural mask for the density sweep).
+pub fn er_pattern(nrows: usize, ncols: usize, degree: usize, seed: u64) -> Csr<()> {
+    er(nrows, ncols, degree, seed).pattern()
+}
+
+/// A symmetric ER graph (undirected, no self-loops): generates the strictly
+/// upper triangle with per-row expected degree `degree/2` and mirrors it.
+pub fn er_symmetric(n: usize, degree: usize, seed: u64) -> Csr<f64> {
+    let half = degree.div_ceil(2).max(1);
+    let rows: Vec<Vec<Idx>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = chunk_rng(seed, i as u64);
+            let mut cols = Vec::with_capacity(half);
+            for _ in 0..half {
+                let j = rng.gen_range(0..n as Idx);
+                if j as usize != i {
+                    cols.push(j);
+                }
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        })
+        .collect();
+    // Mirror into a COO and canonicalize.
+    let mut coo = mspgemm_sparse::Coo::new(n, n);
+    for (i, cols) in rows.iter().enumerate() {
+        for &j in cols {
+            coo.push(i as Idx, j, 1.0);
+            coo.push(j, i as Idx, 1.0);
+        }
+    }
+    coo.to_csr(|a, _| a)
+}
+
+fn assemble(nrows: usize, ncols: usize, rows: Vec<(Vec<Idx>, Vec<f64>)>) -> Csr<f64> {
+    let sizes: Vec<usize> = rows.iter().map(|(c, _)| c.len()).collect();
+    let rowptr = mspgemm_sparse::util::exclusive_prefix_sum(&sizes);
+    let nnz = rowptr[nrows];
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for (c, v) in rows {
+        colidx.extend_from_slice(&c);
+        values.extend_from_slice(&v);
+    }
+    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_degree() {
+        let a = er(1000, 1000, 8, 7);
+        assert_eq!(a.nrows(), 1000);
+        assert_eq!(a.ncols(), 1000);
+        let avg = a.nnz() as f64 / 1000.0;
+        assert!(avg > 7.5 && avg <= 8.0, "avg degree {avg} should be ≈ 8");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = er(500, 500, 16, 123);
+        let b = er(500, 500, 16, 123);
+        assert_eq!(a, b);
+        let c = er(500, 500, 16, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let a = er(300, 300, 8, 5);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let b = pool.install(|| er(300, 300, 8, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_capped_by_ncols() {
+        let a = er(10, 4, 100, 1);
+        for i in 0..10 {
+            assert!(a.row_nnz(i) <= 4);
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_is_symmetric_and_loopless() {
+        let g = er_symmetric(200, 10, 9);
+        for (i, j, _) in g.iter() {
+            assert_ne!(i, j as usize, "self loop at {i}");
+            assert!(g.get(j as usize, i as Idx).is_some(), "missing mirror of ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn rectangular_er() {
+        let a = er(50, 200, 5, 3);
+        assert_eq!(a.nrows(), 50);
+        assert_eq!(a.ncols(), 200);
+        for &j in a.colidx() {
+            assert!((j as usize) < 200);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # mspgemm-gen
+//!
+//! Deterministic parallel graph/matrix generators for the Masked SpGEMM
+//! reproduction: Erdős-Rényi with controlled degree (the paper's Fig 7
+//! density sweep), Graph500 R-MAT (Figs 10/11/14/15), structured meshes
+//! and small-world graphs, and the named [`suite`] standing in for the
+//! paper's 26 SuiteSparse inputs.
+//!
+//! All generators are reproducible bit-for-bit given a seed, independent
+//! of rayon thread count (per-chunk SplitMix64-derived streams).
+
+#![warn(missing_docs)]
+
+pub mod er;
+pub mod rmat;
+pub mod rng;
+pub mod structured;
+pub mod suite;
+
+pub use er::{er, er_pattern, er_symmetric};
+pub use rmat::{rmat_directed, rmat_symmetric, RmatParams};
+pub use suite::{build_suite, SuiteGraph, SuiteSize};

@@ -1,0 +1,158 @@
+//! R-MAT / Graph500 Kronecker generator (§7: "graphs generated with R-MAT
+//! generator [13], with parameters identical to those used in the Graph500
+//! benchmark [30]"): probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05),
+//! edge factor 16, vertex count 2^scale.
+
+use crate::rng::chunk_rng;
+use mspgemm_sparse::{Coo, Csr, Idx};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+}
+
+impl Default for RmatParams {
+    /// Graph500 parameters.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, edge_factor: 16 }
+    }
+}
+
+/// Generate the directed edge list of an R-MAT graph at `scale`
+/// (`n = 2^scale`, `m = edge_factor · n` sampled edges before dedup).
+/// Parallel over edge chunks; deterministic in `seed`.
+pub fn rmat_edges(scale: u32, params: RmatParams, seed: u64) -> Vec<(Idx, Idx)> {
+    let n = 1usize << scale;
+    let m = params.edge_factor * n;
+    let chunk = 1usize << 14;
+    let nchunks = m.div_ceil(chunk);
+    (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = chunk_rng(seed, ci as u64);
+            let count = chunk.min(m - ci * chunk);
+            let (a, b, c) = (params.a, params.b, params.c);
+            (0..count)
+                .map(move |_| {
+                    let (mut lo_r, mut hi_r) = (0usize, n);
+                    let (mut lo_c, mut hi_c) = (0usize, n);
+                    for _ in 0..scale {
+                        let p: f64 = rng.gen();
+                        let (down, right) = if p < a {
+                            (false, false)
+                        } else if p < a + b {
+                            (false, true)
+                        } else if p < a + b + c {
+                            (true, false)
+                        } else {
+                            (true, true)
+                        };
+                        let mid_r = (lo_r + hi_r) / 2;
+                        let mid_c = (lo_c + hi_c) / 2;
+                        if down {
+                            lo_r = mid_r;
+                        } else {
+                            hi_r = mid_r;
+                        }
+                        if right {
+                            lo_c = mid_c;
+                        } else {
+                            hi_c = mid_c;
+                        }
+                    }
+                    (lo_r as Idx, lo_c as Idx)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// R-MAT as a simple undirected graph: symmetrized, self-loops removed,
+/// duplicate edges merged, value 1.0. This is the adjacency matrix the
+/// application benchmarks consume (Figs 10, 11, 14, 15).
+pub fn rmat_symmetric(scale: u32, params: RmatParams, seed: u64) -> Csr<f64> {
+    let n = 1usize << scale;
+    let edges = rmat_edges(scale, params, seed);
+    let mut coo = Coo::new(n, n);
+    for (i, j) in edges {
+        if i != j {
+            coo.push(i, j, 1.0);
+            coo.push(j, i, 1.0);
+        }
+    }
+    coo.to_csr(|a, _| a)
+}
+
+/// Directed R-MAT matrix (duplicates merged, self-loops kept), value 1.0.
+pub fn rmat_directed(scale: u32, params: RmatParams, seed: u64) -> Csr<f64> {
+    let n = 1usize << scale;
+    let edges = rmat_edges(scale, params, seed);
+    let mut coo = Coo::new(n, n);
+    for (i, j) in edges {
+        coo.push(i, j, 1.0);
+    }
+    coo.to_csr(|a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_edge_factor() {
+        let e = rmat_edges(8, RmatParams::default(), 1);
+        assert_eq!(e.len(), 16 * 256);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat_edges(8, RmatParams::default(), 42);
+        let b = rmat_edges(8, RmatParams::default(), 42);
+        assert_eq!(a, b);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let c = pool.install(|| rmat_edges(8, RmatParams::default(), 42));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn symmetric_simple_graph() {
+        let g = rmat_symmetric(7, RmatParams::default(), 3);
+        assert_eq!(g.nrows(), 128);
+        for (i, j, _) in g.iter() {
+            assert_ne!(i, j as usize);
+            assert!(g.get(j as usize, i as Idx).is_some());
+        }
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // R-MAT with Graph500 params is heavy-tailed: max degree should far
+        // exceed the mean.
+        let g = rmat_symmetric(10, RmatParams::default(), 5);
+        let degs: Vec<usize> = (0..g.nrows()).map(|i| g.row_nnz(i)).collect();
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        let max = *degs.iter().max().unwrap() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "expected heavy tail: max degree {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn indices_in_bounds() {
+        let e = rmat_edges(6, RmatParams::default(), 9);
+        for (i, j) in e {
+            assert!((i as usize) < 64 && (j as usize) < 64);
+        }
+    }
+}

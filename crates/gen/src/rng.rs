@@ -1,0 +1,60 @@
+//! Deterministic, splittable randomness for parallel generation.
+//!
+//! Every generator in this crate derives one independent RNG stream per
+//! work chunk by mixing `(seed, chunk_id)` through SplitMix64 and seeding a
+//! `SmallRng`. The result is bit-for-bit reproducible regardless of thread
+//! count or scheduling — a requirement for the experiments to be rerunnable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG for work chunk `chunk` of the stream named by `seed`.
+pub fn chunk_rng(seed: u64, chunk: u64) -> SmallRng {
+    // Two rounds separate the seed and chunk contributions.
+    let s = splitmix64(splitmix64(seed) ^ splitmix64(chunk.wrapping_mul(0xa076_1d64_78bd_642f)));
+    SmallRng::seed_from_u64(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn chunk_rngs_are_independent_streams() {
+        let mut a = chunk_rng(42, 0);
+        let mut b = chunk_rng(42, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+        // Same (seed, chunk) reproduces.
+        let mut a2 = chunk_rng(42, 0);
+        let xs2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        assert_eq!(xs, xs2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = chunk_rng(1, 0);
+        let mut b = chunk_rng(2, 0);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_ne!(xa, xb);
+    }
+}

@@ -1,0 +1,269 @@
+//! Batched multi-source Betweenness Centrality (paper §8.4): Brandes'
+//! two-stage algorithm [8] in the language of masked SpGEMM, after the
+//! GraphBLAS C API's BC batch formulation [11].
+//!
+//! * **Forward** (BFS wave counting shortest paths): the next frontier is
+//!   `F ← ⟨¬NumSP⟩ (F · A)` — a **complemented** masked SpGEMM where the
+//!   mask (`NumSP`, the paths-so-far matrix) filters out already-visited
+//!   vertices.
+//! * **Backward** (dependency accumulation): per depth,
+//!   `W ← ⟨σ_d⟩ (BCU ./ NumSP)`, then `W ← ⟨σ_{d-1}⟩ (W · Aᵀ)` — a
+//!   **plain** masked SpGEMM — then `BCU += W .* NumSP`.
+//!
+//! Scores follow textbook Brandes (unnormalized, ordered pairs): the
+//! source's own dependency is not added to its score.
+
+use crate::scheme::Scheme;
+use masked_spgemm::MaskMode;
+use mspgemm_sparse::ops::ewise::{ewise_add, ewise_mult, mask_keep};
+use mspgemm_sparse::semiring::PlusTimesF64;
+use mspgemm_sparse::{transpose, Csr, Idx};
+use std::time::Instant;
+
+/// Result of a batched BC run.
+pub struct BcResult {
+    /// Unnormalized betweenness score per vertex (ordered-pair counting;
+    /// halve for the undirected convention).
+    pub scores: Vec<f64>,
+    /// Wall-clock seconds inside masked SpGEMM calls (forward + backward).
+    pub mxm_seconds: f64,
+    /// Wall-clock seconds of the whole computation.
+    pub total_seconds: f64,
+    /// BFS depth reached (number of frontier expansions).
+    pub depth: usize,
+}
+
+/// Batched Brandes BC from `sources` (one batch row per source).
+pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResult {
+    assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+    assert!(scheme.supports_complement(), "BC needs complemented masks (MCA unsupported)");
+    let n = adj.nrows();
+    let s = sources.len();
+    let t_total = Instant::now();
+    let mut mxm_seconds = 0.0f64;
+
+    // Aᵀ once: the backward stage multiplies by Aᵀ; for Inner, the forward
+    // stage needs Bᵀ = Aᵀ and the backward needs (Aᵀ)ᵀ = A.
+    let at = transpose(adj);
+
+    // Frontier / NumSP: s×n, row q starts at source q with 1 path.
+    let mut frontier = Csr::from_parts_unchecked(
+        s,
+        n,
+        (0..=s).collect(),
+        sources.iter().map(|&v| v as Idx).collect(),
+        vec![1.0f64; s],
+    );
+    let mut num_sp = frontier.clone();
+    let mut sigmas: Vec<Csr<()>> = vec![frontier.pattern()];
+
+    // Forward sweep.
+    loop {
+        let t0 = Instant::now();
+        let f_new: Csr<f64> = scheme.run::<PlusTimesF64, f64>(
+            &num_sp,
+            &frontier,
+            adj,
+            Some(&at),
+            MaskMode::Complement,
+        );
+        mxm_seconds += t0.elapsed().as_secs_f64();
+        if f_new.nnz() == 0 {
+            break;
+        }
+        sigmas.push(f_new.pattern());
+        num_sp = ewise_add(&num_sp, &f_new, |a, b| a + b, |a| *a, |b| *b);
+        frontier = f_new;
+    }
+    let depth = sigmas.len();
+
+    // Backward sweep: BCU = 1 + delta on the visited pattern.
+    let mut bcu: Csr<f64> = num_sp.map(|_| 1.0);
+    for d in (1..depth).rev() {
+        // W = ⟨σ_d⟩ (BCU ./ NumSP)
+        let ratios = ewise_mult(&bcu, &num_sp, |b, ns| b / ns);
+        let w = mask_keep(&ratios, &sigmas[d]);
+        // W = ⟨σ_{d-1}⟩ (W · Aᵀ)  — plain masked SpGEMM.
+        let t0 = Instant::now();
+        let w2: Csr<f64> =
+            scheme.run::<PlusTimesF64, ()>(&sigmas[d - 1], &w, &at, Some(adj), MaskMode::Mask);
+        mxm_seconds += t0.elapsed().as_secs_f64();
+        // BCU += W .* NumSP
+        let update = ewise_mult(&w2, &num_sp, |w, ns| w * ns);
+        bcu = ewise_add(&bcu, &update, |a, b| a + b, |a| *a, |b| *b);
+    }
+
+    // Scores: Σ_q delta_q[v] = Σ_q (BCU[q][v] − 1), excluding each source's
+    // own dependency (textbook Brandes sums over v ≠ s).
+    let mut scores = vec![0.0f64; n];
+    for (_, j, v) in bcu.iter() {
+        scores[j as usize] += v - 1.0;
+    }
+    for (q, &src) in sources.iter().enumerate() {
+        if let Some(&v) = bcu.get(q, src as Idx) {
+            scores[src] -= v - 1.0;
+        }
+    }
+    BcResult { scores, mxm_seconds, total_seconds: t_total.elapsed().as_secs_f64(), depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masked_spgemm::{Algorithm, Phases};
+    use mspgemm_sparse::Coo;
+    use std::collections::VecDeque;
+
+    fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        coo.to_csr(|a, _| a)
+    }
+
+    /// Textbook Brandes (unweighted BFS variant), unnormalized, ordered
+    /// pairs, restricted to the given sources.
+    fn brandes_reference(adj: &Csr<f64>, sources: &[usize]) -> Vec<f64> {
+        let n = adj.nrows();
+        let mut bc = vec![0.0f64; n];
+        for &s in sources {
+            let mut sigma = vec![0.0f64; n];
+            let mut dist = vec![-1i64; n];
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut order = Vec::new();
+            sigma[s] = 1.0;
+            dist[s] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                order.push(v);
+                for &w in adj.row_cols(v) {
+                    let w = w as usize;
+                    if dist[w] < 0 {
+                        dist[w] = dist[v] + 1;
+                        q.push_back(w);
+                    }
+                    if dist[w] == dist[v] + 1 {
+                        sigma[w] += sigma[v];
+                        preds[w].push(v);
+                    }
+                }
+            }
+            let mut delta = vec![0.0f64; n];
+            for &w in order.iter().rev() {
+                for &v in &preds[w] {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+                if w != s {
+                    bc[w] += delta[w];
+                }
+            }
+        }
+        bc
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], label: &str) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9 * (1.0 + w.abs()),
+                "{label}: vertex {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_graph_centers() {
+        // P4: inner vertices each lie on 4 ordered shortest paths.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sources: Vec<usize> = (0..4).collect();
+        let r = betweenness(&g, &sources, Scheme::Ours(Algorithm::Msa, Phases::One));
+        assert_close(&r.scores, &[0.0, 4.0, 4.0, 0.0], "P4");
+        assert_eq!(r.depth, 4, "P4 BFS from endpoints reaches depth 3");
+    }
+
+    #[test]
+    fn star_graph_hub() {
+        // Star K1,4: hub on every pair of leaves: (n-1)(n-2) = 12 ordered.
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let sources: Vec<usize> = (0..5).collect();
+        let r = betweenness(&g, &sources, Scheme::Ours(Algorithm::Hash, Phases::One));
+        assert_close(&r.scores, &[12.0, 0.0, 0.0, 0.0, 0.0], "star");
+    }
+
+    #[test]
+    fn diamond_with_two_shortest_paths() {
+        // 0-1, 0-2, 1-3, 2-3: two shortest paths 0→3; 1 and 2 each get 0.5
+        // per direction per endpoint pair.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let sources: Vec<usize> = (0..4).collect();
+        let want = brandes_reference(&g, &sources);
+        let r = betweenness(&g, &sources, Scheme::Ours(Algorithm::Msa, Phases::Two));
+        assert_close(&r.scores, &want, "diamond");
+        assert!((r.scores[1] - 1.0).abs() < 1e-9, "split dependency");
+    }
+
+    #[test]
+    fn partial_batch_matches_reference() {
+        let g = mspgemm_gen::er_symmetric(120, 6, 31);
+        let sources: Vec<usize> = (0..20).map(|i| i * 5).collect();
+        let want = brandes_reference(&g, &sources);
+        let r = betweenness(&g, &sources, Scheme::Ours(Algorithm::Msa, Phases::One));
+        assert_close(&r.scores, &want, "er batch");
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        // Two components; BFS from 0 never reaches {3,4,5}.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let sources = vec![0, 3];
+        let want = brandes_reference(&g, &sources);
+        let r = betweenness(&g, &sources, Scheme::Ours(Algorithm::Hash, Phases::Two));
+        assert_close(&r.scores, &want, "disconnected");
+    }
+
+    #[test]
+    fn complement_capable_schemes_agree() {
+        let g = mspgemm_gen::er_symmetric(80, 8, 13);
+        let sources: Vec<usize> = (0..10).collect();
+        let want = brandes_reference(&g, &sources);
+        // MSA/Hash × 1P/2P and SS:SAXPY — the Fig 16 scheme set.
+        let schemes = [
+            Scheme::Ours(Algorithm::Msa, Phases::One),
+            Scheme::Ours(Algorithm::Msa, Phases::Two),
+            Scheme::Ours(Algorithm::Hash, Phases::One),
+            Scheme::Ours(Algorithm::Hash, Phases::Two),
+            Scheme::SsSaxpy,
+        ];
+        for s in schemes {
+            let r = betweenness(&g, &sources, s);
+            assert_close(&r.scores, &want, &s.name());
+        }
+    }
+
+    #[test]
+    fn heap_and_inner_also_correct_on_small_graphs() {
+        // The paper excludes these from BC for speed, not correctness.
+        let g = mspgemm_gen::er_symmetric(40, 5, 3);
+        let sources: Vec<usize> = (0..8).collect();
+        let want = brandes_reference(&g, &sources);
+        for s in [
+            Scheme::Ours(Algorithm::Heap, Phases::One),
+            Scheme::Ours(Algorithm::HeapDot, Phases::Two),
+            Scheme::Ours(Algorithm::Inner, Phases::One),
+            Scheme::SsDot,
+        ] {
+            let r = betweenness(&g, &sources, s);
+            assert_close(&r.scores, &want, &s.name());
+        }
+    }
+
+    #[test]
+    fn empty_sources_gives_zero_scores() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let r = betweenness(&g, &[], Scheme::Ours(Algorithm::Msa, Phases::One));
+        assert!(r.scores.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # mspgemm-graph
+//!
+//! The paper's application benchmarks (§7–8), expressed over the
+//! GraphBLAS-style masked SpGEMM primitive:
+//!
+//! * [`tricount`] — Triangle Counting: one masked SpGEMM
+//!   (`sum(L ⊙ (L·L))` after degree relabeling) plus a reduction.
+//! * [`ktruss`] — k-truss: iterative masked SpGEMM with pruning.
+//! * [`bc`] — batched Betweenness Centrality: complemented masked SpGEMM
+//!   in the forward BFS, plain masked SpGEMM in the backward dependency
+//!   accumulation.
+//!
+//! [`scheme::Scheme`] enumerates the evaluation schemes (our 12 variants
+//! plus the two SuiteSparse-modelled baselines) so the benchmark harness
+//! can sweep them uniformly.
+
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+pub mod ktruss;
+pub mod msbfs;
+pub mod scheme;
+pub mod tricount;
+
+pub use bc::{betweenness, BcResult};
+pub use bfs::{bfs, BfsResult, Direction};
+pub use ktruss::{k_truss, KtrussResult};
+pub use msbfs::{multi_source_bfs, MsBfsResult};
+pub use scheme::Scheme;
+pub use tricount::{triangle_count, TcResult};

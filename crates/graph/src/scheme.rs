@@ -1,0 +1,114 @@
+//! The evaluation "schemes" of §8: our 12 algorithm variants
+//! (6 algorithms × 1P/2P) plus the two SuiteSparse-modelled baselines.
+
+use masked_spgemm::{baseline, masked_mxm, masked_mxm_with_bt, Algorithm, MaskMode, Phases};
+use mspgemm_sparse::semiring::Semiring;
+use mspgemm_sparse::Csr;
+
+/// One scheme from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// One of this paper's algorithms with a phase strategy.
+    Ours(Algorithm, Phases),
+    /// `SS:SAXPY`-style baseline (late masking).
+    SsSaxpy,
+    /// `SS:DOT`-style baseline (per-call transpose + dot products).
+    SsDot,
+}
+
+impl Scheme {
+    /// The paper's plot label, e.g. `MSA-1P`, `SS:SAXPY`.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Ours(a, Phases::One) => format!("{}-1P", a.name()),
+            Scheme::Ours(a, Phases::Two) => format!("{}-2P", a.name()),
+            Scheme::SsSaxpy => "SS:SAXPY".to_string(),
+            Scheme::SsDot => "SS:DOT".to_string(),
+        }
+    }
+
+    /// All 12 of our variants, in the paper's listing order (Fig 8).
+    pub fn all_ours() -> Vec<Scheme> {
+        let mut v = Vec::new();
+        for a in Algorithm::ALL {
+            for p in [Phases::One, Phases::Two] {
+                v.push(Scheme::Ours(a, p));
+            }
+        }
+        v
+    }
+
+    /// Our variants that support a complemented mask (BC drops MCA).
+    pub fn all_ours_complement() -> Vec<Scheme> {
+        Self::all_ours()
+            .into_iter()
+            .filter(|s| match s {
+                Scheme::Ours(a, _) => a.supports_complement(),
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// Whether this scheme can run a complemented mask.
+    pub fn supports_complement(&self) -> bool {
+        match self {
+            Scheme::Ours(a, _) => a.supports_complement(),
+            _ => true,
+        }
+    }
+
+    /// Execute the masked product. `bt` (`Bᵀ` in CSR) amortizes the
+    /// transpose for [`Algorithm::Inner`], mirroring the paper's Inner
+    /// setup; `SS:DOT` ignores it and re-transposes internally, mirroring
+    /// the library behaviour called out in §8.4.
+    pub fn run<S, M>(
+        &self,
+        mask: &Csr<M>,
+        a: &Csr<S::Left>,
+        b: &Csr<S::Right>,
+        bt: Option<&Csr<S::Right>>,
+        mode: MaskMode,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring,
+        M: Send + Sync,
+    {
+        match *self {
+            Scheme::Ours(Algorithm::Inner, phases) => match bt {
+                Some(bt) => masked_mxm_with_bt::<S, M>(mask, a, bt, mode, phases)
+                    .expect("inner masked mxm failed"),
+                None => masked_mxm::<S, M>(mask, a, b, Algorithm::Inner, mode, phases)
+                    .expect("inner masked mxm failed"),
+            },
+            Scheme::Ours(algo, phases) => {
+                masked_mxm::<S, M>(mask, a, b, algo, mode, phases).expect("masked mxm failed")
+            }
+            Scheme::SsSaxpy => baseline::ss_saxpy_like::<S, M>(mask, a, b, mode),
+            Scheme::SsDot => baseline::ss_dot_like::<S, M>(mask, a, b, mode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_variants() {
+        assert_eq!(Scheme::all_ours().len(), 12);
+        assert_eq!(Scheme::all_ours_complement().len(), 10);
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        assert_eq!(Scheme::Ours(Algorithm::Msa, Phases::One).name(), "MSA-1P");
+        assert_eq!(Scheme::Ours(Algorithm::HeapDot, Phases::Two).name(), "HeapDot-2P");
+        assert_eq!(Scheme::SsSaxpy.name(), "SS:SAXPY");
+    }
+
+    #[test]
+    fn mca_excluded_from_complement() {
+        assert!(!Scheme::Ours(Algorithm::Mca, Phases::One).supports_complement());
+        assert!(Scheme::SsDot.supports_complement());
+    }
+}

@@ -1,0 +1,97 @@
+//! ASCII rendition of the paper's Fig 7 winner heat-map: a grid of
+//! (input degree × mask degree) cells, each labeled with the winning
+//! scheme — the closest a terminal gets to the paper's colored plot.
+
+use std::collections::BTreeMap;
+
+/// One cell of the winner grid.
+#[derive(Clone, Debug)]
+pub struct GridCell {
+    /// Row key (the paper's y axis: degree of `A` and `B`).
+    pub input_degree: usize,
+    /// Column key (the paper's x axis: degree of the mask).
+    pub mask_degree: usize,
+    /// Winning scheme name.
+    pub winner: String,
+}
+
+/// Render cells as a 2D grid, rows sorted descending by input degree
+/// (matching the paper's orientation), columns ascending by mask degree.
+pub fn render_winner_grid(cells: &[GridCell]) -> String {
+    if cells.is_empty() {
+        return String::from("(empty grid)\n");
+    }
+    let mut rows: BTreeMap<usize, BTreeMap<usize, &str>> = BTreeMap::new();
+    let mut col_keys: Vec<usize> = Vec::new();
+    for c in cells {
+        rows.entry(c.input_degree).or_default().insert(c.mask_degree, &c.winner);
+        if !col_keys.contains(&c.mask_degree) {
+            col_keys.push(c.mask_degree);
+        }
+    }
+    col_keys.sort_unstable();
+    let width = cells
+        .iter()
+        .map(|c| c.winner.len())
+        .chain(col_keys.iter().map(|k| k.to_string().len()))
+        .max()
+        .unwrap()
+        .max(4);
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>8} |", "deg(A,B)"));
+    for k in &col_keys {
+        out.push_str(&format!(" {:>w$}", k, w = width));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:->8}-+{}\n", "", "-".repeat((width + 1) * col_keys.len())));
+    for (deg, row) in rows.iter().rev() {
+        out.push_str(&format!("{deg:>8} |"));
+        for k in &col_keys {
+            out.push_str(&format!(" {:>w$}", row.get(k).copied().unwrap_or("-"), w = width));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}  (columns: mask degree)\n", ""));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(di: usize, dm: usize, w: &str) -> GridCell {
+        GridCell { input_degree: di, mask_degree: dm, winner: w.to_string() }
+    }
+
+    #[test]
+    fn renders_rows_descending_columns_ascending() {
+        let cells = vec![
+            cell(1, 1, "Heap"),
+            cell(1, 16, "HeapDot"),
+            cell(16, 1, "Inner"),
+            cell(16, 16, "MSA"),
+        ];
+        let g = render_winner_grid(&cells);
+        let lines: Vec<&str> = g.lines().collect();
+        // Header, separator, deg 16 row, deg 1 row, footer.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with("      16 |"), "got: {}", lines[2]);
+        assert!(lines[2].contains("Inner") && lines[2].contains("MSA"));
+        assert!(lines[3].starts_with("       1 |"));
+        assert!(lines[3].contains("Heap") && lines[3].contains("HeapDot"));
+    }
+
+    #[test]
+    fn missing_cells_render_as_dash() {
+        let g = render_winner_grid(&[cell(1, 1, "MSA"), cell(2, 4, "Hash")]);
+        assert!(g.contains('-'));
+        assert!(g.contains("MSA"));
+        assert!(g.contains("Hash"));
+    }
+
+    #[test]
+    fn empty_grid() {
+        assert_eq!(render_winner_grid(&[]), "(empty grid)\n");
+    }
+}

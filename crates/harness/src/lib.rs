@@ -1,0 +1,24 @@
+//! # mspgemm-harness
+//!
+//! Benchmark methodology for the Masked SpGEMM reproduction (§7–8):
+//!
+//! * [`perfprofile`] — Dolan-Moré performance profiles (Figs 8/9/12/13/16);
+//! * [`metrics`] — GFLOPS, MTEPS, repeat-and-take-best timing and the
+//!   `MSPGEMM_*` environment knobs;
+//! * [`threads`] — fixed-size rayon pools for strong scaling (Fig 11);
+//! * [`runner`] — scheme × suite sweeps for the three applications;
+//! * [`report`] — CSV / aligned-text emitters used by the `fig*` benches;
+//! * [`ascii`] — the Fig 7 winner heat-map as a terminal grid.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod metrics;
+pub mod perfprofile;
+pub mod report;
+pub mod runner;
+pub mod threads;
+
+pub use metrics::{env_usize, gflops, mteps, time_best};
+pub use perfprofile::{default_taus, performance_profile, PerfProfile, SchemeRuns};
+pub use threads::{scaling_thread_counts, with_threads};

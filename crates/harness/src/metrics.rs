@@ -1,0 +1,86 @@
+//! Performance metrics matching the paper's y-axes: GFLOPS (Figs 10, 14),
+//! MTEPS (Fig 15), and repeat-and-take-best timing.
+
+use std::time::Instant;
+
+/// GFLOPS: `flops / seconds / 1e9`. `flops` already includes the ×2
+/// multiply-add convention (see `Csr::flops_with`).
+pub fn gflops(flops: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    flops as f64 / seconds / 1e9
+}
+
+/// Millions of Traversed Edges Per Second, the Graph500/SSCA metric the
+/// paper uses for BC (§8.4): `batch_size × num_edges / total_time`.
+pub fn mteps(batch_size: usize, num_edges: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (batch_size as f64) * (num_edges as f64) / seconds / 1e6
+}
+
+/// Run `f` once to warm up, then `reps` times, returning the minimum
+/// wall-clock seconds (the standard noise-robust estimator) and the last
+/// result.
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps >= 1);
+    let mut out = f(); // warm-up (also primes allocators/caches)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Read an environment variable as `usize` with a default — the knobs
+/// (`MSPGEMM_SCALE`, `MSPGEMM_REPS`, …) that let the default bench runs
+/// stay small while paper-scale runs are one variable away.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_math() {
+        assert!((gflops(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert!((gflops(1_000_000_000, 0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(gflops(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mteps_math() {
+        // 512 sources × 1M edges in 2s = 256 MTEPS.
+        assert!((mteps(512, 1_000_000, 2.0) - 256.0).abs() < 1e-9);
+        assert_eq!(mteps(1, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn time_best_returns_min_and_result() {
+        let mut calls = 0;
+        let (secs, val) = time_best(3, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(calls, 4, "warmup + reps");
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn env_usize_fallback() {
+        std::env::remove_var("MSPGEMM_TEST_KNOB_XYZ");
+        assert_eq!(env_usize("MSPGEMM_TEST_KNOB_XYZ", 7), 7);
+        std::env::set_var("MSPGEMM_TEST_KNOB_XYZ", "13");
+        assert_eq!(env_usize("MSPGEMM_TEST_KNOB_XYZ", 7), 13);
+        std::env::set_var("MSPGEMM_TEST_KNOB_XYZ", "not a number");
+        assert_eq!(env_usize("MSPGEMM_TEST_KNOB_XYZ", 7), 7);
+        std::env::remove_var("MSPGEMM_TEST_KNOB_XYZ");
+    }
+}

@@ -1,0 +1,119 @@
+//! Suite runners: execute one application benchmark for every scheme over
+//! every suite graph, producing the [`SchemeRuns`] matrices behind the
+//! paper's performance profiles.
+
+use crate::metrics::time_best;
+use crate::perfprofile::SchemeRuns;
+use mspgemm_gen::SuiteGraph;
+use mspgemm_graph::scheme::Scheme;
+use mspgemm_graph::{bc, ktruss, tricount};
+
+/// Triangle-counting runtimes (masked SpGEMM only, as in §8.2) for each
+/// scheme × suite graph.
+pub fn tc_runs(suite: &[SuiteGraph], schemes: &[Scheme], reps: usize) -> Vec<SchemeRuns> {
+    let prepared: Vec<_> = suite.iter().map(|g| tricount::prepare(&g.adj)).collect();
+    schemes
+        .iter()
+        .map(|&s| SchemeRuns {
+            name: s.name(),
+            seconds: prepared
+                .iter()
+                .map(|ops| {
+                    let (secs, _) = time_best(reps, || tricount::count_prepared(ops, s));
+                    Some(secs)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// k-truss runtimes (sum of masked SpGEMM time across iterations, §8.3).
+pub fn ktruss_runs(
+    suite: &[SuiteGraph],
+    schemes: &[Scheme],
+    k: usize,
+    reps: usize,
+) -> Vec<SchemeRuns> {
+    schemes
+        .iter()
+        .map(|&s| SchemeRuns {
+            name: s.name(),
+            seconds: suite
+                .iter()
+                .map(|g| {
+                    let (_, result) = time_best(reps, || ktruss::k_truss(&g.adj, k, s));
+                    // The benchmarked quantity is the masked-SpGEMM time,
+                    // not the whole loop (pruning excluded), per §8.3.
+                    Some(result.mxm_seconds)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// BC runtimes (forward+backward masked SpGEMM, §8.4) with the first
+/// `batch` vertices as sources.
+pub fn bc_runs(
+    suite: &[SuiteGraph],
+    schemes: &[Scheme],
+    batch: usize,
+    reps: usize,
+) -> Vec<SchemeRuns> {
+    schemes
+        .iter()
+        .map(|&s| SchemeRuns {
+            name: s.name(),
+            seconds: suite
+                .iter()
+                .map(|g| {
+                    if !s.supports_complement() {
+                        return None; // MCA is absent from Fig 16
+                    }
+                    let n = g.adj.nrows();
+                    let sources: Vec<usize> = (0..batch.min(n)).collect();
+                    let (_, result) = time_best(reps, || bc::betweenness(&g.adj, &sources, s));
+                    Some(result.mxm_seconds)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masked_spgemm::{Algorithm, Phases};
+    use mspgemm_gen::{build_suite, SuiteSize};
+
+    fn tiny_suite() -> Vec<SuiteGraph> {
+        // Two small graphs to keep unit-test runtime negligible.
+        vec![
+            SuiteGraph { name: "er", adj: mspgemm_gen::er_symmetric(200, 8, 1) },
+            SuiteGraph { name: "sw", adj: mspgemm_gen::structured::small_world(200, 4, 0.1, 2) },
+        ]
+    }
+
+    #[test]
+    fn tc_runs_shape() {
+        let schemes = [Scheme::Ours(Algorithm::Msa, Phases::One), Scheme::SsSaxpy];
+        let runs = tc_runs(&tiny_suite(), &schemes, 1);
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.seconds.len() == 2));
+        assert!(runs.iter().all(|r| r.seconds.iter().all(|s| s.is_some())));
+    }
+
+    #[test]
+    fn bc_runs_mark_mca_missing() {
+        let schemes = [Scheme::Ours(Algorithm::Mca, Phases::One), Scheme::Ours(Algorithm::Msa, Phases::One)];
+        let runs = bc_runs(&tiny_suite(), &schemes, 4, 1);
+        assert!(runs[0].seconds.iter().all(|s| s.is_none()), "MCA cannot run BC");
+        assert!(runs[1].seconds.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn suite_builds_for_runners() {
+        // Sanity: the real Small suite is usable (built once, cheap graphs).
+        let suite = build_suite(SuiteSize::Small);
+        assert!(suite.len() >= 10, "suite should span ≥10 graphs");
+    }
+}

@@ -1,0 +1,43 @@
+//! # mspgemm-sparse
+//!
+//! The sparse-matrix substrate for the Masked SpGEMM reproduction
+//! (Milaković et al., *Parallel Algorithms for Masked Sparse Matrix-Matrix
+//! Products*, PPoPP 2022).
+//!
+//! Provides the storage formats (§2.1 of the paper), GraphBLAS-style
+//! semirings (§2), and the parallel utility kernels every other crate in
+//! the workspace builds on:
+//!
+//! * [`Csr`] — compressed sparse row with sorted, duplicate-free rows;
+//!   `Csr<()>` doubles as a structural pattern/mask.
+//! * [`Coo`] — triplet assembly format with canonicalization.
+//! * [`transpose`] — parallel scan-based transpose (CSC is represented as
+//!   the transpose stored in CSR).
+//! * [`ops`] — eWiseMult/eWiseAdd, masking, reductions, selection
+//!   (tril/triu), symmetric permutation, degree relabeling.
+//! * [`semiring`] — `plus_times`, `plus_pair`, `or_and`, `min_plus`, …
+//! * [`mm_io`] — Matrix Market reader/writer.
+//! * [`util`] — parallel prefix sums and the disjoint-write slice used by
+//!   the row-parallel drivers.
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod mm_io;
+pub mod ops;
+pub mod semiring;
+pub mod transpose;
+pub mod util;
+pub mod vec;
+
+/// Column/row index type. 32 bits halves the memory traffic of the index
+/// streams relative to `usize` — the paper's algorithms are memory-bound
+/// (§2.2), so this matters.
+pub type Idx = u32;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use semiring::Semiring;
+pub use transpose::transpose;
+pub use vec::SparseVec;

@@ -1,0 +1,227 @@
+//! Matrix Market (`.mtx`) I/O. The paper's real-world inputs come from the
+//! SuiteSparse collection in this format; the reader lets users drop in the
+//! actual files, while the synthetic suite stands in when they are absent.
+//!
+//! Supported: `matrix coordinate {real|integer|pattern} {general|symmetric}`.
+//! Indices are 1-based per the spec.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::Idx;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem, with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(s) => write!(f, "Matrix Market parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market stream into a `Csr<f64>`. Pattern files get value
+/// `1.0` per entry; symmetric files are expanded to both triangles
+/// (diagonal entries are not duplicated).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty input"))??;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only 'coordinate' format supported"));
+    }
+    let value_type = fields[3];
+    if !matches!(value_type, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported value type: {value_type}")));
+    }
+    let symmetry = fields.get(4).copied().unwrap_or("general");
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry: {symmetry}")));
+    }
+    let is_pattern = value_type == "pattern";
+    let is_symmetric = symmetry == "symmetric";
+
+    // Skip comments, find size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| parse_err(format!("bad size line: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must have 3 fields: nrows ncols nnz"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo: Coo<f64> = Coo::new(nrows, ncols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("entry missing row"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad row index: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("entry missing col"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad col index: {e}")))?;
+        let v: f64 = if is_pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("entry missing value"))?
+                .parse()
+                .map_err(|e| parse_err(format!("bad value: {e}")))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of bounds (1-based)")));
+        }
+        let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
+        coo.push(i0, j0, v);
+        if is_symmetric && i0 != j0 {
+            coo.push(j0, i0, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("size line promised {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr(|a, b| a + b))
+}
+
+/// Read a `.mtx` file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Csr<f64>, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write `a` as `matrix coordinate real general` (1-based indices).
+pub fn write_matrix_market<W: Write>(mut w: W, a: &Csr<f64>) -> Result<(), MmError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    3 4 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), Some(&1.5));
+        assert_eq!(m.get(1, 2), Some(&-2.0));
+        assert_eq!(m.get(2, 3), Some(&7.0));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    2 1 5.0\n\
+                    3 1 6.0\n\
+                    2 2 1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5, "off-diagonals mirrored, diagonal not duplicated");
+        assert_eq!(m.get(0, 1), Some(&5.0));
+        assert_eq!(m.get(1, 0), Some(&5.0));
+        assert_eq!(m.get(1, 1), Some(&1.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(&1.0));
+        assert_eq!(m.get(1, 0), Some(&1.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = Csr::from_dense(
+            &[vec![Some(1.0), None, Some(2.5)], vec![None, Some(-3.0), None]],
+            3,
+        );
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err(), "nnz mismatch detected");
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_summed() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    1 1 2\n\
+                    1 1 1.0\n\
+                    1 1 2.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(&3.0));
+    }
+}

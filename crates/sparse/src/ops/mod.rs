@@ -1,0 +1,7 @@
+//! Sparse matrix operations beyond multiplication: element-wise algebra,
+//! reductions, selection, permutation.
+
+pub mod ewise;
+pub mod permute;
+pub mod reduce;
+pub mod select;

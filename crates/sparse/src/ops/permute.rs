@@ -1,0 +1,152 @@
+//! Symmetric permutation `P·A·Pᵀ` and degree-descending relabeling.
+//! Triangle counting sorts vertices in non-increasing degree order before
+//! extracting `L` (§8.2, citing [29]); this module implements that step.
+
+use crate::csr::Csr;
+use crate::util::{par_exclusive_prefix_sum, UnsafeSlice};
+use crate::Idx;
+use rayon::prelude::*;
+
+/// Apply the symmetric permutation given by `new_of_old`:
+/// `C[new_of_old[i]][new_of_old[j]] = A[i][j]`.
+///
+/// `new_of_old` must be a permutation of `0..nrows` (checked in debug).
+/// Rows are scattered in parallel and re-sorted (a permutation destroys
+/// column order within rows).
+pub fn permute_symmetric<T>(a: &Csr<T>, new_of_old: &[Idx]) -> Csr<T>
+where
+    T: Copy + Send + Sync,
+{
+    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs a square matrix");
+    assert_eq!(new_of_old.len(), a.nrows(), "permutation length mismatch");
+    debug_assert!(is_permutation(new_of_old));
+    let n = a.nrows();
+    // new row new_of_old[i] has the size of old row i.
+    let mut sizes = vec![0usize; n];
+    for (i, &ni) in new_of_old.iter().enumerate() {
+        sizes[ni as usize] = a.row_nnz(i);
+    }
+    let rowptr = par_exclusive_prefix_sum(&sizes);
+    let nnz = a.nnz();
+    let mut colidx = vec![0 as Idx; nnz];
+    let mut values = if nnz > 0 { vec![a.values()[0]; nnz] } else { Vec::new() };
+    {
+        let cw = UnsafeSlice::new(&mut colidx);
+        let vw = UnsafeSlice::new(&mut values);
+        (0..n).into_par_iter().for_each(|i| {
+            let ni = new_of_old[i] as usize;
+            let (cols, vals) = a.row(i);
+            let start = rowptr[ni];
+            // SAFETY: each new row ni is produced by exactly one old row i.
+            let dst_c = unsafe { cw.slice_mut(start, cols.len()) };
+            let dst_v = unsafe { vw.slice_mut(start, cols.len()) };
+            // Scatter with relabeled columns, then sort the row.
+            let mut pairs: Vec<(Idx, T)> =
+                cols.iter().zip(vals).map(|(&j, &v)| (new_of_old[j as usize], v)).collect();
+            pairs.sort_unstable_by_key(|&(j, _)| j);
+            for (k, (j, v)) in pairs.into_iter().enumerate() {
+                dst_c[k] = j;
+                dst_v[k] = v;
+            }
+        });
+    }
+    Csr::from_parts_unchecked(n, n, rowptr, colidx, values)
+}
+
+/// Permutation sending each vertex to its rank in non-increasing degree
+/// order (ties broken by original index, making it deterministic).
+/// Returns `new_of_old`.
+pub fn degree_descending_permutation<T>(a: &Csr<T>) -> Vec<Idx> {
+    let n = a.nrows();
+    let mut order: Vec<Idx> = (0..n as Idx).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(a.row_nnz(i as usize)), i));
+    let mut new_of_old = vec![0 as Idx; n];
+    for (rank, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = rank as Idx;
+    }
+    new_of_old
+}
+
+fn is_permutation(p: &[Idx]) -> bool {
+    let mut seen = vec![false; p.len()];
+    for &x in p {
+        let x = x as usize;
+        if x >= p.len() || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Csr<i64> {
+        // Path 0-1-2-3 (symmetric adjacency), values = 10*i + j.
+        let mut d = vec![vec![None; 4]; 4];
+        for (i, j) in [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)] {
+            d[i][j] = Some((10 * i + j) as i64);
+        }
+        Csr::from_dense(&d, 4)
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let a = path4();
+        let id: Vec<Idx> = (0..4).collect();
+        assert_eq!(permute_symmetric(&a, &id), a);
+    }
+
+    #[test]
+    fn reversal_permutation() {
+        let a = path4();
+        let rev: Vec<Idx> = (0..4).rev().collect();
+        let c = permute_symmetric(&a, &rev);
+        // entry (0,1)=1 moves to (3,2)
+        assert_eq!(c.get(3, 2), Some(&1));
+        assert_eq!(c.get(2, 3), Some(&10));
+        assert_eq!(c.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn permute_preserves_entry_multiset() {
+        let a = path4();
+        let p: Vec<Idx> = vec![2, 0, 3, 1];
+        let c = permute_symmetric(&a, &p);
+        let mut orig: Vec<i64> = a.values().to_vec();
+        let mut perm: Vec<i64> = c.values().to_vec();
+        orig.sort();
+        perm.sort();
+        assert_eq!(orig, perm);
+        // Check a specific coordinate: A[2][3] -> C[p[2]][p[3]] = C[3][1].
+        assert_eq!(c.get(3, 1), a.get(2, 3).copied().as_ref());
+    }
+
+    #[test]
+    fn degree_descending_orders_star() {
+        // Star: vertex 3 is the hub with degree 3; leaves have degree 1.
+        let mut d = vec![vec![None; 4]; 4];
+        for leaf in [0usize, 1, 2] {
+            d[3][leaf] = Some(1i64);
+            d[leaf][3] = Some(1i64);
+        }
+        let a = Csr::from_dense(&d, 4);
+        let p = degree_descending_permutation(&a);
+        assert_eq!(p[3], 0, "hub gets rank 0");
+        // Leaves keep relative order by index (deterministic ties).
+        assert_eq!(&p[0..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn rows_sorted_after_permutation() {
+        let a = path4();
+        let p: Vec<Idx> = vec![3, 1, 0, 2];
+        let c = permute_symmetric(&a, &p);
+        for i in 0..c.nrows() {
+            let cols = c.row_cols(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Small parallel utilities shared by the sparse kernels: prefix sums and a
+//! disjoint-write slice wrapper.
+
+use rayon::prelude::*;
+use std::cell::UnsafeCell;
+
+/// Sequential exclusive prefix sum. Returns a vector of length
+/// `counts.len() + 1` where `out[i] = sum(counts[..i])`; `out[len]` is the
+/// total.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
+/// Parallel exclusive prefix sum (two-pass block scan). Matches
+/// [`exclusive_prefix_sum`] exactly; worth it only for large inputs, so small
+/// inputs fall through to the sequential version.
+pub fn par_exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    const SEQ_CUTOFF: usize = 1 << 14;
+    let n = counts.len();
+    if n <= SEQ_CUTOFF {
+        return exclusive_prefix_sum(counts);
+    }
+    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(nchunks);
+    // Pass 1: per-chunk totals.
+    let totals: Vec<usize> = counts.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let chunk_offsets = exclusive_prefix_sum(&totals);
+    // Pass 2: scan within each chunk, seeded with the chunk offset.
+    let mut out = vec![0usize; n + 1];
+    out[n] = chunk_offsets[totals.len()];
+    // The output region for chunk `ci` is out[ci*chunk .. ci*chunk+len] —
+    // disjoint across chunks, so carve it with chunks_mut.
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .enumerate()
+        .for_each(|(ci, (out_chunk, in_chunk))| {
+            let mut acc = chunk_offsets[ci];
+            for (o, &c) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc;
+                acc += c;
+            }
+        });
+    out
+}
+
+/// A shared slice that permits concurrent writes to *disjoint* index ranges.
+///
+/// Rayon's `par_chunks_mut` only supports uniform chunking; the masked
+/// SpGEMM drivers need per-row output ranges of varying length taken from a
+/// prefix sum. Since a prefix sum guarantees the ranges are pairwise
+/// disjoint, raw-pointer writes are sound. Debug builds additionally bounds-
+/// check every access.
+pub struct UnsafeSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice for disjoint concurrent writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: &mut [T] -> &[UnsafeCell<T>] is sound (UnsafeCell<T> has
+        // the same layout as T) and we hold the unique borrow for 'a.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        Self { data: unsafe { &*ptr } }
+    }
+
+    /// Total length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `idx`.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access `idx`.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.data.len(), "UnsafeSlice write out of bounds");
+        unsafe { *self.data[idx].get() = value };
+    }
+
+    /// Get a mutable sub-slice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// The range must not be accessed concurrently by any other thread.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.data.len(), "UnsafeSlice range out of bounds");
+        if len == 0 {
+            return &mut [];
+        }
+        unsafe { std::slice::from_raw_parts_mut(self.data[start].get(), len) }
+    }
+}
+
+/// Splits `0..n` into at most `max_parts` contiguous ranges of near-equal
+/// length. Used for chunked parallel passes that need per-chunk scratch.
+pub fn split_ranges(n: usize, max_parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || max_parts == 0 {
+        return vec![];
+    }
+    let parts = max_parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_empty() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+        assert_eq!(par_exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn prefix_sum_basic() {
+        assert_eq!(exclusive_prefix_sum(&[3, 0, 2, 5]), vec![0, 3, 3, 5, 10]);
+    }
+
+    #[test]
+    fn prefix_sum_par_matches_seq() {
+        let counts: Vec<usize> = (0..100_000).map(|i| (i * 31 + 7) % 13).collect();
+        assert_eq!(par_exclusive_prefix_sum(&counts), exclusive_prefix_sum(&counts));
+    }
+
+    #[test]
+    fn unsafe_slice_disjoint_writes() {
+        let mut buf = vec![0u64; 1000];
+        let ranges = split_ranges(1000, 7);
+        {
+            let shared = UnsafeSlice::new(&mut buf);
+            rayon::scope(|s| {
+                for r in &ranges {
+                    let r = r.clone();
+                    let shared = &shared;
+                    s.spawn(move |_| {
+                        for i in r {
+                            unsafe { shared.write(i, i as u64 * 2) };
+                        }
+                    });
+                }
+            });
+        }
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn split_ranges_covers_all() {
+        for n in [0usize, 1, 5, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let rs = split_ranges(n, parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut prev_end = 0;
+                for r in &rs {
+                    assert_eq!(r.start, prev_end);
+                    assert!(!r.is_empty());
+                    prev_end = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_ranges_balanced() {
+        let rs = split_ranges(10, 3);
+        let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+}

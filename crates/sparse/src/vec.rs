@@ -1,0 +1,178 @@
+//! Sparse vectors — the operand of masked SpMV/SpGEVM. The paper frames
+//! every row-wise masked SpGEMM as a masked sparse vector-matrix product
+//! `v⊺ = m⊺ ⊙ (u⊺B)` (§5), and the masking idea itself originated in
+//! direction-optimized SpMV traversals (§4).
+
+use crate::Idx;
+
+/// A sparse vector: sorted, duplicate-free indices with parallel values.
+/// `SparseVec<()>` is a pattern (e.g. a visited set used as a mask).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec<T> {
+    n: usize,
+    idx: Vec<Idx>,
+    vals: Vec<T>,
+}
+
+impl<T> SparseVec<T> {
+    /// The empty vector of logical length `n`.
+    pub fn empty(n: usize) -> Self {
+        Self { n, idx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Build from parallel index/value arrays (indices must be sorted and
+    /// unique; checked).
+    pub fn try_from_parts(n: usize, idx: Vec<Idx>, vals: Vec<T>) -> Result<Self, String> {
+        if idx.len() != vals.len() {
+            return Err(format!("idx.len() {} != vals.len() {}", idx.len(), vals.len()));
+        }
+        for w in idx.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("indices not strictly sorted: {} >= {}", w[0], w[1]));
+            }
+        }
+        if let Some(&last) = idx.last() {
+            if last as usize >= n {
+                return Err(format!("index {last} out of bounds for length {n}"));
+            }
+        }
+        Ok(Self { n, idx, vals })
+    }
+
+    /// Build without validation (debug-asserted).
+    pub fn from_parts_unchecked(n: usize, idx: Vec<Idx>, vals: Vec<T>) -> Self {
+        debug_assert!(idx.len() == vals.len());
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(idx.last().is_none_or(|&l| (l as usize) < n));
+        Self { n, idx, vals }
+    }
+
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Sorted indices.
+    pub fn indices(&self) -> &[Idx] {
+        &self.idx
+    }
+
+    /// Values, parallel to [`SparseVec::indices`].
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Iterate `(index, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, &T)> + '_ {
+        self.idx.iter().copied().zip(self.vals.iter())
+    }
+
+    /// Value at `i`, by binary search.
+    pub fn get(&self, i: Idx) -> Option<&T> {
+        self.idx.binary_search(&i).ok().map(|p| &self.vals[p])
+    }
+
+    /// Drop values, keep the pattern.
+    pub fn pattern(&self) -> SparseVec<()> {
+        SparseVec { n: self.n, idx: self.idx.clone(), vals: vec![(); self.idx.len()] }
+    }
+
+    /// Map values (pattern preserved).
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> SparseVec<U> {
+        SparseVec { n: self.n, idx: self.idx.clone(), vals: self.vals.iter().map(f).collect() }
+    }
+}
+
+impl<T: Copy> SparseVec<T> {
+    /// A single-entry vector.
+    pub fn unit(n: usize, i: Idx, v: T) -> Self {
+        assert!((i as usize) < n);
+        Self { n, idx: vec![i], vals: vec![v] }
+    }
+
+    /// Dense materialization (`None` = structural zero). Test helper.
+    pub fn to_dense(&self) -> Vec<Option<T>> {
+        let mut d = vec![None; self.n];
+        for (i, v) in self.iter() {
+            d[i as usize] = Some(*v);
+        }
+        d
+    }
+
+    /// Merge-union with `other`, combining overlaps with `f`.
+    pub fn union(&self, other: &Self, f: impl Fn(T, T) -> T) -> Self {
+        assert_eq!(self.n, other.n);
+        let mut idx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut vals = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < self.idx.len() || y < other.idx.len() {
+            let take_a = y >= other.idx.len()
+                || (x < self.idx.len() && self.idx[x] <= other.idx[y]);
+            let take_b = x >= self.idx.len()
+                || (y < other.idx.len() && other.idx[y] <= self.idx[x]);
+            if take_a && take_b {
+                idx.push(self.idx[x]);
+                vals.push(f(self.vals[x], other.vals[y]));
+                x += 1;
+                y += 1;
+            } else if take_a {
+                idx.push(self.idx[x]);
+                vals.push(self.vals[x]);
+                x += 1;
+            } else {
+                idx.push(other.idx[y]);
+                vals.push(other.vals[y]);
+                y += 1;
+            }
+        }
+        Self { n: self.n, idx, vals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SparseVec::try_from_parts(10, vec![1, 4, 7], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.get(4), Some(&2.0));
+        assert_eq!(v.get(5), None);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SparseVec::try_from_parts(5, vec![3, 1], vec![1, 2]).is_err());
+        assert!(SparseVec::try_from_parts(5, vec![1, 1], vec![1, 2]).is_err());
+        assert!(SparseVec::try_from_parts(5, vec![5], vec![1]).is_err());
+        assert!(SparseVec::try_from_parts(5, vec![1], vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = SparseVec::try_from_parts(8, vec![1, 3, 5], vec![1i64, 1, 1]).unwrap();
+        let b = SparseVec::try_from_parts(8, vec![3, 6], vec![10i64, 10]).unwrap();
+        let u = a.union(&b, |x, y| x + y);
+        assert_eq!(u.indices(), &[1, 3, 5, 6]);
+        assert_eq!(u.values(), &[1, 11, 1, 10]);
+    }
+
+    #[test]
+    fn unit_and_dense() {
+        let v: SparseVec<i64> = SparseVec::unit(4, 2, 9);
+        assert_eq!(v.to_dense(), vec![None, None, Some(9), None]);
+        assert_eq!(v.pattern().nnz(), 1);
+    }
+}

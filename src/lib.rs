@@ -1,0 +1,45 @@
+//! # mspgemm — Parallel Masked Sparse Matrix-Matrix Products
+//!
+//! Facade crate for the workspace reproducing Milaković, Selvitopi, Nisa,
+//! Budimlić & Buluč, *Parallel Algorithms for Masked Sparse Matrix-Matrix
+//! Products* (PPoPP 2022). Re-exports every sub-crate under one roof so the
+//! examples and downstream users need a single dependency:
+//!
+//! * [`sparse`] — CSR/CSC/COO formats, semirings, kernels, Matrix Market I/O;
+//! * [`gen`] — deterministic graph generators (ER, R-MAT, suite);
+//! * [`core`] — the masked SpGEMM algorithms (MSA, Hash, MCA, Heap, Inner);
+//! * [`graph`] — triangle counting, k-truss, betweenness centrality;
+//! * [`harness`] — metrics and Dolan-Moré performance profiles.
+//!
+//! ```
+//! use mspgemm::prelude::*;
+//!
+//! let g = mspgemm::gen::er_symmetric(500, 8, 42);
+//! let tc = triangle_count(&g, Scheme::Ours(Algorithm::Msa, Phases::One));
+//! assert_eq!(
+//!     tc.triangles,
+//!     triangle_count(&g, Scheme::Ours(Algorithm::Inner, Phases::Two)).triangles,
+//! );
+//! ```
+
+/// The masked SpGEMM core (algorithms, accumulators, baselines).
+pub use masked_spgemm as core;
+/// Graph generators.
+pub use mspgemm_gen as gen;
+/// Applications: TC / k-truss / BC.
+pub use mspgemm_graph as graph;
+/// Benchmark methodology.
+pub use mspgemm_harness as harness;
+/// Sparse matrix substrate.
+pub use mspgemm_sparse as sparse;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use masked_spgemm::{masked_mxm, masked_mxm_with_bt, Algorithm, MaskMode, Phases};
+    pub use mspgemm_graph::scheme::Scheme;
+    pub use mspgemm_graph::{betweenness, k_truss, triangle_count};
+    pub use mspgemm_sparse::semiring::{
+        OrAndBool, PlusPairU64, PlusTimesF64, PlusTimesI64, PlusTimesU64, Semiring,
+    };
+    pub use mspgemm_sparse::{Coo, Csr, Idx};
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: generate → relabel → masked mxm → application
+//! → metric, end to end, across schemes and thread counts.
+
+use mspgemm::gen::{self, RmatParams};
+use mspgemm::graph::{bc, ktruss, tricount};
+use mspgemm::harness::{gflops, mteps, performance_profile, with_threads, SchemeRuns};
+use mspgemm::prelude::*;
+
+#[test]
+fn full_tc_pipeline_on_rmat() {
+    let g = gen::rmat_symmetric(9, RmatParams::default(), 3);
+    let ops = tricount::prepare(&g);
+    let mut counts = Vec::new();
+    for s in [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Mca, Phases::Two),
+        Scheme::Ours(Algorithm::Inner, Phases::One),
+        Scheme::SsSaxpy,
+    ] {
+        let r = tricount::count_prepared(&ops, s);
+        assert!(gflops(r.flops, r.mxm_seconds.max(1e-12)) >= 0.0);
+        counts.push(r.triangles);
+    }
+    counts.dedup();
+    assert_eq!(counts.len(), 1, "schemes disagree on triangles");
+    assert!(counts[0] > 0, "R-MAT scale 9 should contain triangles");
+}
+
+#[test]
+fn full_ktruss_pipeline_shrinks_graph() {
+    let g = gen::structured::community_blocks(8, 60, 8, 1, 11);
+    let r3 = ktruss::k_truss(&g, 3, Scheme::Ours(Algorithm::Hash, Phases::One));
+    let r5 = ktruss::k_truss(&g, 5, Scheme::Ours(Algorithm::Hash, Phases::One));
+    assert!(r5.truss.nnz() <= r3.truss.nnz(), "trusses must be nested");
+    assert!(r3.truss.nnz() <= g.nnz());
+    // Every surviving edge support must meet the threshold.
+    assert!(r5.truss.values().iter().all(|&s| s >= 3));
+}
+
+#[test]
+fn full_bc_pipeline_produces_sane_scores() {
+    let g = gen::er_symmetric(300, 8, 17);
+    let sources: Vec<usize> = (0..32).collect();
+    let r = bc::betweenness(&g, &sources, Scheme::Ours(Algorithm::Msa, Phases::One));
+    assert_eq!(r.scores.len(), g.nrows());
+    assert!(r.scores.iter().all(|&x| x >= -1e-9), "scores are nonnegative");
+    assert!(r.scores.iter().any(|&x| x > 0.0), "something must be central");
+    assert!(mteps(sources.len(), g.nnz() / 2, r.total_seconds.max(1e-12)) > 0.0);
+}
+
+#[test]
+fn profile_machinery_end_to_end() {
+    let suite = vec![
+        gen::SuiteGraph { name: "er", adj: gen::er_symmetric(150, 6, 1) },
+        gen::SuiteGraph { name: "rmat", adj: gen::rmat_symmetric(7, RmatParams::default(), 2) },
+    ];
+    let schemes =
+        [Scheme::Ours(Algorithm::Msa, Phases::One), Scheme::Ours(Algorithm::Hash, Phases::One)];
+    let runs: Vec<SchemeRuns> = mspgemm::harness::runner::tc_runs(&suite, &schemes, 1);
+    let profile = performance_profile(&runs, &mspgemm::harness::default_taus(2.4, 0.2));
+    // Some scheme must be best somewhere; fractions in [0, 1].
+    let sum_best: f64 =
+        profile.curves.iter().map(|(_, fr)| fr[0]).sum();
+    assert!(sum_best >= 1.0 - 1e-9, "at least one best per case (ties can exceed 1)");
+    for (_, fr) in &profile.curves {
+        assert!(fr.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+}
+
+#[test]
+fn pipeline_deterministic_across_thread_counts() {
+    let g = gen::rmat_symmetric(8, RmatParams::default(), 21);
+    let base = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Hash, Phases::One)).triangles;
+    for t in [1usize, 3] {
+        let got = with_threads(t, || {
+            let g = gen::rmat_symmetric(8, RmatParams::default(), 21);
+            tricount::triangle_count(&g, Scheme::Ours(Algorithm::Hash, Phases::One)).triangles
+        });
+        assert_eq!(got, base, "{t} threads");
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_through_apps() {
+    // Write a generated graph to .mtx, read it back, and get identical
+    // triangle counts — exercises the I/O substrate in the pipeline.
+    let g = gen::er_symmetric(120, 6, 9);
+    let mut buf = Vec::new();
+    mspgemm::sparse::mm_io::write_matrix_market(&mut buf, &g).unwrap();
+    let g2 = mspgemm::sparse::mm_io::read_matrix_market(buf.as_slice()).unwrap();
+    assert_eq!(g, g2);
+    let t1 = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Msa, Phases::One)).triangles;
+    let t2 = tricount::triangle_count(&g2, Scheme::Ours(Algorithm::Msa, Phases::One)).triangles;
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn semirings_compose_with_apps() {
+    // Reachability on the or_and semiring through the masked primitive:
+    // two-hop neighbors restricted to existing edges = "triangle edges".
+    let g = gen::er_symmetric(100, 6, 33);
+    let gb = g.map(|_| true);
+    let mask = g.pattern();
+    let two_hop = masked_mxm::<OrAndBool, ()>(
+        &mask,
+        &gb,
+        &gb,
+        Algorithm::Msa,
+        MaskMode::Mask,
+        Phases::One,
+    )
+    .unwrap();
+    // Every surviving coordinate is an edge that closes a triangle.
+    for (i, j, &v) in two_hop.iter() {
+        assert!(v, "or_and output values are true");
+        assert!(g.get(i, j).is_some());
+    }
+}
