@@ -11,7 +11,10 @@ use mspgemm_harness::time_best;
 use mspgemm_sparse::semiring::PlusTimesF64;
 
 fn main() {
-    banner("Ablation §5.3", "hash accumulator capacity factor (1/load-factor)");
+    banner(
+        "Ablation §5.3",
+        "hash accumulator capacity factor (1/load-factor)",
+    );
     let n = 1usize << 13;
     let reps = reps();
     let a = er(n, n, 16, 7);
@@ -22,14 +25,20 @@ fn main() {
         let mut row = vec![d_mask.to_string()];
         let mut outputs = Vec::new();
         for factor in [1usize, 2, 4, 8] {
-            let kernel = HashKernel { complement: false, capacity_factor: factor };
+            let kernel = HashKernel {
+                complement: false,
+                capacity_factor: factor,
+            };
             let (secs, c) = time_best(reps, || {
                 run_push::<PlusTimesF64, _, ()>(&mask, &a, &b, false, Phases::One, &kernel)
             });
             row.push(fmt_secs(secs));
             outputs.push(c);
         }
-        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "load factors disagree");
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "load factors disagree"
+        );
         table.row(&row);
     }
     println!("{}", table.to_csv());

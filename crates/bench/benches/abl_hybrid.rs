@@ -11,11 +11,23 @@ use mspgemm_harness::time_best;
 use mspgemm_sparse::semiring::PlusTimesF64;
 
 fn main() {
-    banner("Ablation §9", "per-row Hybrid vs fixed algorithms on the density grid");
+    banner(
+        "Ablation §9",
+        "per-row Hybrid vs fixed algorithms on the density grid",
+    );
     let n = 1usize << 12;
     let reps = reps();
-    let fixed = [Algorithm::Msa, Algorithm::Hash, Algorithm::Mca, Algorithm::Heap];
-    let mut headers = vec!["d_input".to_string(), "d_mask".to_string(), "Hybrid".to_string()];
+    let fixed = [
+        Algorithm::Msa,
+        Algorithm::Hash,
+        Algorithm::Mca,
+        Algorithm::Heap,
+    ];
+    let mut headers = vec![
+        "d_input".to_string(),
+        "d_mask".to_string(),
+        "Hybrid".to_string(),
+    ];
     headers.extend(fixed.iter().map(|a| a.name().to_string()));
     headers.push("hybrid_vs_best_fixed".to_string());
     let hr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -34,8 +46,7 @@ fn main() {
                 .0
             };
             let hybrid = run(Algorithm::Hybrid);
-            let mut row =
-                vec![d_input.to_string(), d_mask.to_string(), fmt_secs(hybrid)];
+            let mut row = vec![d_input.to_string(), d_mask.to_string(), fmt_secs(hybrid)];
             let mut best_fixed = f64::INFINITY;
             for &algo in &fixed {
                 let s = run(algo);

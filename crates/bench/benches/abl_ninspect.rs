@@ -24,7 +24,10 @@ fn main() {
         let mut row = vec![d_mask.to_string()];
         let mut outputs = Vec::new();
         for n_inspect in [0u32, 1, INSPECT_FULL] {
-            let kernel = HeapKernel { n_inspect, complement: false };
+            let kernel = HeapKernel {
+                n_inspect,
+                complement: false,
+            };
             let (secs, c) = time_best(reps, || {
                 run_push::<PlusTimesF64, _, ()>(&mask, &a, &b, false, Phases::One, &kernel)
             });
@@ -34,9 +37,16 @@ fn main() {
         // NInspect changes the order same-column f64 products are summed,
         // so compare pattern exactly and values to rounding tolerance.
         for w in outputs.windows(2) {
-            assert_eq!(w[0].pattern(), w[1].pattern(), "NInspect variants disagree on pattern");
+            assert_eq!(
+                w[0].pattern(),
+                w[1].pattern(),
+                "NInspect variants disagree on pattern"
+            );
             for (x, y) in w[0].values().iter().zip(w[1].values()) {
-                assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "NInspect values diverge");
+                assert!(
+                    (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                    "NInspect values diverge"
+                );
             }
         }
         table.row(&row);

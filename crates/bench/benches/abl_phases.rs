@@ -20,10 +20,12 @@ fn main() {
     for g in &suite {
         let ops = tricount::prepare(&g.adj);
         for algo in Algorithm::ALL {
-            let (s1, _) =
-                time_best(reps, || tricount::count_prepared(&ops, Scheme::Ours(algo, Phases::One)));
-            let (s2, _) =
-                time_best(reps, || tricount::count_prepared(&ops, Scheme::Ours(algo, Phases::Two)));
+            let (s1, _) = time_best(reps, || {
+                tricount::count_prepared(&ops, Scheme::Ours(algo, Phases::One))
+            });
+            let (s2, _) = time_best(reps, || {
+                tricount::count_prepared(&ops, Scheme::Ours(algo, Phases::Two))
+            });
             table.row(&[
                 g.name.to_string(),
                 algo.name().to_string(),

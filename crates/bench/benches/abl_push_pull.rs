@@ -12,7 +12,10 @@ use mspgemm_sparse::semiring::PlusTimesF64;
 use mspgemm_sparse::transpose;
 
 fn main() {
-    banner("Ablation §4.3", "push (MSA) vs pull (Inner) crossover in mask degree");
+    banner(
+        "Ablation §4.3",
+        "push (MSA) vs pull (Inner) crossover in mask degree",
+    );
     let n = 1usize << 13;
     let reps = reps();
     let mut table = Table::new(&["d_input", "d_mask", "push_MSA", "pull_Inner", "winner"]);
@@ -23,16 +26,30 @@ fn main() {
         for d_mask in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
             let mask = er_pattern(n, n, d_mask, 3);
             let (push_s, push_c) = time_best(reps, || {
-                masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, Algorithm::Msa, MaskMode::Mask, Phases::One)
-                    .unwrap()
+                masked_mxm::<PlusTimesF64, ()>(
+                    &mask,
+                    &a,
+                    &b,
+                    Algorithm::Msa,
+                    MaskMode::Mask,
+                    Phases::One,
+                )
+                .unwrap()
             });
             let (pull_s, pull_c) = time_best(reps, || {
                 masked_mxm_with_bt::<PlusTimesF64, ()>(&mask, &a, &bt, MaskMode::Mask, Phases::One)
                     .unwrap()
             });
-            assert_eq!(push_c.pattern(), pull_c.pattern(), "push/pull disagree on pattern");
+            assert_eq!(
+                push_c.pattern(),
+                pull_c.pattern(),
+                "push/pull disagree on pattern"
+            );
             for (x, y) in push_c.values().iter().zip(pull_c.values()) {
-                assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "push/pull values diverge");
+                assert!(
+                    (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                    "push/pull values diverge"
+                );
             }
             table.row(&[
                 d_input.to_string(),

@@ -23,14 +23,21 @@ fn dims_from_env() -> Vec<u32> {
 }
 
 fn main() {
-    banner("Fig 7", "best scheme vs (mask degree × input degree), ER inputs");
+    banner(
+        "Fig 7",
+        "best scheme vs (mask degree × input degree), ER inputs",
+    );
     let dims = dims_from_env();
     let input_degrees = [1usize, 4, 16, 64];
     let mask_degrees = [1usize, 4, 16, 64, 256];
     let algos = Algorithm::ALL;
     let reps = reps();
 
-    let mut headers = vec!["dim".to_string(), "d_input".to_string(), "d_mask".to_string()];
+    let mut headers = vec![
+        "dim".to_string(),
+        "d_input".to_string(),
+        "d_mask".to_string(),
+    ];
     headers.extend(algos.iter().map(|a| a.name().to_string()));
     headers.push("best".to_string());
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

@@ -25,7 +25,8 @@ fn main() {
     for t in scaling_thread_counts() {
         let mut row = vec![t.to_string()];
         for &s in &schemes {
-            let (secs, r) = with_threads(t, || time_best(reps, || tricount::count_prepared(&ops, s)));
+            let (secs, r) =
+                with_threads(t, || time_best(reps, || tricount::count_prepared(&ops, s)));
             row.push(fmt_metric(gflops(r.flops, secs)));
         }
         table.row(&row);

@@ -8,7 +8,10 @@ use mspgemm_harness::runner::ktruss_runs;
 use mspgemm_harness::{default_taus, performance_profile};
 
 fn main() {
-    banner("Fig 12", "k-truss (k=5) performance profiles — our 12 variants");
+    banner(
+        "Fig 12",
+        "k-truss (k=5) performance profiles — our 12 variants",
+    );
     let suite = suite();
     let runs = ktruss_runs(&suite, &Scheme::all_ours(), 5, reps());
     let profile = performance_profile(&runs, &default_taus(1.8, 0.1));

@@ -28,8 +28,7 @@ fn make_work(mask_len: usize, hits: usize, misses: usize) -> RowWork {
     for i in 0..misses {
         products.push((i as Idx % (mask_len as Idx)) * stride + 1);
     }
-    products
-        .sort_unstable_by_key(|&j| j.wrapping_mul(2654435761)); // pseudo-shuffle
+    products.sort_unstable_by_key(|&j| j.wrapping_mul(2654435761)); // pseudo-shuffle
     RowWork { mask, products }
 }
 
@@ -73,8 +72,11 @@ fn bench_accumulators(c: &mut Criterion) {
             // MCA is rank-indexed: precompute each product's mask rank
             // (the row kernel gets this from its merge; here we isolate
             // the accumulator cost).
-            let ranks: Vec<Option<usize>> =
-                w.products.iter().map(|j| w.mask.binary_search(j).ok()).collect();
+            let ranks: Vec<Option<usize>> = w
+                .products
+                .iter()
+                .map(|j| w.mask.binary_search(j).ok())
+                .collect();
             let mut acc: Mca<f64> = Mca::new();
             let mut out_c = vec![0 as Idx; w.mask.len()];
             let mut out_v = vec![0.0f64; w.mask.len()];

@@ -15,39 +15,47 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("masked_mxm_4k_d16");
     group.sample_size(20);
     for algo in Algorithm::ALL {
-        group.bench_with_input(BenchmarkId::new(algo.name(), "1P"), &algo, |bench, &algo| {
-            bench.iter(|| {
-                black_box(
-                    masked_mxm::<PlusTimesF64, ()>(
-                        &mask,
-                        &a,
-                        &b,
-                        algo,
-                        MaskMode::Mask,
-                        Phases::One,
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "1P"),
+            &algo,
+            |bench, &algo| {
+                bench.iter(|| {
+                    black_box(
+                        masked_mxm::<PlusTimesF64, ()>(
+                            &mask,
+                            &a,
+                            &b,
+                            algo,
+                            MaskMode::Mask,
+                            Phases::One,
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            });
-        });
+                });
+            },
+        );
     }
     // Complement variants (MCA excluded per the paper).
     for algo in [Algorithm::Msa, Algorithm::Hash] {
-        group.bench_with_input(BenchmarkId::new(algo.name(), "1P-compl"), &algo, |bench, &algo| {
-            bench.iter(|| {
-                black_box(
-                    masked_mxm::<PlusTimesF64, ()>(
-                        &mask,
-                        &a,
-                        &b,
-                        algo,
-                        MaskMode::Complement,
-                        Phases::One,
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "1P-compl"),
+            &algo,
+            |bench, &algo| {
+                bench.iter(|| {
+                    black_box(
+                        masked_mxm::<PlusTimesF64, ()>(
+                            &mask,
+                            &a,
+                            &b,
+                            algo,
+                            MaskMode::Complement,
+                            Phases::One,
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            });
-        });
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,14 +3,17 @@
 //! Nagasaka et al.'s Table 2 for its 26 SuiteSparse graphs; this prints
 //! the same columns for our synthetic stand-ins).
 
+use masked_spgemm::{Algorithm, Phases};
 use mspgemm_bench::{banner, suite};
 use mspgemm_graph::scheme::Scheme;
 use mspgemm_graph::tricount;
 use mspgemm_harness::report::Table;
-use masked_spgemm::{Algorithm, Phases};
 
 fn main() {
-    banner("Input table", "suite graph properties (cf. Nagasaka Table 2)");
+    banner(
+        "Input table",
+        "suite graph properties (cf. Nagasaka Table 2)",
+    );
     let mut table = Table::new(&[
         "graph",
         "vertices",

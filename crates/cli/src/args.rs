@@ -1,0 +1,119 @@
+//! A small dependency-free argument parser (the build environment has no
+//! crates.io access, so `clap` is not an option — and the surface is
+//! small enough not to need it).
+//!
+//! Grammar: `mxm <command> [--flag value | --switch | positional]...`.
+//! Flags that take values are declared up front; everything else starting
+//! with `--` is a boolean switch; the rest are positionals.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--flag value` pairs.
+    pub flags: HashMap<String, String>,
+    /// Bare `--switch`es.
+    pub switches: HashSet<String>,
+}
+
+impl Parsed {
+    /// The flag's value, if given.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// The flag's value parsed into `T`, or `default` when absent.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v}: {e}")),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+}
+
+/// Parse `args`, treating each name in `value_flags` as a `--flag value`
+/// pair. `--flag=value` is also accepted. `--` ends flag processing.
+pub fn parse(args: &[String], value_flags: &[&str]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = args.iter().peekable();
+    let mut raw_only = false;
+    while let Some(a) = it.next() {
+        if raw_only || !a.starts_with("--") {
+            out.positional.push(a.clone());
+            continue;
+        }
+        if a == "--" {
+            raw_only = true;
+            continue;
+        }
+        let body = &a[2..];
+        if let Some((k, v)) = body.split_once('=') {
+            if !value_flags.contains(&k) {
+                return Err(format!("flag --{k} does not take a value"));
+            }
+            out.flags.insert(k.to_string(), v.to_string());
+        } else if value_flags.contains(&body) {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag --{body} needs a value"))?;
+            out.flags.insert(body.to_string(), v.clone());
+        } else {
+            out.switches.insert(body.to_string());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_switches_positionals() {
+        let p = parse(
+            &sv(&["--algo", "hash", "--verbose", "input.mtx", "--reps=3"]),
+            &["algo", "reps"],
+        )
+        .unwrap();
+        assert_eq!(p.flag("algo"), Some("hash"));
+        assert_eq!(p.flag("reps"), Some("3"));
+        assert!(p.switch("verbose"));
+        assert_eq!(p.positional, vec!["input.mtx"]);
+    }
+
+    #[test]
+    fn flag_parse_with_default() {
+        let p = parse(&sv(&["--reps", "7"]), &["reps"]).unwrap();
+        assert_eq!(p.flag_parse("reps", 2usize).unwrap(), 7);
+        assert_eq!(p.flag_parse("threads", 4usize).unwrap(), 4);
+        let bad = parse(&sv(&["--reps", "x"]), &["reps"]).unwrap();
+        assert!(bad.flag_parse("reps", 2usize).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&sv(&["--algo"]), &["algo"]).is_err());
+        assert!(parse(&sv(&["--oops=3"]), &[]).is_err());
+    }
+
+    #[test]
+    fn double_dash_ends_flags() {
+        let p = parse(&sv(&["--", "--weird-file.mtx"]), &[]).unwrap();
+        assert_eq!(p.positional, vec!["--weird-file.mtx"]);
+    }
+}

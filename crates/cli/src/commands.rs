@@ -1,0 +1,478 @@
+//! The three `mxm` subcommands: `run`, `suite`, `convert`.
+//!
+//! Every command is a plain function over [`Parsed`] arguments returning
+//! `Result<(), String>`, so the test suite drives them without spawning
+//! processes; `main` only maps errors to exit codes.
+
+use crate::args::Parsed;
+use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+use mspgemm_gen::SuiteGraph;
+use mspgemm_graph::scheme::Scheme;
+use mspgemm_graph::{tricount, App};
+use mspgemm_harness::report::{DatasetInfo, SuiteReport, Table};
+use mspgemm_harness::runner::{bc_runs, ktruss_runs, tc_runs};
+use mspgemm_harness::{default_taus, gflops, performance_profile, time_best, with_threads};
+use mspgemm_io::{load_matrix, load_matrix_cached, save_matrix, CachePolicy, DatasetSource};
+use mspgemm_sparse::semiring::PlusTimesF64;
+use std::io::Write;
+
+/// Parse a scheme label (`msa-1p`, `Hash-2P`, `ss:saxpy`, ...) as the
+/// suite's `--schemes` filter spells it.
+pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    let lc = s.to_ascii_lowercase();
+    match lc.as_str() {
+        "ss:saxpy" | "saxpy" => return Ok(Scheme::SsSaxpy),
+        "ss:dot" | "ssdot" => return Ok(Scheme::SsDot),
+        _ => {}
+    }
+    // A bare algorithm name (including dashed aliases like `heap-dot`)
+    // defaults to one phase; otherwise the suffix after the last '-' is
+    // the phase spelling (`msa-2p`, `heap-dot-1p`).
+    if let Ok(algo) = lc.parse::<Algorithm>() {
+        return Ok(Scheme::Ours(algo, Phases::One));
+    }
+    let (algo_part, phase_part) = lc
+        .rsplit_once('-')
+        .ok_or_else(|| format!("unknown scheme '{s}'"))?;
+    let algo: Algorithm = algo_part.parse()?;
+    let phases: Phases = phase_part.parse()?;
+    Ok(Scheme::Ours(algo, phases))
+}
+
+fn cache_policy(p: &Parsed) -> CachePolicy {
+    if p.switch("no-cache") {
+        CachePolicy::Off
+    } else {
+        CachePolicy::ReadWrite
+    }
+}
+
+/// `mxm run`: one masked product `C = M ⊙ (A·A)` (or `¬M ⊙ (A·A)`) where
+/// `M` is the pattern of `A` — the paper's single-input experiment shape.
+pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
+    let path = p
+        .positional
+        .first()
+        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--threads N] [--reps R] <matrix.mtx|.msb>")?;
+    let algo: Algorithm = p.flag("algo").unwrap_or("auto").parse()?;
+    let mode: MaskMode = p.flag("mask").unwrap_or("normal").parse()?;
+    let phases: Phases = p.flag("phases").unwrap_or("1").parse()?;
+    let threads = p.flag_parse("threads", 0usize)?;
+    let reps = p.flag_parse("reps", 3usize)?.max(1);
+
+    let (a, outcome) = load_matrix_cached(path, cache_policy(p)).map_err(|e| e.to_string())?;
+    if a.nrows() != a.ncols() {
+        return Err(format!(
+            "mxm run squares its input (C = M ⊙ A·A); {path} is {}x{}",
+            a.nrows(),
+            a.ncols()
+        ));
+    }
+    writeln!(out, "matrix   : {path} ({:?})", outcome).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "shape    : {}x{}, nnz {}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    )
+    .map_err(|e| e.to_string())?;
+    let mask = a.pattern();
+    let flops = 2 * a.flops_with(&a);
+
+    let work = || {
+        let (secs, c) = time_best(reps, || {
+            masked_mxm::<PlusTimesF64, ()>(&mask, &a, &a, algo, mode, phases)
+        });
+        (secs, c)
+    };
+    let (secs, c) = if threads > 0 {
+        with_threads(threads, work)
+    } else {
+        work()
+    };
+    let c = c.map_err(|e| e.to_string())?;
+
+    writeln!(
+        out,
+        "scheme   : {} / {:?} / {:?}{}",
+        algo.name(),
+        mode,
+        phases,
+        if threads > 0 {
+            format!(" / {threads} threads")
+        } else {
+            String::new()
+        }
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "output   : nnz {}", c.nnz()).map_err(|e| e.to_string())?;
+    writeln!(out, "time     : {:.6} s (best of {reps})", secs).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "gflops   : {:.3} (unmasked-product convention)",
+        gflops(flops, secs)
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn scheme_list(p: &Parsed, app: App) -> Result<Vec<Scheme>, String> {
+    if let Some(filter) = p.flag("schemes") {
+        return filter.split(',').map(|s| parse_scheme(s.trim())).collect();
+    }
+    let mut schemes = if app.needs_complement() {
+        Scheme::all_ours_complement()
+    } else {
+        Scheme::all_ours()
+    };
+    if !p.switch("no-baselines") {
+        schemes.push(Scheme::SsSaxpy);
+        schemes.push(Scheme::SsDot);
+    }
+    Ok(schemes)
+}
+
+/// `mxm suite`: sweep an application over datasets × schemes, print the
+/// per-case table and the Dolan-Moré profile, optionally write JSON.
+pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
+    let app: App = p.flag("app").unwrap_or("tc").parse()?;
+    let source = DatasetSource::parse(p.flag("source").unwrap_or("synthetic"));
+    let reps = p.flag_parse("reps", 1usize)?.max(1);
+    let threads = p.flag_parse("threads", 0usize)?;
+    let k = p.flag_parse("k", 4usize)?;
+    let batch = p.flag_parse("batch", 16usize)?;
+    let tau_max = p.flag_parse("tau-max", 2.4f64)?;
+
+    let graphs = source.load(cache_policy(p)).map_err(|e| e.to_string())?;
+    let schemes = scheme_list(p, app)?;
+    writeln!(
+        out,
+        "== mxm suite: app={} datasets={} schemes={} reps={reps} ==",
+        app.name(),
+        graphs.len(),
+        schemes.len()
+    )
+    .map_err(|e| e.to_string())?;
+
+    let sweep = || match app {
+        App::Tc => tc_runs(&graphs, &schemes, reps),
+        App::Ktruss => ktruss_runs(&graphs, &schemes, k, reps),
+        App::Bc => bc_runs(&graphs, &schemes, batch, reps),
+    };
+    let runs = if threads > 0 {
+        with_threads(threads, sweep)
+    } else {
+        sweep()
+    };
+
+    // Per-case seconds table: dataset rows × scheme columns.
+    let mut headers: Vec<&str> = vec!["dataset", "n", "nnz"];
+    let names: Vec<String> = runs.iter().map(|r| r.name.clone()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(&headers);
+    for (gi, g) in graphs.iter().enumerate() {
+        let mut row = vec![
+            g.name.clone(),
+            g.adj.nrows().to_string(),
+            g.adj.nnz().to_string(),
+        ];
+        for r in &runs {
+            row.push(match r.seconds[gi] {
+                Some(s) => format!("{s:.6}"),
+                None => "-".into(),
+            });
+        }
+        table.row(&row);
+    }
+    writeln!(out, "\n{}", table.to_text()).map_err(|e| e.to_string())?;
+
+    // The paper's comparison device.
+    let profile = performance_profile(&runs, &default_taus(tau_max, 0.2));
+    let mut ptable = Table::new(
+        &std::iter::once("tau")
+            .chain(names.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for (ti, tau) in profile.taus.iter().enumerate() {
+        let mut row = vec![format!("{tau:.1}")];
+        for (_, fr) in &profile.curves {
+            row.push(format!("{:.2}", fr[ti]));
+        }
+        ptable.row(&row);
+    }
+    writeln!(
+        out,
+        "performance profile (fraction of cases within tau of best):\n{}",
+        ptable.to_text()
+    )
+    .map_err(|e| e.to_string())?;
+
+    if let Some(json_path) = p.flag("json") {
+        let report = suite_report(app, &graphs, &runs, reps, threads, k, batch);
+        std::fs::write(json_path, report.to_json())
+            .map_err(|e| format!("writing {json_path}: {e}"))?;
+        writeln!(out, "json report: {json_path}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn suite_report(
+    app: App,
+    graphs: &[SuiteGraph],
+    runs: &[mspgemm_harness::SchemeRuns],
+    reps: usize,
+    threads: usize,
+    k: usize,
+    batch: usize,
+) -> SuiteReport {
+    let mut params = vec![("reps".to_string(), reps.to_string())];
+    if threads > 0 {
+        params.push(("threads".into(), threads.to_string()));
+    }
+    match app {
+        App::Ktruss => params.push(("k".into(), k.to_string())),
+        App::Bc => params.push(("batch".into(), batch.to_string())),
+        App::Tc => {}
+    }
+    SuiteReport {
+        app: app.name().to_string(),
+        params,
+        datasets: graphs
+            .iter()
+            .map(|g| DatasetInfo {
+                name: g.name.clone(),
+                nrows: g.adj.nrows(),
+                nnz: g.adj.nnz(),
+            })
+            .collect(),
+        runs: runs.to_vec(),
+    }
+}
+
+/// `mxm convert`: read one matrix, write it in the format the output
+/// extension names (`.mtx` ↔ `.msb`).
+pub fn cmd_convert(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
+    let [src, dst] = p.positional.as_slice() else {
+        return Err("usage: mxm convert <in.mtx|.msb> <out.mtx|.msb>".into());
+    };
+    let a = load_matrix(src).map_err(|e| format!("{src}: {e}"))?;
+    save_matrix(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
+    writeln!(
+        out,
+        "{src} -> {dst}: {}x{}, nnz {}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// One-shot verification run used by `mxm check` (and the CI smoke test):
+/// counts triangles on a small generated graph with two schemes and
+/// cross-checks them.
+pub fn cmd_check(out: &mut impl Write) -> Result<(), String> {
+    let g = mspgemm_gen::er_symmetric(500, 8, 42);
+    let a = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Msa, Phases::One));
+    let b = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Hash, Phases::Two));
+    if a.triangles != b.triangles {
+        return Err(format!(
+            "self-check failed: MSA {} vs Hash {}",
+            a.triangles, b.triangles
+        ));
+    }
+    writeln!(
+        out,
+        "self-check ok: {} triangles, schemes agree",
+        a.triangles
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::path::PathBuf;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mxm_cli_{tag}"));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_small_graph(path: &std::path::Path) {
+        let g = mspgemm_gen::er_symmetric(60, 6, 7);
+        mspgemm_io::mtx::write_mtx_file(path, &g).unwrap();
+    }
+
+    #[test]
+    fn parse_scheme_labels() {
+        assert_eq!(
+            parse_scheme("msa-1p").unwrap(),
+            Scheme::Ours(Algorithm::Msa, Phases::One)
+        );
+        assert_eq!(
+            parse_scheme("HeapDot-2P").unwrap(),
+            Scheme::Ours(Algorithm::HeapDot, Phases::Two)
+        );
+        assert_eq!(
+            parse_scheme("hash").unwrap(),
+            Scheme::Ours(Algorithm::Hash, Phases::One)
+        );
+        assert_eq!(parse_scheme("ss:saxpy").unwrap(), Scheme::SsSaxpy);
+        assert!(parse_scheme("nope-3p").is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let dir = tempdir("run");
+        let mtx = dir.join("g.mtx");
+        write_small_graph(&mtx);
+        let p = parse(
+            &sv(&[
+                "--algo",
+                "hash",
+                "--mask",
+                "complement",
+                "--phases",
+                "2",
+                "--reps",
+                "1",
+                mtx.to_str().unwrap(),
+            ]),
+            &["algo", "mask", "phases", "threads", "reps"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_run(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Hash"), "{text}");
+        assert!(text.contains("gflops"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_mca_complement() {
+        let dir = tempdir("run_mca");
+        let mtx = dir.join("g.mtx");
+        write_small_graph(&mtx);
+        let p = parse(
+            &sv(&[
+                "--algo",
+                "mca",
+                "--mask",
+                "complement",
+                mtx.to_str().unwrap(),
+            ]),
+            &["algo", "mask", "phases", "threads", "reps"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let err = cmd_run(&p, &mut out).unwrap_err();
+        assert!(err.contains("complemented"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_command_on_directory_with_json() {
+        let dir = tempdir("suite");
+        write_small_graph(&dir.join("g1.mtx"));
+        write_small_graph(&dir.join("g2.mtx"));
+        let json = dir.join("report.json");
+        let p = parse(
+            &sv(&[
+                "--app",
+                "tc",
+                "--source",
+                dir.to_str().unwrap(),
+                "--schemes",
+                "msa-1p,hash-2p",
+                "--json",
+                json.to_str().unwrap(),
+            ]),
+            &[
+                "app", "source", "schemes", "json", "reps", "threads", "k", "batch", "tau-max",
+            ],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_suite(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("g1") && text.contains("g2"), "{text}");
+        assert!(text.contains("performance profile"), "{text}");
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.contains("\"app\": \"tc\""));
+        assert!(j.contains("MSA-1P"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_bc_filters_complement() {
+        let dir = tempdir("suite_bc");
+        write_small_graph(&dir.join("g.mtx"));
+        let p = parse(
+            &sv(&[
+                "--app",
+                "bc",
+                "--source",
+                dir.to_str().unwrap(),
+                "--schemes",
+                "msa-1p",
+                "--batch",
+                "4",
+            ]),
+            &[
+                "app", "source", "schemes", "json", "reps", "threads", "k", "batch", "tau-max",
+            ],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_suite(&p, &mut out).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_roundtrips_both_ways() {
+        let dir = tempdir("convert");
+        let mtx = dir.join("g.mtx");
+        let msb = dir.join("g_cache.msb");
+        let back = dir.join("g_back.mtx");
+        write_small_graph(&mtx);
+        let flags: &[&str] = &[];
+
+        let p = parse(&sv(&[mtx.to_str().unwrap(), msb.to_str().unwrap()]), flags).unwrap();
+        let mut out = Vec::new();
+        cmd_convert(&p, &mut out).unwrap();
+
+        let p = parse(&sv(&[msb.to_str().unwrap(), back.to_str().unwrap()]), flags).unwrap();
+        cmd_convert(&p, &mut Vec::new()).unwrap();
+
+        let a = mspgemm_io::load_matrix(&mtx).unwrap();
+        let b = mspgemm_io::load_matrix(&msb).unwrap();
+        let c = mspgemm_io::load_matrix(&back).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_usage_errors() {
+        let p = parse(&sv(&["only_one.mtx"]), &[]).unwrap();
+        assert!(cmd_convert(&p, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn check_command_agrees() {
+        let mut out = Vec::new();
+        cmd_check(&mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("self-check ok"));
+    }
+}

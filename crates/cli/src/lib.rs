@@ -1,0 +1,176 @@
+//! # mspgemm-cli
+//!
+//! Library backing the `mxm` binary — the experiment driver that turns
+//! this workspace from a library into a runnable system:
+//!
+//! * `mxm run` — one masked product on a matrix from disk, any scheme;
+//! * `mxm suite` — the paper's TC / k-truss / BC sweeps over synthetic or
+//!   on-disk datasets, with performance-profile and JSON output;
+//! * `mxm convert` — `.mtx` ↔ `.msb` conversion;
+//! * `mxm check` — generator/kernel self-check (CI smoke test).
+//!
+//! All command logic lives in [`commands`] as testable functions over
+//! parsed arguments; `main` is a thin dispatcher.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// Usage text for `mxm` and `mxm help`.
+pub const USAGE: &str = "\
+mxm — masked sparse matrix-matrix product experiment driver
+
+USAGE:
+    mxm run [--algo msa|hash|mca|heap|heapdot|inner|auto|hybrid]
+            [--mask normal|complement] [--phases 1|2]
+            [--threads N] [--reps R] [--no-cache] <matrix.mtx|.msb>
+        One masked product C = M (.*) A*A with M = pattern(A).
+
+    mxm suite [--app tc|ktruss|bc] [--source synthetic|synthetic-full|DIR|FILE]
+              [--schemes msa-1p,hash-2p,...] [--no-baselines]
+              [--reps R] [--threads N] [--k K] [--batch B]
+              [--tau-max X] [--json out.json] [--no-cache]
+        Sweep an application over datasets x schemes; print the per-case
+        table and Dolan-More profile, optionally write a JSON report.
+
+    mxm convert <in.mtx|.msb> <out.mtx|.msb>
+        Convert between Matrix Market text and the .msb binary cache.
+
+    mxm check
+        Generator/kernel self-check (used by CI).
+
+Matrices load through the .msb sidecar cache: parsing big.mtx writes
+big.msb next to it, and later runs deserialize the binary directly.
+";
+
+/// Value-taking flags per subcommand.
+fn value_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "run" => &["algo", "mask", "phases", "threads", "reps"],
+        "suite" => &[
+            "app", "source", "schemes", "json", "reps", "threads", "k", "batch", "tau-max",
+        ],
+        _ => &[],
+    }
+}
+
+/// Bare switches per subcommand. Anything else is a typo'd flag — reject
+/// it rather than silently running without the intended option.
+fn known_switches(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "run" => &["no-cache"],
+        "suite" => &["no-cache", "no-baselines"],
+        _ => &[],
+    }
+}
+
+/// Positional-argument arity per subcommand (`min..=max`).
+fn positional_arity(cmd: &str) -> std::ops::RangeInclusive<usize> {
+    match cmd {
+        "run" => 1..=1,
+        "convert" => 2..=2,
+        _ => 0..=0,
+    }
+}
+
+/// Dispatch a full argv (without the binary name). Returns an error
+/// message for exit-code-1 failures.
+pub fn dispatch(argv: &[String], out: &mut impl Write) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &argv[1..];
+    let parsed = args::parse(rest, value_flags(cmd))?;
+    if matches!(cmd.as_str(), "run" | "suite" | "convert" | "check") {
+        for s in &parsed.switches {
+            if !known_switches(cmd).contains(&s.as_str()) {
+                return Err(format!(
+                    "unknown flag --{s} for `mxm {cmd}` (see `mxm help`)"
+                ));
+            }
+        }
+        if !positional_arity(cmd).contains(&parsed.positional.len()) {
+            return Err(format!(
+                "`mxm {cmd}` takes {:?} positional argument(s), got {}: {:?} (see `mxm help`)",
+                positional_arity(cmd),
+                parsed.positional.len(),
+                parsed.positional
+            ));
+        }
+    }
+    match cmd.as_str() {
+        "run" => commands::cmd_run(&parsed, out),
+        "suite" => commands::cmd_suite(&parsed, out),
+        "convert" => commands::cmd_convert(&parsed, out),
+        "check" => commands::cmd_check(out),
+        "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage_as_error() {
+        let e = dispatch(&[], &mut Vec::new()).unwrap_err();
+        assert!(e.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = dispatch(&sv(&["frobnicate"]), &mut Vec::new()).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        let mut out = Vec::new();
+        dispatch(&sv(&["help"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("mxm suite"));
+    }
+
+    #[test]
+    fn check_via_dispatch() {
+        let mut out = Vec::new();
+        dispatch(&sv(&["check"]), &mut out).unwrap();
+    }
+
+    #[test]
+    fn typod_switch_rejected() {
+        // `--json-out` (typo for --json) must not silently run the sweep
+        // without a report.
+        let e = dispatch(
+            &sv(&["suite", "--json-out", "report.json"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown flag --json-out"), "{e}");
+    }
+
+    #[test]
+    fn stray_positionals_rejected() {
+        // `--repz 3` (typo for --reps) turns "3" into a positional; the
+        // unknown switch is caught first.
+        let e = dispatch(&sv(&["run", "--repz", "3", "g.mtx"]), &mut Vec::new()).unwrap_err();
+        assert!(e.contains("unknown flag --repz"), "{e}");
+        // Too many positionals on convert.
+        let e = dispatch(
+            &sv(&["convert", "a.mtx", "b.msb", "c.mtx"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.contains("positional"), "{e}");
+        // Suite takes none.
+        let e = dispatch(&sv(&["suite", "stray.mtx"]), &mut Vec::new()).unwrap_err();
+        assert!(e.contains("positional"), "{e}");
+    }
+}

@@ -1,0 +1,15 @@
+//! `mxm` — the Masked SpGEMM experiment driver. See `mxm help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match mspgemm_cli::dispatch(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

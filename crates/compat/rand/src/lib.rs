@@ -1,0 +1,314 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand).
+//!
+//! The build environment has no crates.io access; this crate provides the
+//! subset of rand 0.8's API the workspace uses — `SeedableRng::
+//! seed_from_u64`, `Rng::gen`, `Rng::gen_range`, `Rng::gen_bool`, and the
+//! `SmallRng` / `StdRng` types — over a SplitMix64 core (Steele et al.,
+//! "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014).
+//!
+//! Streams differ bit-for-bit from the real rand crate's, but every
+//! consumer in this workspace only requires determinism given a seed,
+//! which SplitMix64 provides. Sampling uses multiply-shift range reduction
+//! (Lemire 2019) rather than rejection; the tiny modulo bias is
+//! irrelevant for test-data generation.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly from raw generator output (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types a range can be sampled over.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`; `low < high`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Successor for inclusive-range widening (saturating).
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high - low) as u64;
+                // Multiply-shift range reduction over the full 64-bit draw.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low + hi as $t
+            }
+            #[inline]
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = high.wrapping_sub(low) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+            #[inline]
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f64::sample(rng) * (high - low)
+    }
+    #[inline]
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+/// Argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_range(rng, lo, hi.successor())
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of `T` from its standard distribution
+    /// (`f64`/`f32`: uniform `[0,1)`; integers: uniform over all bits).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range (`a..b` or `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Small fast generator (SplitMix64 core in this shim).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up step decorrelates small consecutive seeds.
+            let mut state = seed;
+            splitmix64(&mut state);
+            SmallRng { state }
+        }
+    }
+
+    /// "Standard" generator. Statistically the same core as [`SmallRng`]
+    /// in this shim, but a distinct stream (domain-separated seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed ^ 0x5851_f42d_4c95_7f2d;
+            splitmix64(&mut state);
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_exclusive_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..10usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let x = r.gen_range(5..6u32);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_signed() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let x = r.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&x));
+            lo_seen |= x == -4;
+            hi_seen |= x == 4;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        // Mean of [0,1) draws ~ 0.5; catches catastrophic generator bugs.
+        let mut r = SmallRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

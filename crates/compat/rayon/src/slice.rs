@@ -1,0 +1,185 @@
+//! Parallel views over slices: `par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`.
+
+use crate::iter::{par_iter_from, ParIter, Source};
+use std::marker::PhantomData;
+
+/// Shared-slice source (`Item = &T`).
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        // SAFETY: caller guarantees i < len.
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Mutable-slice source (`Item = &mut T`). Raw-pointer based: each index is
+/// fetched at most once (the [`Source`] contract), so the exclusive
+/// references handed out never alias.
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: i < len and each index is produced exactly once, so this
+        // exclusive reference is unique.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Shared chunked source (`Item = &[T]`, last chunk may be short).
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// Mutable chunked source (`Item = &mut [T]`).
+pub struct ChunksMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _life: PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send> Source for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: chunks are pairwise disjoint and each is produced once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>>;
+    /// Parallel iterator over `chunk`-sized pieces (last may be short).
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>> {
+        par_iter_from(SliceSource { slice: self })
+    }
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksSource<'_, T>> {
+        assert!(chunk > 0, "par_chunks: chunk size must be non-zero");
+        par_iter_from(ChunksSource { slice: self, chunk })
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>>;
+    /// Parallel iterator over disjoint `chunk`-sized mutable pieces.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<ChunksMutSource<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>> {
+        par_iter_from(SliceMutSource {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _life: PhantomData,
+        })
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<ChunksMutSource<'_, T>> {
+        assert!(chunk > 0, "par_chunks_mut: chunk size must be non-zero");
+        par_iter_from(ChunksMutSource {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk,
+            _life: PhantomData,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::IntoParallelIterator;
+
+    #[test]
+    fn par_iter_reads_all() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_disjoint() {
+        let mut v = vec![0u32; 513];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn par_chunks_sees_every_element_once() {
+        let v: Vec<usize> = (0..1001).collect();
+        let totals: Vec<usize> = v.par_chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(totals.iter().sum::<usize>(), (0..1001).sum::<usize>());
+        assert_eq!(totals.len(), 1001usize.div_ceil(64));
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_matches_layout() {
+        let n = 300;
+        let src: Vec<usize> = (0..n).collect();
+        let mut dst = vec![0usize; n];
+        dst.par_chunks_mut(32)
+            .zip(src.par_chunks(32))
+            .enumerate()
+            .for_each(|(ci, (d, s))| {
+                for (x, &y) in d.iter_mut().zip(s) {
+                    *x = y + ci;
+                }
+            });
+        for (i, &x) in dst.iter().enumerate() {
+            assert_eq!(x, i + i / 32);
+        }
+    }
+
+    #[test]
+    fn ranges_still_work_alongside_slices() {
+        let s: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}

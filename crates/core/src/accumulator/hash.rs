@@ -56,7 +56,9 @@ impl<V: Copy + Default> HashAccum<V> {
     pub fn begin_row(&mut self, expected_keys: usize) {
         // `+ 1` guarantees at least one EMPTY slot even at load factor 1,
         // so probes for absent keys always terminate.
-        let want = (self.capacity_factor * expected_keys.max(1) + 1).next_power_of_two().max(8);
+        let want = (self.capacity_factor * expected_keys.max(1) + 1)
+            .next_power_of_two()
+            .max(8);
         if self.keys.len() < want {
             self.keys.resize(want, EMPTY);
             self.states.resize(want, State::NotAllowed);
@@ -206,7 +208,12 @@ impl<V: Copy + Default> HashAccum<V> {
     /// Normal-mode gather: walk the mask row in column order (stable,
     /// sorted output — same trick as MSA §5.2) and emit SET entries. The
     /// table is wiped by the next `begin_row`.
-    pub fn gather_into(&mut self, mask_cols: &[Idx], out_cols: &mut [Idx], out_vals: &mut [V]) -> usize {
+    pub fn gather_into(
+        &mut self,
+        mask_cols: &[Idx],
+        out_cols: &mut [Idx],
+        out_vals: &mut [V],
+    ) -> usize {
         let mut w = 0;
         for &j in mask_cols {
             let s = self.probe(j);
@@ -260,7 +267,12 @@ impl<V: Copy + Default> Accumulator<V> for HashAccum<V> {
         self.mark_allowed(key);
     }
 
-    fn insert_with(&mut self, key: Idx, value: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) -> bool {
+    fn insert_with(
+        &mut self,
+        key: Idx,
+        value: impl FnOnce() -> V,
+        add: impl FnOnce(V, V) -> V,
+    ) -> bool {
         let s = self.probe(key);
         if self.keys[s] == EMPTY {
             return false;

@@ -141,7 +141,11 @@ mod tests {
     use super::*;
 
     fn cursor(col: Idx) -> Cursor {
-        Cursor { col, a_pos: 0, b_next: 0 }
+        Cursor {
+            col,
+            a_pos: 0,
+            b_next: 0,
+        }
     }
 
     #[test]
@@ -185,7 +189,11 @@ mod tests {
         let mut h = RowHeap::new();
         let rows: [&[Idx]; 2] = [&[1, 4, 7], &[2, 3, 9]];
         for (r, row) in rows.iter().enumerate() {
-            h.push(Cursor { col: row[0], a_pos: r as u32, b_next: 1 });
+            h.push(Cursor {
+                col: row[0],
+                a_pos: r as u32,
+                b_next: 1,
+            });
         }
         let mut merged = Vec::new();
         while let Some(&top) = h.peek() {

@@ -22,7 +22,11 @@ pub struct Mca<V> {
 impl<V: Copy + Default> Mca<V> {
     /// New, empty accumulator; allocation grows to the largest row seen.
     pub fn new() -> Self {
-        Self { states: Vec::new(), values: Vec::new(), len: 0 }
+        Self {
+            states: Vec::new(),
+            values: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Prepare for a row whose mask has `mask_nnz` entries. All slots start
@@ -65,7 +69,12 @@ impl<V: Copy + Default> Mca<V> {
     /// mask order), translating rank → column via `mask_cols`. Resets every
     /// slot to ALLOWED.
     #[allow(clippy::needless_range_loop)] // parallel arrays indexed by rank
-    pub fn gather_into(&mut self, mask_cols: &[Idx], out_cols: &mut [Idx], out_vals: &mut [V]) -> usize {
+    pub fn gather_into(
+        &mut self,
+        mask_cols: &[Idx],
+        out_cols: &mut [Idx],
+        out_vals: &mut [V],
+    ) -> usize {
         debug_assert_eq!(mask_cols.len(), self.len);
         let mut w = 0;
         for idx in 0..self.len {
@@ -103,7 +112,12 @@ impl<V: Copy + Default> Accumulator<V> for Mca<V> {
     /// completeness (no-op).
     fn set_allowed(&mut self, _key: Idx) {}
 
-    fn insert_with(&mut self, key: Idx, value: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) -> bool {
+    fn insert_with(
+        &mut self,
+        key: Idx,
+        value: impl FnOnce() -> V,
+        add: impl FnOnce(V, V) -> V,
+    ) -> bool {
         let idx = key as usize;
         if idx >= self.len {
             return false;

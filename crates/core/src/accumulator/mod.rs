@@ -51,7 +51,12 @@ pub trait Accumulator<V: Copy> {
 
     /// Contribute a product to `key`. Returns `true` if the value was used
     /// (key allowed), `false` if discarded.
-    fn insert_with(&mut self, key: Idx, value: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) -> bool;
+    fn insert_with(
+        &mut self,
+        key: Idx,
+        value: impl FnOnce() -> V,
+        add: impl FnOnce(V, V) -> V,
+    ) -> bool;
 
     /// Extract the accumulated value at `key`, resetting it to `ALLOWED`.
     /// `None` if nothing was inserted (or the key was never allowed).

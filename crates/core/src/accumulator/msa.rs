@@ -111,7 +111,12 @@ impl<V: Copy + Default> Msa<V> {
     /// touched state to NOTALLOWED.
     ///
     /// Returns the number of entries written.
-    pub fn gather_into(&mut self, mask_cols: &[Idx], out_cols: &mut [Idx], out_vals: &mut [V]) -> usize {
+    pub fn gather_into(
+        &mut self,
+        mask_cols: &[Idx],
+        out_cols: &mut [Idx],
+        out_vals: &mut [V],
+    ) -> usize {
         debug_assert_eq!(self.default_state, State::NotAllowed);
         let mut w = 0;
         for &j in mask_cols {
@@ -193,7 +198,12 @@ impl<V: Copy + Default> Accumulator<V> for Msa<V> {
         }
     }
 
-    fn insert_with(&mut self, key: Idx, value: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) -> bool {
+    fn insert_with(
+        &mut self,
+        key: Idx,
+        value: impl FnOnce() -> V,
+        add: impl FnOnce(V, V) -> V,
+    ) -> bool {
         let k = key as usize;
         match self.states[k] {
             State::NotAllowed => false,

@@ -43,7 +43,11 @@ pub struct AdaptiveKernel {
 impl AdaptiveKernel {
     /// Hybrid kernel for non-complemented masks.
     pub fn new() -> Self {
-        Self { msa: MsaKernel { complement: false }, mca: McaKernel, heap: HeapKernel::heap(false) }
+        Self {
+            msa: MsaKernel { complement: false },
+            mca: McaKernel,
+            heap: HeapKernel::heap(false),
+        }
     }
 
     /// Cost-model dispatch for one row (§5's complexities with unit-cost
@@ -90,7 +94,11 @@ impl<S: Semiring> PushKernel<S> for AdaptiveKernel {
     type Ws = AdaptiveWs<S::Out>;
 
     fn make_ws(&self, ncols: usize) -> Self::Ws {
-        AdaptiveWs { msa: Msa::new(ncols), mca: Mca::new(), heap: RowHeap::new() }
+        AdaptiveWs {
+            msa: Msa::new(ncols),
+            mca: Mca::new(),
+            heap: RowHeap::new(),
+        }
     }
 
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
@@ -111,7 +119,9 @@ impl<S: Semiring> PushKernel<S> for AdaptiveKernel {
         match self.pick(&ctx) {
             Pick::Msa => self.msa.row_numeric(&mut ws.msa, ctx, out_cols, out_vals),
             Pick::Mca => self.mca.row_numeric(&mut ws.mca, ctx, out_cols, out_vals),
-            Pick::Heap => PushKernel::<S>::row_numeric(&self.heap, &mut ws.heap, ctx, out_cols, out_vals),
+            Pick::Heap => {
+                PushKernel::<S>::row_numeric(&self.heap, &mut ws.heap, ctx, out_cols, out_vals)
+            }
         }
     }
 }
@@ -124,7 +134,9 @@ mod tests {
     use mspgemm_sparse::Csr;
 
     fn dense(n: usize) -> Csr<i64> {
-        let d: Vec<Vec<Option<i64>>> = (0..n).map(|i| (0..n).map(|j| Some((i + j) as i64 % 5 - 2)).collect()).collect();
+        let d: Vec<Vec<Option<i64>>> = (0..n)
+            .map(|i| (0..n).map(|j| Some((i + j) as i64 % 5 - 2)).collect())
+            .collect();
         Csr::from_dense(&d, n)
     }
 
@@ -136,7 +148,12 @@ mod tests {
         let a_cols: Vec<Idx> = vec![1, 5, 9, 13];
         let a_vals = vec![1i64; 4];
         let mask_cols: &[Idx] = &[3, 40];
-        let ctx = RowCtx::<PlusTimesI64> { mask_cols, a_cols: &a_cols, a_vals: &a_vals, b: &b };
+        let ctx = RowCtx::<PlusTimesI64> {
+            mask_cols,
+            a_cols: &a_cols,
+            a_vals: &a_vals,
+            b: &b,
+        };
         let k = AdaptiveKernel::new();
         assert_eq!(k.pick(&ctx), Pick::Mca);
     }
@@ -166,7 +183,12 @@ mod tests {
         let a_cols: Vec<Idx> = vec![7];
         let a_vals = vec![1i64];
         let mask_cols: Vec<Idx> = (0..8).collect();
-        let ctx = RowCtx::<PlusTimesI64> { mask_cols: &mask_cols, a_cols: &a_cols, a_vals: &a_vals, b: &b };
+        let ctx = RowCtx::<PlusTimesI64> {
+            mask_cols: &mask_cols,
+            a_cols: &a_cols,
+            a_vals: &a_vals,
+            b: &b,
+        };
         let k = AdaptiveKernel::new();
         assert_eq!(k.pick(&ctx), Pick::Heap);
     }
@@ -179,18 +201,28 @@ mod tests {
         let mut md: Vec<Vec<Option<()>>> = vec![vec![None; 40]; 40];
         for (i, row) in md.iter_mut().enumerate() {
             match i % 3 {
-                0 => row[i] = Some(()),                       // tiny mask
+                0 => row[i] = Some(()),                          // tiny mask
                 1 => row.iter_mut().for_each(|c| *c = Some(())), // full
-                _ => {}                                        // empty
+                _ => {}                                          // empty
             }
         }
         let mask = Csr::from_dense(&md, 40);
         for phases in [Phases::One, Phases::Two] {
             let hybrid = run_push::<PlusTimesI64, _, ()>(
-                &mask, &a, &b, false, phases, &AdaptiveKernel::new(),
+                &mask,
+                &a,
+                &b,
+                false,
+                phases,
+                &AdaptiveKernel::new(),
             );
             let msa = run_push::<PlusTimesI64, _, ()>(
-                &mask, &a, &b, false, phases, &MsaKernel { complement: false },
+                &mask,
+                &a,
+                &b,
+                false,
+                phases,
+                &MsaKernel { complement: false },
             );
             assert_eq!(hybrid, msa, "{phases:?}");
         }

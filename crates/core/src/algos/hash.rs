@@ -19,7 +19,10 @@ pub struct HashKernel {
 impl HashKernel {
     /// The paper's configuration (load factor 0.25).
     pub fn new(complement: bool) -> Self {
-        Self { complement, capacity_factor: crate::accumulator::hash::DEFAULT_CAPACITY_FACTOR }
+        Self {
+            complement,
+            capacity_factor: crate::accumulator::hash::DEFAULT_CAPACITY_FACTOR,
+        }
     }
 
     /// Expected distinct keys this row: the mask row size in normal mode;
@@ -28,8 +31,7 @@ impl HashKernel {
         if !self.complement {
             ctx.mask_cols.len()
         } else {
-            let flops: usize =
-                ctx.a_cols.iter().map(|&k| ctx.b.row_nnz(k as usize)).sum();
+            let flops: usize = ctx.a_cols.iter().map(|&k| ctx.b.row_nnz(k as usize)).sum();
             let ncols = ctx.b.ncols();
             ctx.mask_cols.len() + flops.min(ncols - ctx.mask_cols.len())
         }

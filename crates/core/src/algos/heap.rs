@@ -29,12 +29,18 @@ pub struct HeapKernel {
 impl HeapKernel {
     /// The paper's `Heap` scheme (`NInspect = 1`).
     pub fn heap(complement: bool) -> Self {
-        Self { n_inspect: if complement { 0 } else { 1 }, complement }
+        Self {
+            n_inspect: if complement { 0 } else { 1 },
+            complement,
+        }
     }
 
     /// The paper's `HeapDot` scheme (`NInspect = ∞`).
     pub fn heap_dot(complement: bool) -> Self {
-        Self { n_inspect: if complement { 0 } else { INSPECT_FULL }, complement }
+        Self {
+            n_inspect: if complement { 0 } else { INSPECT_FULL },
+            complement,
+        }
     }
 }
 
@@ -55,19 +61,31 @@ fn make_cursor(
         return None;
     }
     if n_inspect == 0 {
-        return Some(Cursor { col: bc[pos], a_pos, b_next: pos as u32 + 1 });
+        return Some(Cursor {
+            col: bc[pos],
+            a_pos,
+            b_next: pos as u32 + 1,
+        });
     }
     let mut to_inspect = n_inspect;
     while pos < bc.len() && mpos < mask.len() {
         if bc[pos] == mask[mpos] {
-            return Some(Cursor { col: bc[pos], a_pos, b_next: pos as u32 + 1 });
+            return Some(Cursor {
+                col: bc[pos],
+                a_pos,
+                b_next: pos as u32 + 1,
+            });
         } else if bc[pos] < mask[mpos] {
             pos += 1;
         } else {
             mpos += 1;
             to_inspect -= 1;
             if to_inspect == 0 {
-                return Some(Cursor { col: bc[pos], a_pos, b_next: pos as u32 + 1 });
+                return Some(Cursor {
+                    col: bc[pos],
+                    a_pos,
+                    b_next: pos as u32 + 1,
+                });
             }
         }
     }
@@ -113,7 +131,14 @@ impl HeapKernel {
             }
             let k = ctx.a_cols[top.a_pos as usize] as usize;
             let bc = ctx.b.row_cols(k);
-            match make_cursor(bc, top.a_pos, top.b_next as usize, mask, mpos, self.n_inspect) {
+            match make_cursor(
+                bc,
+                top.a_pos,
+                top.b_next as usize,
+                mask,
+                mpos,
+                self.n_inspect,
+            ) {
                 Some(c) => heap.replace_top(c),
                 None => heap.pop_top(),
             }

@@ -118,12 +118,19 @@ where
     M: Send + Sync,
 {
     // Candidate columns: nonempty rows of Bᵀ (computed once).
-    let nonempty: Vec<Idx> =
-        (0..bt.nrows()).filter(|&j| bt.row_nnz(j) > 0).map(|j| j as Idx).collect();
+    let nonempty: Vec<Idx> = (0..bt.nrows())
+        .filter(|&j| bt.row_nnz(j) > 0)
+        .map(|j| j as Idx)
+        .collect();
     let candidates = |i: usize| {
         // nonempty \ mask_row, both sorted: merge-subtract.
         let mc = mask.row_cols(i);
-        NonMask { cand: &nonempty, mask: mc, x: 0, y: 0 }
+        NonMask {
+            cand: &nonempty,
+            mask: mc,
+            x: 0,
+            y: 0,
+        }
     };
     Csr::from_row_fill(
         mask.nrows(),
@@ -216,7 +223,13 @@ mod tests {
     fn nonmask_iterator_subtracts() {
         let cand: &[Idx] = &[0, 2, 4, 6, 8];
         let mask: &[Idx] = &[2, 3, 8];
-        let got: Vec<Idx> = NonMask { cand, mask, x: 0, y: 0 }.collect();
+        let got: Vec<Idx> = NonMask {
+            cand,
+            mask,
+            x: 0,
+            y: 0,
+        }
+        .collect();
         assert_eq!(got, vec![0, 4, 6]);
     }
 }

@@ -43,25 +43,37 @@ pub fn spgemm<S: Semiring>(a: &Csr<S::Left>, b: &Csr<S::Right>) -> Csr<S::Out> {
     {
         let cw = UnsafeSlice::new(&mut tmp_cols);
         let vw = UnsafeSlice::new(&mut tmp_vals);
-        sizes.par_iter_mut().enumerate().with_min_len(16).for_each_init(
-            || Spa::<S::Out>::new(ncols),
-            |spa, (i, size)| {
-                spa.clear();
-                let (ac, av) = a.row(i);
-                for (&k, &avv) in ac.iter().zip(av) {
-                    let (bc, bv) = b.row(k as usize);
-                    for (&j, &bvv) in bc.iter().zip(bv) {
-                        spa.accumulate::<S>(j, S::mul(avv, bvv));
+        sizes
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(16)
+            .for_each_init(
+                || Spa::<S::Out>::new(ncols),
+                |spa, (i, size)| {
+                    spa.clear();
+                    let (ac, av) = a.row(i);
+                    for (&k, &avv) in ac.iter().zip(av) {
+                        let (bc, bv) = b.row(k as usize);
+                        for (&j, &bvv) in bc.iter().zip(bv) {
+                            spa.accumulate::<S>(j, S::mul(avv, bvv));
+                        }
                     }
-                }
-                // SAFETY: prefix-sum ranges are disjoint.
-                let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
-                let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
-                *size = spa.gather_sorted(oc, ov);
-            },
-        );
+                    // SAFETY: prefix-sum ranges are disjoint.
+                    let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
+                    let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
+                    *size = spa.gather_sorted(oc, ov);
+                },
+            );
     }
-    Csr::compact(nrows, ncols, &offsets, &sizes, tmp_cols, tmp_vals, S::Out::default())
+    Csr::compact(
+        nrows,
+        ncols,
+        &offsets,
+        &sizes,
+        tmp_cols,
+        tmp_vals,
+        S::Out::default(),
+    )
 }
 
 /// The Fig 1 strawman: full product, then apply the mask.
@@ -97,7 +109,11 @@ where
     S: Semiring,
     M: Send + Sync,
 {
-    assert_eq!(a.ncols(), b.nrows(), "ss_saxpy_like: inner dimensions differ");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "ss_saxpy_like: inner dimensions differ"
+    );
     assert_eq!(mask.nrows(), a.nrows(), "ss_saxpy_like: mask rows");
     assert_eq!(mask.ncols(), b.ncols(), "ss_saxpy_like: mask cols");
     let nrows = a.nrows();
@@ -107,8 +123,7 @@ where
         .into_par_iter()
         .map(|i| {
             if complement {
-                let flops: usize =
-                    a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
+                let flops: usize = a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
                 flops.min(ncols - mask.row_nnz(i))
             } else {
                 mask.row_nnz(i)
@@ -122,29 +137,41 @@ where
     {
         let cw = UnsafeSlice::new(&mut tmp_cols);
         let vw = UnsafeSlice::new(&mut tmp_vals);
-        sizes.par_iter_mut().enumerate().with_min_len(16).for_each_init(
-            || Spa::<S::Out>::new(ncols),
-            |spa, (i, size)| {
-                spa.clear();
-                let (ac, av) = a.row(i);
-                // Accumulate with no mask awareness (the defining trait).
-                for (&k, &avv) in ac.iter().zip(av) {
-                    let (bc, bv) = b.row(k as usize);
-                    for (&j, &bvv) in bc.iter().zip(bv) {
-                        spa.accumulate::<S>(j, S::mul(avv, bvv));
+        sizes
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(16)
+            .for_each_init(
+                || Spa::<S::Out>::new(ncols),
+                |spa, (i, size)| {
+                    spa.clear();
+                    let (ac, av) = a.row(i);
+                    // Accumulate with no mask awareness (the defining trait).
+                    for (&k, &avv) in ac.iter().zip(av) {
+                        let (bc, bv) = b.row(k as usize);
+                        for (&j, &bvv) in bc.iter().zip(bv) {
+                            spa.accumulate::<S>(j, S::mul(avv, bvv));
+                        }
                     }
-                }
-                let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
-                let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
-                *size = if complement {
-                    spa.gather_sorted_excluding(mask.row_cols(i), oc, ov)
-                } else {
-                    spa.gather_mask_order(mask.row_cols(i), oc, ov)
-                };
-            },
-        );
+                    let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
+                    let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
+                    *size = if complement {
+                        spa.gather_sorted_excluding(mask.row_cols(i), oc, ov)
+                    } else {
+                        spa.gather_mask_order(mask.row_cols(i), oc, ov)
+                    };
+                },
+            );
     }
-    Csr::compact(nrows, ncols, &offsets, &sizes, tmp_cols, tmp_vals, S::Out::default())
+    Csr::compact(
+        nrows,
+        ncols,
+        &offsets,
+        &sizes,
+        tmp_cols,
+        tmp_vals,
+        S::Out::default(),
+    )
 }
 
 /// Dot-product baseline with a per-call transpose of `B`, charging the
@@ -180,7 +207,11 @@ struct Spa<V> {
 
 impl<V: Copy + Default> Spa<V> {
     fn new(ncols: usize) -> Self {
-        Self { occupied: vec![false; ncols], values: vec![V::default(); ncols], touched: Vec::new() }
+        Self {
+            occupied: vec![false; ncols],
+            values: vec![V::default(); ncols],
+            touched: Vec::new(),
+        }
     }
 
     fn clear(&mut self) {
@@ -213,7 +244,12 @@ impl<V: Copy + Default> Spa<V> {
     }
 
     /// Emit entries present in the (sorted) mask row, in mask order.
-    fn gather_mask_order(&mut self, mask_cols: &[Idx], out_cols: &mut [Idx], out_vals: &mut [V]) -> usize {
+    fn gather_mask_order(
+        &mut self,
+        mask_cols: &[Idx],
+        out_cols: &mut [Idx],
+        out_vals: &mut [V],
+    ) -> usize {
         let mut w = 0usize;
         for &j in mask_cols {
             if self.occupied[j as usize] {
@@ -329,7 +365,11 @@ mod tests {
     #[test]
     fn ss_dot_matches_then_mask() {
         let a = mat(
-            &[&[Some(2), None, Some(1)], &[Some(1), Some(1), None], &[None, Some(3), Some(1)]],
+            &[
+                &[Some(2), None, Some(1)],
+                &[Some(1), Some(1), None],
+                &[None, Some(3), Some(1)],
+            ],
             3,
         );
         let m = a.pattern();
@@ -343,6 +383,9 @@ mod tests {
         let e = Csr::<i64>::empty(3, 3);
         let m = Csr::<()>::empty(3, 3);
         assert_eq!(spgemm::<PlusTimesI64>(&e, &e).nnz(), 0);
-        assert_eq!(ss_saxpy_like::<PlusTimesI64, ()>(&m, &e, &e, MaskMode::Mask).nnz(), 0);
+        assert_eq!(
+            ss_saxpy_like::<PlusTimesI64, ()>(&m, &e, &e, MaskMode::Mask).nnz(),
+            0
+        );
     }
 }

@@ -78,6 +78,28 @@ impl Algorithm {
     ];
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parse a scheme name as the CLI spells it (case-insensitive):
+    /// `msa`, `hash`, `mca`, `heap`, `heapdot`, `inner`, `auto`, `hybrid`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "msa" => Ok(Algorithm::Msa),
+            "hash" => Ok(Algorithm::Hash),
+            "mca" => Ok(Algorithm::Mca),
+            "heap" => Ok(Algorithm::Heap),
+            "heapdot" | "heap-dot" => Ok(Algorithm::HeapDot),
+            "inner" | "dot" => Ok(Algorithm::Inner),
+            "auto" => Ok(Algorithm::Auto),
+            "hybrid" | "adaptive" => Ok(Algorithm::Hybrid),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected msa|hash|mca|heap|heapdot|inner|auto|hybrid)"
+            )),
+        }
+    }
+}
+
 /// Structural mask interpretation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MaskMode {
@@ -85,6 +107,22 @@ pub enum MaskMode {
     Mask,
     /// `C = ¬M ⊙ (A·B)` — keep coordinates absent from the mask.
     Complement,
+}
+
+impl std::str::FromStr for MaskMode {
+    type Err = String;
+
+    /// Parse a mask mode (case-insensitive): `normal`/`mask` or
+    /// `complement`/`c`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "normal" | "mask" | "m" => Ok(MaskMode::Mask),
+            "complement" | "complemented" | "c" => Ok(MaskMode::Complement),
+            other => Err(format!(
+                "unknown mask mode '{other}' (expected normal|complement)"
+            )),
+        }
+    }
 }
 
 /// Errors reported by the dispatcher.
@@ -169,13 +207,29 @@ where
         other => other,
     };
     Ok(match algo {
-        Algorithm::Msa => run_push::<S, _, M>(mask, a, b, complement, phases, &MsaKernel { complement }),
-        Algorithm::Hash => run_push::<S, _, M>(mask, a, b, complement, phases, &HashKernel::new(complement)),
-        Algorithm::Mca => run_push::<S, _, M>(mask, a, b, complement, phases, &McaKernel),
-        Algorithm::Heap => run_push::<S, _, M>(mask, a, b, complement, phases, &HeapKernel::heap(complement)),
-        Algorithm::HeapDot => {
-            run_push::<S, _, M>(mask, a, b, complement, phases, &HeapKernel::heap_dot(complement))
+        Algorithm::Msa => {
+            run_push::<S, _, M>(mask, a, b, complement, phases, &MsaKernel { complement })
         }
+        Algorithm::Hash => {
+            run_push::<S, _, M>(mask, a, b, complement, phases, &HashKernel::new(complement))
+        }
+        Algorithm::Mca => run_push::<S, _, M>(mask, a, b, complement, phases, &McaKernel),
+        Algorithm::Heap => run_push::<S, _, M>(
+            mask,
+            a,
+            b,
+            complement,
+            phases,
+            &HeapKernel::heap(complement),
+        ),
+        Algorithm::HeapDot => run_push::<S, _, M>(
+            mask,
+            a,
+            b,
+            complement,
+            phases,
+            &HeapKernel::heap_dot(complement),
+        ),
         Algorithm::Inner => {
             let bt = transpose(b);
             if complement {
@@ -260,7 +314,11 @@ pub(crate) fn auto_select<M, L, R>(
     /// Matrices narrower than this keep a dense MSA row resident in cache.
     const MSA_WIDTH_LIMIT: usize = 1 << 16;
     if complement {
-        return if b.ncols() <= MSA_WIDTH_LIMIT { Algorithm::Msa } else { Algorithm::Hash };
+        return if b.ncols() <= MSA_WIDTH_LIMIT {
+            Algorithm::Msa
+        } else {
+            Algorithm::Hash
+        };
     }
     if dm * 8.0 <= d_in {
         Algorithm::Inner
@@ -288,12 +346,20 @@ mod tests {
         let a = dense(3, 1);
         let b = dense(4, 1);
         let m = dense(3, 1).pattern();
-        let r = masked_mxm::<PlusTimesI64, ()>(&m, &a, &b, Algorithm::Msa, MaskMode::Mask, Phases::One);
+        let r =
+            masked_mxm::<PlusTimesI64, ()>(&m, &a, &b, Algorithm::Msa, MaskMode::Mask, Phases::One);
         assert!(matches!(r, Err(Error::DimensionMismatch(_))));
 
         let b3 = dense(3, 1);
         let m_wrong = Csr::<()>::empty(2, 3);
-        let r = masked_mxm::<PlusTimesI64, ()>(&m_wrong, &a, &b3, Algorithm::Msa, MaskMode::Mask, Phases::One);
+        let r = masked_mxm::<PlusTimesI64, ()>(
+            &m_wrong,
+            &a,
+            &b3,
+            Algorithm::Msa,
+            MaskMode::Mask,
+            Phases::One,
+        );
         assert!(matches!(r, Err(Error::DimensionMismatch(_))));
     }
 
@@ -301,8 +367,18 @@ mod tests {
     fn mca_complement_rejected() {
         let a = dense(3, 1);
         let m = a.pattern();
-        let r = masked_mxm::<PlusTimesI64, ()>(&m, &a, &a, Algorithm::Mca, MaskMode::Complement, Phases::One);
-        assert_eq!(r.unwrap_err(), Error::Unsupported("MCA does not support complemented masks (paper §8.4)"));
+        let r = masked_mxm::<PlusTimesI64, ()>(
+            &m,
+            &a,
+            &a,
+            Algorithm::Mca,
+            MaskMode::Complement,
+            Phases::One,
+        );
+        assert_eq!(
+            r.unwrap_err(),
+            Error::Unsupported("MCA does not support complemented masks (paper §8.4)")
+        );
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub enum Phases {
     Two,
 }
 
+impl std::str::FromStr for Phases {
+    type Err = String;
+
+    /// Parse a phase strategy as the CLI spells it: `1`/`one`/`1p` or
+    /// `2`/`two`/`2p` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "1" | "one" | "1p" => Ok(Phases::One),
+            "2" | "two" | "2p" => Ok(Phases::Two),
+            other => Err(format!("unknown phase strategy '{other}' (expected 1|2)")),
+        }
+    }
+}
+
 /// Everything a kernel needs to produce one output row.
 pub struct RowCtx<'a, S: Semiring> {
     /// Sorted mask columns of this row.
@@ -83,14 +97,16 @@ pub(crate) fn one_phase_bounds<S: Semiring, M: Send + Sync>(
     complement: bool,
 ) -> Vec<usize> {
     if !complement {
-        (0..mask.nrows()).into_par_iter().map(|i| mask.row_nnz(i)).collect()
+        (0..mask.nrows())
+            .into_par_iter()
+            .map(|i| mask.row_nnz(i))
+            .collect()
     } else {
         let ncols = b.ncols();
         (0..mask.nrows())
             .into_par_iter()
             .map(|i| {
-                let flops: usize =
-                    a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
+                let flops: usize = a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
                 flops.min(ncols - mask.row_nnz(i))
             })
             .collect()
@@ -161,7 +177,15 @@ where
                 },
             );
     }
-    Csr::compact(nrows, ncols, &offsets, &sizes, tmp_cols, tmp_vals, S::Out::default())
+    Csr::compact(
+        nrows,
+        ncols,
+        &offsets,
+        &sizes,
+        tmp_cols,
+        tmp_vals,
+        S::Out::default(),
+    )
 }
 
 fn run_two_phase<S, K, M>(
@@ -202,26 +226,29 @@ where
     {
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);
-        (0..nrows).into_par_iter().with_min_len(MIN_SPLIT).for_each_init(
-            || kernel.make_ws(ncols),
-            |ws, i| {
-                let ctx = RowCtx::<S> {
-                    mask_cols: mask.row_cols(i),
-                    a_cols: a.row_cols(i),
-                    a_vals: a.row_vals(i),
-                    b,
-                };
-                let len = sizes[i];
-                // SAFETY: rowptr ranges are disjoint.
-                let oc = unsafe { cw.slice_mut(rowptr[i], len) };
-                let ov = unsafe { vw.slice_mut(rowptr[i], len) };
-                let n = kernel.row_numeric(ws, ctx, oc, ov);
-                debug_assert_eq!(
-                    n, len,
-                    "row {i}: symbolic phase predicted {len} entries, numeric produced {n}"
-                );
-            },
-        );
+        (0..nrows)
+            .into_par_iter()
+            .with_min_len(MIN_SPLIT)
+            .for_each_init(
+                || kernel.make_ws(ncols),
+                |ws, i| {
+                    let ctx = RowCtx::<S> {
+                        mask_cols: mask.row_cols(i),
+                        a_cols: a.row_cols(i),
+                        a_vals: a.row_vals(i),
+                        b,
+                    };
+                    let len = sizes[i];
+                    // SAFETY: rowptr ranges are disjoint.
+                    let oc = unsafe { cw.slice_mut(rowptr[i], len) };
+                    let ov = unsafe { vw.slice_mut(rowptr[i], len) };
+                    let n = kernel.row_numeric(ws, ctx, oc, ov);
+                    debug_assert_eq!(
+                        n, len,
+                        "row {i}: symbolic phase predicted {len} entries, numeric produced {n}"
+                    );
+                },
+            );
     }
     Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
 }

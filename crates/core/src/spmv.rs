@@ -27,8 +27,11 @@ where
 {
     assert_eq!(u.len(), b.nrows(), "u length must match B rows");
     assert_eq!(mask.len(), b.ncols(), "mask length must match B cols");
-    let mut acc: Msa<S::Out> =
-        if complement { Msa::new_complement(b.ncols()) } else { Msa::new(b.ncols()) };
+    let mut acc: Msa<S::Out> = if complement {
+        Msa::new_complement(b.ncols())
+    } else {
+        Msa::new(b.ncols())
+    };
     acc.begin_row();
     acc.load_mask(mask.indices());
     for (k, &uv) in u.iter() {
@@ -67,15 +70,21 @@ pub fn masked_spmv_pull<S, M>(
 where
     S: Semiring,
 {
-    assert_eq!(u.len(), bt.ncols(), "u length must match B rows (= Bᵀ cols)");
-    assert_eq!(mask.len(), bt.nrows(), "mask length must match B cols (= Bᵀ rows)");
+    assert_eq!(
+        u.len(),
+        bt.ncols(),
+        "u length must match B rows (= Bᵀ cols)"
+    );
+    assert_eq!(
+        mask.len(),
+        bt.nrows(),
+        "mask length must match B cols (= Bᵀ rows)"
+    );
     let mut idx = Vec::new();
     let mut vals = Vec::new();
     let mut try_col = |j: Idx| {
         let (bc, bv) = bt.row(j as usize);
-        if let Some(v) =
-            crate::algos::inner::sparse_dot::<S>(u.indices(), u.values(), bc, bv)
-        {
+        if let Some(v) = crate::algos::inner::sparse_dot::<S>(u.indices(), u.values(), bc, bv) {
             idx.push(j);
             vals.push(v);
         }
@@ -117,8 +126,11 @@ where
     S: Semiring,
 {
     let push_flops: usize = u.indices().iter().map(|&k| b.row_nnz(k as usize)).sum();
-    let pull_candidates =
-        if complement { b.ncols().saturating_sub(mask.nnz()) } else { mask.nnz() };
+    let pull_candidates = if complement {
+        b.ncols().saturating_sub(mask.nnz())
+    } else {
+        mask.nnz()
+    };
     if push_flops > alpha.max(1) * pull_candidates.max(1) {
         masked_spmv_pull::<S, M>(mask, u, bt, complement)
     } else {
@@ -146,7 +158,12 @@ mod tests {
         )
     }
 
-    fn dense_ref(mask: &SparseVec<()>, u: &SparseVec<i64>, b: &Csr<i64>, compl_: bool) -> Vec<Option<i64>> {
+    fn dense_ref(
+        mask: &SparseVec<()>,
+        u: &SparseVec<i64>,
+        b: &Csr<i64>,
+        compl_: bool,
+    ) -> Vec<Option<i64>> {
         let mut acc = vec![None; b.ncols()];
         for (k, &uv) in u.iter() {
             let (bc, bv) = b.row(k as usize);
@@ -188,7 +205,10 @@ mod tests {
         let b = b3();
         let u: SparseVec<i64> = SparseVec::empty(3);
         let mask = SparseVec::try_from_parts(3, vec![0, 1, 2], vec![(), (), ()]).unwrap();
-        assert_eq!(masked_spmv_push::<PlusTimesI64, ()>(&mask, &u, &b, false).nnz(), 0);
+        assert_eq!(
+            masked_spmv_push::<PlusTimesI64, ()>(&mask, &u, &b, false).nnz(),
+            0
+        );
     }
 
     #[test]

@@ -119,8 +119,12 @@ fn empty_mask_yields_empty_output() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = random_csr(10, 10, 0.4, &mut rng);
     let mask = Csr::<()>::empty(10, 10);
-    for (algo, _, phases) in all_variants().into_iter().filter(|(_, m, _)| *m == MaskMode::Mask) {
-        let c = masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, MaskMode::Mask, phases).unwrap();
+    for (algo, _, phases) in all_variants()
+        .into_iter()
+        .filter(|(_, m, _)| *m == MaskMode::Mask)
+    {
+        let c =
+            masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, MaskMode::Mask, phases).unwrap();
         assert_eq!(c.nnz(), 0, "{algo:?}");
     }
 }
@@ -131,7 +135,13 @@ fn empty_mask_complement_is_full_product() {
     let a = random_csr(12, 12, 0.3, &mut rng);
     let mask = Csr::<()>::empty(12, 12);
     let want = baseline::spgemm::<PlusTimesI64>(&a, &a);
-    for algo in [Algorithm::Msa, Algorithm::Hash, Algorithm::Heap, Algorithm::HeapDot, Algorithm::Inner] {
+    for algo in [
+        Algorithm::Msa,
+        Algorithm::Hash,
+        Algorithm::Heap,
+        Algorithm::HeapDot,
+        Algorithm::Inner,
+    ] {
         for phases in [Phases::One, Phases::Two] {
             let c =
                 masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, MaskMode::Complement, phases)
@@ -148,8 +158,12 @@ fn full_mask_equals_unmasked_product() {
     let full: Vec<Vec<Option<()>>> = vec![vec![Some(()); 15]; 15];
     let mask = Csr::from_dense(&full, 15);
     let want = baseline::spgemm::<PlusTimesI64>(&a, &a);
-    for (algo, _, phases) in all_variants().into_iter().filter(|(_, m, _)| *m == MaskMode::Mask) {
-        let c = masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, MaskMode::Mask, phases).unwrap();
+    for (algo, _, phases) in all_variants()
+        .into_iter()
+        .filter(|(_, m, _)| *m == MaskMode::Mask)
+    {
+        let c =
+            masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, MaskMode::Mask, phases).unwrap();
         assert_eq!(c, want, "{algo:?}/{phases:?}");
     }
 }
@@ -174,7 +188,14 @@ fn random_square_sweep() {
 #[test]
 fn random_rectangular_sweep() {
     let mut rng = StdRng::seed_from_u64(7);
-    for (m, k, n) in [(5usize, 9usize, 13usize), (13, 5, 9), (9, 13, 5), (1, 7, 7), (7, 1, 7), (7, 7, 1)] {
+    for (m, k, n) in [
+        (5usize, 9usize, 13usize),
+        (13, 5, 9),
+        (9, 13, 5),
+        (1, 7, 7),
+        (7, 1, 7),
+        (7, 7, 1),
+    ] {
         let a = random_csr(m, k, 0.35, &mut rng);
         let b = random_csr(k, n, 0.35, &mut rng);
         let mask = random_csr(m, n, 0.4, &mut rng).pattern();
@@ -189,9 +210,17 @@ fn structural_zeros_are_kept() {
     let a = Csr::from_dense(&[vec![Some(1i64), Some(1)]], 2);
     let b = Csr::from_dense(&[vec![Some(1i64)], vec![Some(-1)]], 1);
     let mask = Csr::from_dense(&[vec![Some(())]], 1);
-    for (algo, _, phases) in all_variants().into_iter().filter(|(_, m, _)| *m == MaskMode::Mask) {
-        let c = masked_mxm::<PlusTimesI64, ()>(&mask, &a, &b, algo, MaskMode::Mask, phases).unwrap();
-        assert_eq!(c.nnz(), 1, "{algo:?}/{phases:?} must keep the structural zero");
+    for (algo, _, phases) in all_variants()
+        .into_iter()
+        .filter(|(_, m, _)| *m == MaskMode::Mask)
+    {
+        let c =
+            masked_mxm::<PlusTimesI64, ()>(&mask, &a, &b, algo, MaskMode::Mask, phases).unwrap();
+        assert_eq!(
+            c.nnz(),
+            1,
+            "{algo:?}/{phases:?} must keep the structural zero"
+        );
         assert_eq!(c.get(0, 0), Some(&0));
     }
 }
@@ -204,8 +233,8 @@ fn plus_pair_semiring_counts_structural_hits() {
     let mask = random_csr(18, 18, 0.5, &mut rng).pattern();
     let want = reference::<PlusPairU64>(&mask, &a, &a, false);
     for algo in Algorithm::ALL {
-        let got =
-            masked_mxm::<PlusPairU64, ()>(&mask, &a, &a, algo, MaskMode::Mask, Phases::One).unwrap();
+        let got = masked_mxm::<PlusPairU64, ()>(&mask, &a, &a, algo, MaskMode::Mask, Phases::One)
+            .unwrap();
         assert_eq!(got, want, "{algo:?}");
     }
 }
@@ -222,12 +251,18 @@ fn results_independent_of_thread_count() {
         })
         .collect();
     for threads in [1usize, 2, 7] {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         pool.install(|| {
             for (&(algo, mode, phases), want) in all_variants().iter().zip(&baseline) {
                 let got =
                     masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, algo, mode, phases).unwrap();
-                assert_eq!(&got, want, "{algo:?}/{mode:?}/{phases:?} with {threads} threads");
+                assert_eq!(
+                    &got, want,
+                    "{algo:?}/{mode:?}/{phases:?} with {threads} threads"
+                );
             }
         });
     }
@@ -240,9 +275,15 @@ fn auto_matches_explicit_algorithms() {
         let a = random_csr(30, 30, da, &mut rng);
         let mask = random_csr(30, 30, dm, &mut rng).pattern();
         let want = reference::<PlusTimesI64>(&mask, &a, &a, false);
-        let got =
-            masked_mxm::<PlusTimesI64, ()>(&mask, &a, &a, Algorithm::Auto, MaskMode::Mask, Phases::One)
-                .unwrap();
+        let got = masked_mxm::<PlusTimesI64, ()>(
+            &mask,
+            &a,
+            &a,
+            Algorithm::Auto,
+            MaskMode::Mask,
+            Phases::One,
+        )
+        .unwrap();
         assert_eq!(got, want, "Auto da={da} dm={dm}");
     }
 }
@@ -255,12 +296,21 @@ fn baselines_match_reference() {
     let mask = random_csr(25, 25, 0.3, &mut rng).pattern();
     for mode in [MaskMode::Mask, MaskMode::Complement] {
         let want = reference::<PlusTimesI64>(&mask, &a, &b, mode == MaskMode::Complement);
-        assert_eq!(baseline::spgemm_then_mask::<PlusTimesI64, ()>(&mask, &a, &b, mode), want);
-        assert_eq!(baseline::ss_saxpy_like::<PlusTimesI64, ()>(&mask, &a, &b, mode), want);
+        assert_eq!(
+            baseline::spgemm_then_mask::<PlusTimesI64, ()>(&mask, &a, &b, mode),
+            want
+        );
+        assert_eq!(
+            baseline::ss_saxpy_like::<PlusTimesI64, ()>(&mask, &a, &b, mode),
+            want
+        );
     }
     for mode in [MaskMode::Mask, MaskMode::Complement] {
         let want = reference::<PlusTimesI64>(&mask, &a, &b, mode == MaskMode::Complement);
-        assert_eq!(baseline::ss_dot_like::<PlusTimesI64, ()>(&mask, &a, &b, mode), want);
+        assert_eq!(
+            baseline::ss_dot_like::<PlusTimesI64, ()>(&mask, &a, &b, mode),
+            want
+        );
     }
 }
 
@@ -273,7 +323,11 @@ fn masked_mxm_with_bt_matches() {
     let bt = mspgemm_sparse::transpose(&b);
     for mode in [MaskMode::Mask, MaskMode::Complement] {
         let via_bt = masked_spgemm::masked_mxm_with_bt::<PlusTimesI64, ()>(
-            &mask, &a, &bt, mode, Phases::Two,
+            &mask,
+            &a,
+            &bt,
+            mode,
+            Phases::Two,
         )
         .unwrap();
         let want = reference::<PlusTimesI64>(&mask, &a, &b, mode == MaskMode::Complement);

@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 fn random_csr(n: usize, density: f64, rng: &mut StdRng) -> Csr<i64> {
     let d: Vec<Vec<Option<i64>>> = (0..n)
         .map(|_| {
-            (0..n).map(|_| (rng.gen::<f64>() < density).then(|| rng.gen_range(1i64..=3))).collect()
+            (0..n)
+                .map(|_| (rng.gen::<f64>() < density).then(|| rng.gen_range(1i64..=3)))
+                .collect()
         })
         .collect();
     Csr::from_dense(&d, n)
@@ -29,11 +31,20 @@ fn ninspect_variants_agree_small_exhaustive() {
         let outs: Vec<Csr<i64>> = [0u32, 1, INSPECT_FULL]
             .iter()
             .map(|&ni| {
-                let kernel = HeapKernel { n_inspect: ni, complement: false };
+                let kernel = HeapKernel {
+                    n_inspect: ni,
+                    complement: false,
+                };
                 run_push::<PlusTimesI64, _, ()>(&mask, &a, &b, false, Phases::One, &kernel)
             })
             .collect();
-        assert_eq!(outs[0], outs[1], "case {case}: ninspect 0 vs 1\nmask={mask:?}\na={a:?}\nb={b:?}");
-        assert_eq!(outs[1], outs[2], "case {case}: ninspect 1 vs inf\nmask={mask:?}\na={a:?}\nb={b:?}");
+        assert_eq!(
+            outs[0], outs[1],
+            "case {case}: ninspect 0 vs 1\nmask={mask:?}\na={a:?}\nb={b:?}"
+        );
+        assert_eq!(
+            outs[1], outs[2],
+            "case {case}: ninspect 1 vs inf\nmask={mask:?}\na={a:?}\nb={b:?}"
+        );
     }
 }

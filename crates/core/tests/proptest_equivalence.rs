@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// given fill probability.
 fn csr_strategy(nrows: usize, ncols: usize, fill: f64) -> impl Strategy<Value = Csr<i64>> {
     proptest::collection::vec(
-        proptest::collection::vec(
-            proptest::option::weighted(fill, -3i64..=3),
-            ncols,
-        ),
+        proptest::collection::vec(proptest::option::weighted(fill, -3i64..=3), ncols),
         nrows,
     )
     .prop_map(move |d| Csr::from_dense(&d, ncols))

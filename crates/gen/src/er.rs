@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let a = er(300, 300, 8, 5);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let b = pool.install(|| er(300, 300, 8, 5));
         assert_eq!(a, b);
     }
@@ -120,7 +123,10 @@ mod tests {
         let g = er_symmetric(200, 10, 9);
         for (i, j, _) in g.iter() {
             assert_ne!(i, j as usize, "self loop at {i}");
-            assert!(g.get(j as usize, i as Idx).is_some(), "missing mirror of ({i},{j})");
+            assert!(
+                g.get(j as usize, i as Idx).is_some(),
+                "missing mirror of ({i},{j})"
+            );
         }
     }
 

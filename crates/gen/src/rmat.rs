@@ -24,7 +24,12 @@ pub struct RmatParams {
 impl Default for RmatParams {
     /// Graph500 parameters.
     fn default() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, edge_factor: 16 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            edge_factor: 16,
+        }
     }
 }
 
@@ -119,7 +124,10 @@ mod tests {
         let a = rmat_edges(8, RmatParams::default(), 42);
         let b = rmat_edges(8, RmatParams::default(), 42);
         assert_eq!(a, b);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let c = pool.install(|| rmat_edges(8, RmatParams::default(), 42));
         assert_eq!(a, c);
     }

@@ -122,7 +122,10 @@ mod tests {
     fn check_simple_symmetric(g: &Csr<f64>) {
         for (i, j, _) in g.iter() {
             assert_ne!(i, j as usize, "self loop");
-            assert!(g.get(j as usize, i as Idx).is_some(), "asymmetric edge ({i},{j})");
+            assert!(
+                g.get(j as usize, i as Idx).is_some(),
+                "asymmetric edge ({i},{j})"
+            );
         }
     }
 

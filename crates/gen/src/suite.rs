@@ -8,12 +8,25 @@ use crate::rmat::RmatParams;
 use crate::{er, rmat, structured};
 use mspgemm_sparse::Csr;
 
-/// A named suite graph.
+/// A named suite graph. Synthetic generators and on-disk datasets (the
+/// `mspgemm-io` loaders) both produce this shape, so the harness runners
+/// sweep them uniformly.
 pub struct SuiteGraph {
-    /// Short identifier used in benchmark output rows.
-    pub name: &'static str,
+    /// Short identifier used in benchmark output rows (generator name or
+    /// dataset file stem).
+    pub name: String,
     /// Simple undirected adjacency matrix (symmetric, loop-free).
     pub adj: Csr<f64>,
+}
+
+impl SuiteGraph {
+    /// Build a named suite entry.
+    pub fn new(name: impl Into<String>, adj: Csr<f64>) -> Self {
+        Self {
+            name: name.into(),
+            adj,
+        }
+    }
 }
 
 /// Which suite size to build. `Small` keeps default `cargo bench` runs
@@ -44,46 +57,37 @@ pub fn build_suite(size: SuiteSize) -> Vec<SuiteGraph> {
     };
     let rp = RmatParams::default();
     let mut graphs = vec![
-        SuiteGraph { name: "rmat_s10", adj: rmat::rmat_symmetric(10 + bump, rp, 101) },
-        SuiteGraph { name: "rmat_s11", adj: rmat::rmat_symmetric(11 + bump, rp, 102) },
-        SuiteGraph { name: "rmat_s12", adj: rmat::rmat_symmetric(12 + bump, rp, 103) },
-        SuiteGraph { name: "rmat_s13", adj: rmat::rmat_symmetric(13 + bump, rp, 104) },
-        SuiteGraph {
-            name: "er_d4",
-            adj: er::er_symmetric(30_000 << bump, 4, 201),
-        },
-        SuiteGraph {
-            name: "er_d16",
-            adj: er::er_symmetric(20_000 << bump, 16, 202),
-        },
-        SuiteGraph {
-            name: "er_d64",
-            adj: er::er_symmetric(6_000 << bump, 64, 203),
-        },
-        SuiteGraph {
-            name: "grid2d",
-            adj: structured::grid2d(180 << bump, 180 << bump),
-        },
-        SuiteGraph {
-            name: "grid3d",
-            adj: structured::grid3d(32 << bump, 32 << bump, 32),
-        },
-        SuiteGraph {
-            name: "smallworld_k8",
-            adj: structured::small_world(25_000 << bump, 8, 0.05, 301),
-        },
-        SuiteGraph {
-            name: "smallworld_k16",
-            adj: structured::small_world(12_000 << bump, 16, 0.1, 302),
-        },
-        SuiteGraph {
-            name: "community",
-            adj: structured::community_blocks(60 << bump, 300, 12, 2, 401),
-        },
+        SuiteGraph::new("rmat_s10", rmat::rmat_symmetric(10 + bump, rp, 101)),
+        SuiteGraph::new("rmat_s11", rmat::rmat_symmetric(11 + bump, rp, 102)),
+        SuiteGraph::new("rmat_s12", rmat::rmat_symmetric(12 + bump, rp, 103)),
+        SuiteGraph::new("rmat_s13", rmat::rmat_symmetric(13 + bump, rp, 104)),
+        SuiteGraph::new("er_d4", er::er_symmetric(30_000 << bump, 4, 201)),
+        SuiteGraph::new("er_d16", er::er_symmetric(20_000 << bump, 16, 202)),
+        SuiteGraph::new("er_d64", er::er_symmetric(6_000 << bump, 64, 203)),
+        SuiteGraph::new("grid2d", structured::grid2d(180 << bump, 180 << bump)),
+        SuiteGraph::new("grid3d", structured::grid3d(32 << bump, 32 << bump, 32)),
+        SuiteGraph::new(
+            "smallworld_k8",
+            structured::small_world(25_000 << bump, 8, 0.05, 301),
+        ),
+        SuiteGraph::new(
+            "smallworld_k16",
+            structured::small_world(12_000 << bump, 16, 0.1, 302),
+        ),
+        SuiteGraph::new(
+            "community",
+            structured::community_blocks(60 << bump, 300, 12, 2, 401),
+        ),
     ];
     if size == SuiteSize::Full {
-        graphs.push(SuiteGraph { name: "rmat_s16", adj: rmat::rmat_symmetric(16, rp, 105) });
-        graphs.push(SuiteGraph { name: "er_d32", adj: er::er_symmetric(100_000, 32, 204) });
+        graphs.push(SuiteGraph::new(
+            "rmat_s16",
+            rmat::rmat_symmetric(16, rp, 105),
+        ));
+        graphs.push(SuiteGraph::new(
+            "er_d32",
+            er::er_symmetric(100_000, 32, 204),
+        ));
     }
     graphs
 }
@@ -115,7 +119,7 @@ mod tests {
     #[test]
     fn suite_names_are_unique() {
         let s = build_suite(SuiteSize::Small);
-        let mut names: Vec<_> = s.iter().map(|g| g.name).collect();
+        let mut names: Vec<_> = s.iter().map(|g| g.name.as_str()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), s.len());

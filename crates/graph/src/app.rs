@@ -1,0 +1,71 @@
+//! The application benchmarks as a value — so drivers (the `mxm` CLI, the
+//! harness runners) can select TC / k-truss / BC by name.
+
+/// One of the paper's three application benchmarks (§8.2–8.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum App {
+    /// Triangle counting.
+    Tc,
+    /// k-truss decomposition.
+    Ktruss,
+    /// Batched betweenness centrality.
+    Bc,
+}
+
+impl App {
+    /// All applications in the paper's presentation order.
+    pub const ALL: [App; 3] = [App::Tc, App::Ktruss, App::Bc];
+
+    /// Short name as drivers spell it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Tc => "tc",
+            App::Ktruss => "ktruss",
+            App::Bc => "bc",
+        }
+    }
+
+    /// Whether the application needs complemented-mask support from every
+    /// scheme it sweeps (BC's forward phase uses `¬M`).
+    pub fn needs_complement(&self) -> bool {
+        matches!(self, App::Bc)
+    }
+}
+
+impl std::str::FromStr for App {
+    type Err = String;
+
+    /// Parse an application name (case-insensitive): `tc`/`triangles`,
+    /// `ktruss`/`k-truss`, `bc`/`betweenness`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tc" | "triangles" | "tricount" => Ok(App::Tc),
+            "ktruss" | "k-truss" | "truss" => Ok(App::Ktruss),
+            "bc" | "betweenness" => Ok(App::Bc),
+            other => Err(format!(
+                "unknown application '{other}' (expected tc|ktruss|bc)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for app in App::ALL {
+            assert_eq!(app.name().parse::<App>().unwrap(), app);
+        }
+        assert_eq!("K-Truss".parse::<App>().unwrap(), App::Ktruss);
+        assert!("pagerank".parse::<App>().is_err());
+    }
+
+    #[test]
+    fn only_bc_needs_complement() {
+        assert!(App::Bc.needs_complement());
+        assert!(!App::Tc.needs_complement());
+        assert!(!App::Ktruss.needs_complement());
+    }
+}

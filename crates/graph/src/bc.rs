@@ -36,7 +36,10 @@ pub struct BcResult {
 /// Batched Brandes BC from `sources` (one batch row per source).
 pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResult {
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
-    assert!(scheme.supports_complement(), "BC needs complemented masks (MCA unsupported)");
+    assert!(
+        scheme.supports_complement(),
+        "BC needs complemented masks (MCA unsupported)"
+    );
     let n = adj.nrows();
     let s = sources.len();
     let t_total = Instant::now();
@@ -104,7 +107,12 @@ pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResul
             scores[src] -= v - 1.0;
         }
     }
-    BcResult { scores, mxm_seconds, total_seconds: t_total.elapsed().as_secs_f64(), depth }
+    BcResult {
+        scores,
+        mxm_seconds,
+        total_seconds: t_total.elapsed().as_secs_f64(),
+        depth,
+    }
 }
 
 #[cfg(test)]

@@ -49,8 +49,11 @@ pub fn bfs(adj: &Csr<f64>, source: usize, policy: Direction) -> BfsResult {
     const ALPHA: usize = 14;
     while !frontier.is_empty() {
         level += 1;
-        let push_flops: usize =
-            frontier.indices().iter().map(|&k| a_bool.row_nnz(k as usize)).sum();
+        let push_flops: usize = frontier
+            .indices()
+            .iter()
+            .map(|&k| a_bool.row_nnz(k as usize))
+            .sum();
         let pull_candidates = n - visited.nnz();
         let dir = match policy {
             Direction::Push => Direction::Push,

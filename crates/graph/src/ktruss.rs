@@ -51,10 +51,20 @@ pub fn k_truss(adj: &Csr<f64>, k: usize, scheme: Scheme) -> KtrussResult {
         mxm_seconds += t0.elapsed().as_secs_f64();
         let kept = select(&support, |_, _, s| *s >= threshold);
         if kept.nnz() == a.nnz() {
-            return KtrussResult { truss: kept, iterations, mxm_seconds, flops };
+            return KtrussResult {
+                truss: kept,
+                iterations,
+                mxm_seconds,
+                flops,
+            };
         }
         if kept.nnz() == 0 {
-            return KtrussResult { truss: kept, iterations, mxm_seconds, flops };
+            return KtrussResult {
+                truss: kept,
+                iterations,
+                mxm_seconds,
+                flops,
+            };
         }
         a = kept.pattern();
     }

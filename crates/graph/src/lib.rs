@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod bc;
 pub mod bfs;
 pub mod ktruss;
@@ -23,6 +24,7 @@ pub mod msbfs;
 pub mod scheme;
 pub mod tricount;
 
+pub use app::App;
 pub use bc::{betweenness, BcResult};
 pub use bfs::{bfs, BfsResult, Direction};
 pub use ktruss::{k_truss, KtrussResult};

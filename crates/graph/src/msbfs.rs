@@ -26,7 +26,10 @@ pub struct MsBfsResult {
 /// BFS from every vertex in `sources` simultaneously.
 pub fn multi_source_bfs(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> MsBfsResult {
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
-    assert!(scheme.supports_complement(), "multi-source BFS needs complemented masks");
+    assert!(
+        scheme.supports_complement(),
+        "multi-source BFS needs complemented masks"
+    );
     let n = adj.nrows();
     let s = sources.len();
     let a_bool = adj.map(|_| true);
@@ -66,7 +69,11 @@ pub fn multi_source_bfs(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> Ms
         visited = ewise_add(&visited, &next.pattern(), |_, _| (), |_| (), |_| ());
         frontier = next;
     }
-    MsBfsResult { levels, mxm_seconds, depth }
+    MsBfsResult {
+        levels,
+        mxm_seconds,
+        depth,
+    }
 }
 
 #[cfg(test)]

@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn names_match_paper_style() {
         assert_eq!(Scheme::Ours(Algorithm::Msa, Phases::One).name(), "MSA-1P");
-        assert_eq!(Scheme::Ours(Algorithm::HeapDot, Phases::Two).name(), "HeapDot-2P");
+        assert_eq!(
+            Scheme::Ours(Algorithm::HeapDot, Phases::Two).name(),
+            "HeapDot-2P"
+        );
         assert_eq!(Scheme::SsSaxpy.name(), "SS:SAXPY");
     }
 

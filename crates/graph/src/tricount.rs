@@ -52,7 +52,11 @@ pub fn count_prepared(ops: &TcOperands, scheme: Scheme) -> TcResult {
     let c = scheme.run::<PlusPairU64, ()>(&ops.l, &ops.l, &ops.l, Some(&ops.lt), MaskMode::Mask);
     let mxm_seconds = t0.elapsed().as_secs_f64();
     let triangles = reduce_all(&c, 0u64, |acc, v| acc + v, |x, y| x + y);
-    TcResult { triangles, mxm_seconds, flops: ops.flops }
+    TcResult {
+        triangles,
+        mxm_seconds,
+        flops: ops.flops,
+    }
 }
 
 /// Convenience: prepare + count.
@@ -122,9 +126,15 @@ mod tests {
     fn triangle_free_graphs() {
         // Path and even cycle have no triangles.
         let path = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        assert_eq!(triangle_count(&path, Scheme::Ours(Algorithm::Hash, Phases::One)).triangles, 0);
+        assert_eq!(
+            triangle_count(&path, Scheme::Ours(Algorithm::Hash, Phases::One)).triangles,
+            0
+        );
         let c6 = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
-        assert_eq!(triangle_count(&c6, Scheme::Ours(Algorithm::Mca, Phases::Two)).triangles, 0);
+        assert_eq!(
+            triangle_count(&c6, Scheme::Ours(Algorithm::Mca, Phases::Two)).triangles,
+            0
+        );
     }
 
     #[test]

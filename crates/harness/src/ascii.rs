@@ -24,7 +24,9 @@ pub fn render_winner_grid(cells: &[GridCell]) -> String {
     let mut rows: BTreeMap<usize, BTreeMap<usize, &str>> = BTreeMap::new();
     let mut col_keys: Vec<usize> = Vec::new();
     for c in cells {
-        rows.entry(c.input_degree).or_default().insert(c.mask_degree, &c.winner);
+        rows.entry(c.input_degree)
+            .or_default()
+            .insert(c.mask_degree, &c.winner);
         if !col_keys.contains(&c.mask_degree) {
             col_keys.push(c.mask_degree);
         }
@@ -44,11 +46,19 @@ pub fn render_winner_grid(cells: &[GridCell]) -> String {
         out.push_str(&format!(" {:>w$}", k, w = width));
     }
     out.push('\n');
-    out.push_str(&format!("{:->8}-+{}\n", "", "-".repeat((width + 1) * col_keys.len())));
+    out.push_str(&format!(
+        "{:->8}-+{}\n",
+        "",
+        "-".repeat((width + 1) * col_keys.len())
+    ));
     for (deg, row) in rows.iter().rev() {
         out.push_str(&format!("{deg:>8} |"));
         for k in &col_keys {
-            out.push_str(&format!(" {:>w$}", row.get(k).copied().unwrap_or("-"), w = width));
+            out.push_str(&format!(
+                " {:>w$}",
+                row.get(k).copied().unwrap_or("-"),
+                w = width
+            ));
         }
         out.push('\n');
     }
@@ -61,7 +71,11 @@ mod tests {
     use super::*;
 
     fn cell(di: usize, dm: usize, w: &str) -> GridCell {
-        GridCell { input_degree: di, mask_degree: dm, winner: w.to_string() }
+        GridCell {
+            input_degree: di,
+            mask_degree: dm,
+            winner: w.to_string(),
+        }
     }
 
     #[test]

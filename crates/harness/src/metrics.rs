@@ -40,7 +40,10 @@ pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 /// (`MSPGEMM_SCALE`, `MSPGEMM_REPS`, …) that let the default bench runs
 /// stay small while paper-scale runs are one variable away.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ pub struct PerfProfile {
 pub fn performance_profile(runs: &[SchemeRuns], taus: &[f64]) -> PerfProfile {
     assert!(!runs.is_empty(), "no schemes");
     let ncases = runs[0].seconds.len();
-    assert!(runs.iter().all(|r| r.seconds.len() == ncases), "ragged case counts");
+    assert!(
+        runs.iter().all(|r| r.seconds.len() == ncases),
+        "ragged case counts"
+    );
     assert!(ncases > 0, "no test cases");
     // Best time per case.
     let best: Vec<f64> = (0..ncases)
@@ -57,7 +60,10 @@ pub fn performance_profile(runs: &[SchemeRuns], taus: &[f64]) -> PerfProfile {
             (r.name.clone(), fractions)
         })
         .collect();
-    PerfProfile { taus: taus.to_vec(), curves }
+    PerfProfile {
+        taus: taus.to_vec(),
+        curves,
+    }
 }
 
 /// The x-axis the paper plots: 1.0 to `max` in steps of `step`.
@@ -94,7 +100,10 @@ impl PerfProfile {
     /// Fraction of cases where `name` is (tied-)best — its y-intercept at
     /// τ = 1.
     pub fn best_fraction(&self, name: &str) -> Option<f64> {
-        self.curves.iter().find(|(n, _)| n == name).map(|(_, fr)| fr[0])
+        self.curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, fr)| fr[0])
     }
 }
 
@@ -105,11 +114,20 @@ mod tests {
     fn runs() -> Vec<SchemeRuns> {
         vec![
             // fast on case 0 and 1, slow on 2
-            SchemeRuns { name: "A".into(), seconds: vec![Some(1.0), Some(2.0), Some(9.0)] },
+            SchemeRuns {
+                name: "A".into(),
+                seconds: vec![Some(1.0), Some(2.0), Some(9.0)],
+            },
             // best on case 2, 2x on the others
-            SchemeRuns { name: "B".into(), seconds: vec![Some(2.0), Some(4.0), Some(3.0)] },
+            SchemeRuns {
+                name: "B".into(),
+                seconds: vec![Some(2.0), Some(4.0), Some(3.0)],
+            },
             // missing on case 0
-            SchemeRuns { name: "C".into(), seconds: vec![None, Some(2.0), Some(6.0)] },
+            SchemeRuns {
+                name: "C".into(),
+                seconds: vec![None, Some(2.0), Some(6.0)],
+            },
         ]
     }
 

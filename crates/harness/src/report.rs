@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// New table with the given headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -81,6 +84,94 @@ pub fn fmt_metric(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One dataset's identity in a [`SuiteReport`].
+#[derive(Clone, Debug)]
+pub struct DatasetInfo {
+    /// Dataset name (suite entry or file stem).
+    pub name: String,
+    /// Vertex count (matrix dimension).
+    pub nrows: usize,
+    /// Stored entries of the adjacency matrix (2× undirected edges).
+    pub nnz: usize,
+}
+
+/// A machine-readable experiment report: which application ran, over
+/// which datasets, with per-scheme per-dataset runtimes. Serializes to
+/// JSON without external dependencies (the build environment is offline).
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Application name (`tc` / `ktruss` / `bc`).
+    pub app: String,
+    /// Free-form run parameters (`reps`, `threads`, `k`, `batch`, ...).
+    pub params: Vec<(String, String)>,
+    /// The datasets swept, in run order.
+    pub datasets: Vec<DatasetInfo>,
+    /// Per-scheme runtimes; `seconds[i]` aligns with `datasets[i]`,
+    /// `null` = scheme did not run that case.
+    pub runs: Vec<crate::perfprofile::SchemeRuns>,
+}
+
+impl SuiteReport {
+    /// Serialize to a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"app\": \"{}\",\n", json_escape(&self.app)));
+        out.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},\n  \"datasets\": [\n");
+        for (i, d) in self.datasets.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"nrows\": {}, \"nnz\": {}}}{}\n",
+                json_escape(&d.name),
+                d.nrows,
+                d.nnz,
+                if i + 1 < self.datasets.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"schemes\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let secs: Vec<String> = r
+                .seconds
+                .iter()
+                .map(|s| match s {
+                    Some(t) => format!("{t:.9}"),
+                    None => "null".to_string(),
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": [{}]}}{}\n",
+                json_escape(&r.name),
+                secs.join(", "),
+                if i + 1 < self.runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +201,47 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("name"));
         assert!(lines[2].contains("long-name"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn suite_report_json_shape() {
+        use crate::perfprofile::SchemeRuns;
+        let rep = SuiteReport {
+            app: "tc".into(),
+            params: vec![("reps".into(), "2".into())],
+            datasets: vec![
+                DatasetInfo {
+                    name: "er".into(),
+                    nrows: 10,
+                    nnz: 40,
+                },
+                DatasetInfo {
+                    name: "rm\"at".into(),
+                    nrows: 20,
+                    nnz: 80,
+                },
+            ],
+            runs: vec![SchemeRuns {
+                name: "MSA-1P".into(),
+                seconds: vec![Some(0.5), None],
+            }],
+        };
+        let j = rep.to_json();
+        assert!(j.contains("\"app\": \"tc\""));
+        assert!(j.contains("\"reps\": \"2\""));
+        assert!(j.contains("rm\\\"at"));
+        assert!(j.contains("null"));
+        assert!(j.contains("0.500000000"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

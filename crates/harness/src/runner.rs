@@ -88,8 +88,8 @@ mod tests {
     fn tiny_suite() -> Vec<SuiteGraph> {
         // Two small graphs to keep unit-test runtime negligible.
         vec![
-            SuiteGraph { name: "er", adj: mspgemm_gen::er_symmetric(200, 8, 1) },
-            SuiteGraph { name: "sw", adj: mspgemm_gen::structured::small_world(200, 4, 0.1, 2) },
+            SuiteGraph::new("er", mspgemm_gen::er_symmetric(200, 8, 1)),
+            SuiteGraph::new("sw", mspgemm_gen::structured::small_world(200, 4, 0.1, 2)),
         ]
     }
 
@@ -104,9 +104,15 @@ mod tests {
 
     #[test]
     fn bc_runs_mark_mca_missing() {
-        let schemes = [Scheme::Ours(Algorithm::Mca, Phases::One), Scheme::Ours(Algorithm::Msa, Phases::One)];
+        let schemes = [
+            Scheme::Ours(Algorithm::Mca, Phases::One),
+            Scheme::Ours(Algorithm::Msa, Phases::One),
+        ];
         let runs = bc_runs(&tiny_suite(), &schemes, 4, 1);
-        assert!(runs[0].seconds.iter().all(|s| s.is_none()), "MCA cannot run BC");
+        assert!(
+            runs[0].seconds.iter().all(|s| s.is_none()),
+            "MCA cannot run BC"
+        );
         assert!(runs[1].seconds.iter().all(|s| s.is_some()));
     }
 

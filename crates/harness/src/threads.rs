@@ -28,7 +28,9 @@ pub fn scaling_thread_counts() -> Vec<usize> {
 
 /// Available logical CPUs (rayon's default parallelism).
 pub fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

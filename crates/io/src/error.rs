@@ -1,0 +1,53 @@
+//! The error type shared by every loader in this crate.
+
+use std::path::PathBuf;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem/stream failure.
+    Io(std::io::Error),
+    /// Syntactic or structural problem in a text format, with the 1-based
+    /// line number where it was detected (0 = not line-addressable).
+    Parse {
+        /// 1-based line number (0 when the error is not tied to a line).
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A binary `.msb` stream violated its format contract.
+    Format(String),
+    /// The file extension names no known format.
+    UnknownFormat(PathBuf),
+}
+
+impl IoError {
+    pub(crate) fn parse(line: usize, msg: impl Into<String>) -> Self {
+        IoError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line: 0, msg } => write!(f, "parse error: {msg}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Format(msg) => write!(f, "bad .msb stream: {msg}"),
+            IoError::UnknownFormat(p) => {
+                write!(f, "cannot infer format from extension: {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}

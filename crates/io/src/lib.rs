@@ -1,0 +1,38 @@
+//! # mspgemm-io
+//!
+//! The dataset I/O subsystem of the Masked SpGEMM reproduction: the layer
+//! that turns the paper's evaluation inputs — SuiteSparse/GAP matrices on
+//! disk (§7) — into the in-memory [`Csr`](mspgemm_sparse::Csr) operands
+//! the kernels consume, and back.
+//!
+//! * [`mtx`] — streaming Matrix Market reader/writer
+//!   (`general`/`symmetric` × `real`/`integer`/`pattern`), with
+//!   line-numbered errors.
+//! * [`msb`] — the little-endian binary cache format (`.msb`): magic,
+//!   version, dims, nnz header + raw CSR sections, so repeat experiment
+//!   runs skip text parsing entirely.
+//! * [`load`] — extension dispatch, the transparent `.msb` sidecar cache,
+//!   and graph normalization (symmetrize, strip self-loops, triangle
+//!   extraction) matching the synthetic suite's conventions.
+//! * [`source`] — [`DatasetSource`]: one abstraction over "the synthetic
+//!   suite" and "a directory of real matrices", feeding the harness
+//!   runners and the `mxm` CLI.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod load;
+pub mod msb;
+pub mod mtx;
+pub mod source;
+
+pub use error::IoError;
+pub use load::{
+    load_graph, load_matrix, load_matrix_cached, save_matrix, sidecar_path, to_adjacency,
+    AdjacencyStats, CacheOutcome, CachePolicy, Format,
+};
+pub use msb::{read_msb, read_msb_file, write_msb, write_msb_file, MsbHeader};
+pub use mtx::{
+    read_mtx, read_mtx_file, write_mtx, write_mtx_file, MtxField, MtxHeader, MtxSymmetry,
+};
+pub use source::{dataset_name, matrix_files_in, DatasetSource};

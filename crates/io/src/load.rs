@@ -1,0 +1,306 @@
+//! Format dispatch, the `.msb` sidecar cache, and graph-oriented loading
+//! helpers that turn an arbitrary on-disk matrix into the simple
+//! undirected adjacency the TC / k-truss / BC applications consume.
+
+use crate::error::IoError;
+use crate::msb::{read_msb_file, write_msb_file};
+use crate::mtx::{read_mtx_file, write_mtx_file};
+use mspgemm_sparse::ops::ewise::ewise_add;
+use mspgemm_sparse::ops::select::{remove_diagonal, tril_strict, triu_strict};
+use mspgemm_sparse::{transpose, Csr};
+use std::path::{Path, PathBuf};
+
+/// On-disk matrix formats this crate reads and writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Text Matrix Market.
+    Mtx,
+    /// Binary cache ([`crate::msb`]).
+    Msb,
+}
+
+impl Format {
+    /// Infer the format from a path's extension (case-insensitive).
+    pub fn from_path(path: &Path) -> Result<Format, IoError> {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(|e| e.to_ascii_lowercase())
+        {
+            Some(e) if e == "mtx" || e == "mm" => Ok(Format::Mtx),
+            Some(e) if e == "msb" => Ok(Format::Msb),
+            _ => Err(IoError::UnknownFormat(path.to_path_buf())),
+        }
+    }
+}
+
+/// Load a matrix, dispatching on the extension (`.mtx`/`.mm` or `.msb`).
+pub fn load_matrix(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
+    let path = path.as_ref();
+    match Format::from_path(path)? {
+        Format::Mtx => Ok(read_mtx_file(path)?.1),
+        Format::Msb => read_msb_file(path),
+    }
+}
+
+/// Save a matrix, dispatching on the extension.
+pub fn save_matrix(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    match Format::from_path(path)? {
+        Format::Mtx => write_mtx_file(path, a),
+        Format::Msb => write_msb_file(path, a),
+    }
+}
+
+/// Sidecar-cache behaviour for [`load_matrix_cached`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Read a fresh sidecar if present; write one after parsing text.
+    #[default]
+    ReadWrite,
+    /// Read a fresh sidecar if present; never write.
+    ReadOnly,
+    /// Ignore sidecars entirely.
+    Off,
+}
+
+/// What [`load_matrix_cached`] actually did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Parsed the text file; no cache involved.
+    Parsed,
+    /// Served from a fresh `.msb` sidecar.
+    Hit,
+    /// Parsed the text file and wrote the sidecar for next time.
+    Written,
+}
+
+/// The sidecar path: `graph.mtx` → `graph.msb`.
+pub fn sidecar_path(path: &Path) -> PathBuf {
+    path.with_extension("msb")
+}
+
+fn is_fresh(original: &Path, sidecar: &Path) -> bool {
+    let (Ok(om), Ok(sm)) = (std::fs::metadata(original), std::fs::metadata(sidecar)) else {
+        return false;
+    };
+    match (om.modified(), sm.modified()) {
+        (Ok(ot), Ok(st)) => st >= ot,
+        _ => false,
+    }
+}
+
+/// Load `path`, transparently using an `.msb` sidecar to skip text
+/// parsing on repeat runs.
+///
+/// * `.msb` input: read directly (the cache *is* the input).
+/// * `.mtx` input: if a sidecar exists and is at least as new as the text
+///   file, read it instead; otherwise parse the text and (under
+///   [`CachePolicy::ReadWrite`]) write the sidecar. A stale or corrupt
+///   sidecar falls back to the text file rather than failing the load.
+pub fn load_matrix_cached(
+    path: impl AsRef<Path>,
+    policy: CachePolicy,
+) -> Result<(Csr<f64>, CacheOutcome), IoError> {
+    let path = path.as_ref();
+    if Format::from_path(path)? == Format::Msb {
+        return Ok((read_msb_file(path)?, CacheOutcome::Hit));
+    }
+    let sidecar = sidecar_path(path);
+    if policy != CachePolicy::Off && is_fresh(path, &sidecar) {
+        if let Ok(a) = read_msb_file(&sidecar) {
+            return Ok((a, CacheOutcome::Hit));
+        }
+        // Corrupt sidecar: fall through to the text parse.
+    }
+    let (_, a) = read_mtx_file(path)?;
+    if policy == CachePolicy::ReadWrite && write_msb_file(&sidecar, &a).is_ok() {
+        return Ok((a, CacheOutcome::Written));
+    }
+    // Read-only filesystems are fine; the parse still succeeded.
+    Ok((a, CacheOutcome::Parsed))
+}
+
+/// Summary of what [`to_adjacency`] changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdjacencyStats {
+    /// Self-loop entries removed.
+    pub self_loops_removed: usize,
+    /// Directed entries mirrored to make the pattern symmetric.
+    pub entries_mirrored: usize,
+}
+
+/// Normalize an arbitrary square matrix into the simple undirected
+/// adjacency the applications (and the synthetic suite) use: symmetric
+/// pattern `A ∪ Aᵀ`, no self-loops, every stored value `1.0`.
+///
+/// # Panics
+/// If the matrix is not square.
+pub fn to_adjacency(a: &Csr<f64>) -> (Csr<f64>, AdjacencyStats) {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency requires a square matrix");
+    let no_diag = remove_diagonal(a);
+    let self_loops_removed = a.nnz() - no_diag.nnz();
+    let at = transpose(&no_diag);
+    // Union of the pattern with its transpose; weights are irrelevant to
+    // the structural applications, so every edge becomes 1.0.
+    let sym = ewise_add(&no_diag, &at, |_, _| 1.0f64, |_| 1.0, |_| 1.0);
+    let entries_mirrored = sym.nnz() - no_diag.nnz();
+    (
+        sym,
+        AdjacencyStats {
+            self_loops_removed,
+            entries_mirrored,
+        },
+    )
+}
+
+/// Load a file and normalize it with [`to_adjacency`] (cache-aware).
+pub fn load_graph(
+    path: impl AsRef<Path>,
+    policy: CachePolicy,
+) -> Result<(Csr<f64>, AdjacencyStats), IoError> {
+    let (a, _) = load_matrix_cached(path, policy)?;
+    if a.nrows() != a.ncols() {
+        return Err(IoError::Format(format!(
+            "graph loading needs a square matrix, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    Ok(to_adjacency(&a))
+}
+
+/// Strict lower triangle of an adjacency matrix — the TC operand
+/// convention (`tricount` relabels first; this is the raw variant for
+/// callers composing their own pipelines).
+pub fn lower_triangle(a: &Csr<f64>) -> Csr<f64> {
+    tril_strict(a)
+}
+
+/// Strict upper triangle, the mirror convention.
+pub fn upper_triangle(a: &Csr<f64>) -> Csr<f64> {
+    triu_strict(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspgemm_sparse::Coo;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mspgemm_io_load_{tag}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn directed_sample() -> Csr<f64> {
+        // 0→1, 1→2, 2→0 (a directed cycle) plus a self-loop at 1.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 5.0);
+        coo.push(1, 2, 5.0);
+        coo.push(2, 0, 5.0);
+        coo.push(1, 1, 9.0);
+        coo.to_csr(|a, _| a)
+    }
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(
+            Format::from_path(Path::new("a/b.mtx")).unwrap(),
+            Format::Mtx
+        );
+        assert_eq!(
+            Format::from_path(Path::new("a/B.MTX")).unwrap(),
+            Format::Mtx
+        );
+        assert_eq!(Format::from_path(Path::new("x.mm")).unwrap(), Format::Mtx);
+        assert_eq!(Format::from_path(Path::new("x.msb")).unwrap(), Format::Msb);
+        assert!(Format::from_path(Path::new("x.csv")).is_err());
+        assert!(Format::from_path(Path::new("noext")).is_err());
+    }
+
+    #[test]
+    fn to_adjacency_symmetrizes_and_cleans() {
+        let (adj, stats) = to_adjacency(&directed_sample());
+        assert_eq!(stats.self_loops_removed, 1);
+        assert_eq!(stats.entries_mirrored, 3);
+        assert_eq!(adj.nnz(), 6, "3 undirected edges");
+        for (i, j, &v) in adj.iter() {
+            assert_eq!(v, 1.0);
+            assert_ne!(i, j as usize);
+            assert!(
+                adj.get(j as usize, i as u32).is_some(),
+                "({i},{j}) not mirrored"
+            );
+        }
+    }
+
+    #[test]
+    fn already_simple_graph_is_unchanged() {
+        let g = mspgemm_gen::er_symmetric(100, 6, 5);
+        let (adj, stats) = to_adjacency(&g);
+        assert_eq!(stats, AdjacencyStats::default());
+        assert_eq!(adj.pattern(), g.pattern());
+    }
+
+    #[test]
+    fn cache_roundtrip_and_freshness() {
+        let dir = tempdir("cache");
+        let mtx = dir.join("g.mtx");
+        let msb = sidecar_path(&mtx);
+        std::fs::remove_file(&msb).ok();
+        crate::mtx::write_mtx_file(&mtx, &directed_sample()).unwrap();
+
+        // First load parses and writes the sidecar.
+        let (a, outcome) = load_matrix_cached(&mtx, CachePolicy::ReadWrite).unwrap();
+        assert_eq!(outcome, CacheOutcome::Written);
+        assert!(msb.exists());
+        // Second load hits the sidecar and agrees.
+        let (b, outcome) = load_matrix_cached(&mtx, CachePolicy::ReadWrite).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(a, b);
+        // Off policy re-parses.
+        let (_, outcome) = load_matrix_cached(&mtx, CachePolicy::Off).unwrap();
+        assert_eq!(outcome, CacheOutcome::Parsed);
+        std::fs::remove_file(&mtx).ok();
+        std::fs::remove_file(&msb).ok();
+    }
+
+    #[test]
+    fn corrupt_sidecar_falls_back_to_text() {
+        let dir = tempdir("corrupt");
+        let mtx = dir.join("g.mtx");
+        let msb = sidecar_path(&mtx);
+        crate::mtx::write_mtx_file(&mtx, &directed_sample()).unwrap();
+        std::fs::write(&msb, b"not an msb file").unwrap();
+        // Ensure the sidecar is "fresh" so the fallback path is what's
+        // exercised (not staleness).
+        let (a, _) = load_matrix_cached(&mtx, CachePolicy::ReadOnly).unwrap();
+        assert_eq!(a, directed_sample());
+        std::fs::remove_file(&mtx).ok();
+        std::fs::remove_file(&msb).ok();
+    }
+
+    #[test]
+    fn load_graph_rejects_rectangular() {
+        let dir = tempdir("rect");
+        let mtx = dir.join("r.mtx");
+        let rect = Csr::from_dense(&[vec![Some(1.0), None, None]], 3);
+        crate::mtx::write_mtx_file(&mtx, &rect).unwrap();
+        assert!(load_graph(&mtx, CachePolicy::Off).is_err());
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn triangles_partition_off_diagonal() {
+        let g = mspgemm_gen::er_symmetric(50, 4, 9);
+        let lo = lower_triangle(&g);
+        let hi = upper_triangle(&g);
+        assert_eq!(
+            lo.nnz() + hi.nnz(),
+            g.nnz(),
+            "loop-free graph splits evenly"
+        );
+        assert_eq!(lo.nnz(), hi.nnz());
+    }
+}

@@ -1,0 +1,418 @@
+//! `.msb` — the Masked-SpGEMM binary cache format.
+//!
+//! Text `.mtx` parsing dominates experiment start-up on large inputs
+//! (float parsing is serial and branchy); `.msb` stores the canonical CSR
+//! directly so repeat runs deserialize at memcpy speed. Layout (all
+//! little-endian):
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic  b"MSB\x01"
+//! 4       4               version (u32, currently 1)
+//! 8       4               flags   (u32; bit 0 = pattern, no values section)
+//! 12      4               reserved (u32, zero)
+//! 16      8               nrows (u64)
+//! 24      8               ncols (u64)
+//! 32      8               nnz   (u64)
+//! 40      8*(nrows+1)     rowptr (u64 each)
+//! ...     4*nnz           colidx (u32 each)
+//! ...     8*nnz           values (f64 each; absent when pattern flag set)
+//! ```
+//!
+//! Readers fully validate the header, section lengths, and the CSR
+//! invariants (monotone rowptr, strictly sorted in-bounds rows) before
+//! constructing the matrix, so a truncated or corrupted cache fails
+//! loudly rather than producing garbage timings.
+
+use crate::error::IoError;
+use mspgemm_sparse::{Csr, Idx};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// First 4 bytes of every `.msb` stream.
+pub const MSB_MAGIC: [u8; 4] = *b"MSB\x01";
+/// Current format version.
+pub const MSB_VERSION: u32 = 1;
+/// Flag bit: the stream stores no values section (structural pattern).
+pub const MSB_FLAG_PATTERN: u32 = 1;
+
+/// Parsed fixed-size header of an `.msb` stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsbHeader {
+    /// Format version.
+    pub version: u32,
+    /// Flag word ([`MSB_FLAG_PATTERN`]).
+    pub flags: u32,
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+}
+
+impl MsbHeader {
+    /// Whether the stream stores no values section.
+    pub fn is_pattern(&self) -> bool {
+        self.flags & MSB_FLAG_PATTERN != 0
+    }
+}
+
+fn write_header<W: Write>(
+    w: &mut W,
+    flags: u32,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+) -> Result<(), IoError> {
+    w.write_all(&MSB_MAGIC)?;
+    w.write_all(&MSB_VERSION.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&(nrows as u64).to_le_bytes())?;
+    w.write_all(&(ncols as u64).to_le_bytes())?;
+    w.write_all(&(nnz as u64).to_le_bytes())?;
+    Ok(())
+}
+
+/// Read and validate the 40-byte header.
+pub fn read_msb_header<R: Read>(r: &mut R) -> Result<MsbHeader, IoError> {
+    let mut fixed = [0u8; 40];
+    r.read_exact(&mut fixed).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IoError::Format("stream shorter than the 40-byte header".into())
+        } else {
+            IoError::Io(e)
+        }
+    })?;
+    if fixed[0..4] != MSB_MAGIC {
+        return Err(IoError::Format(format!(
+            "bad magic {:02x?} (expected {:02x?} — is this an .msb file?)",
+            &fixed[0..4],
+            MSB_MAGIC
+        )));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(fixed[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(fixed[o..o + 8].try_into().unwrap());
+    let version = u32_at(4);
+    if version != MSB_VERSION {
+        return Err(IoError::Format(format!(
+            "unsupported version {version} (this build reads {MSB_VERSION})"
+        )));
+    }
+    let flags = u32_at(8);
+    if flags & !MSB_FLAG_PATTERN != 0 {
+        return Err(IoError::Format(format!("unknown flag bits: {flags:#x}")));
+    }
+    let (nrows, ncols, nnz) = (u64_at(16), u64_at(24), u64_at(32));
+    let max = usize::MAX as u64;
+    if nrows > max || ncols > max || nnz > max {
+        return Err(IoError::Format("dimensions overflow usize".into()));
+    }
+    if ncols > Idx::MAX as u64 {
+        return Err(IoError::Format(format!(
+            "ncols {ncols} exceeds the u32 column-index space"
+        )));
+    }
+    Ok(MsbHeader {
+        version,
+        flags,
+        nrows: nrows as usize,
+        ncols: ncols as usize,
+        nnz: nnz as usize,
+    })
+}
+
+/// Incremental-read granularity: memory is committed only as bytes
+/// actually arrive, so a corrupt header declaring absurd dimensions fails
+/// with a truncation error instead of a giant up-front allocation.
+const READ_CHUNK: usize = 1 << 22;
+
+fn read_bytes_checked<R: Read>(r: &mut R, total: usize, what: &str) -> Result<Vec<u8>, IoError> {
+    let mut buf = Vec::new();
+    let mut have = 0usize;
+    while have < total {
+        let step = READ_CHUNK.min(total - have);
+        buf.try_reserve(step)
+            .map_err(|_| IoError::Format(format!("{what} section too large to allocate")))?;
+        buf.resize(have + step, 0);
+        r.read_exact(&mut buf[have..have + step]).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IoError::Format(format!("truncated {what} section"))
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        have += step;
+    }
+    Ok(buf)
+}
+
+/// `a * b` (+ optional `c`) with overflow mapped to a format error —
+/// header fields are untrusted.
+fn section_len(elems: usize, width: usize, what: &str) -> Result<usize, IoError> {
+    elems
+        .checked_mul(width)
+        .ok_or_else(|| IoError::Format(format!("{what} section length overflows")))
+}
+
+/// The decoded body of an `.msb` stream: rowptr, colidx, values (absent
+/// for pattern streams).
+type Sections = (Vec<usize>, Vec<Idx>, Option<Vec<f64>>);
+
+fn read_sections<R: Read>(r: &mut R, h: &MsbHeader) -> Result<Sections, IoError> {
+    let rowptr_len = section_len(
+        h.nrows
+            .checked_add(1)
+            .ok_or_else(|| IoError::Format("nrows overflows".into()))?,
+        8,
+        "rowptr",
+    )?;
+    let buf = read_bytes_checked(r, rowptr_len, "rowptr")?;
+    let rowptr: Vec<usize> = buf
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+        .collect();
+
+    let buf = read_bytes_checked(r, section_len(h.nnz, 4, "colidx")?, "colidx")?;
+    let colidx: Vec<Idx> = buf
+        .chunks_exact(4)
+        .map(|c| Idx::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+
+    let values = if h.is_pattern() {
+        None
+    } else {
+        let buf = read_bytes_checked(r, section_len(h.nnz, 8, "values")?, "values")?;
+        Some(
+            buf.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    };
+
+    // No trailing garbage.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok((rowptr, colidx, values)),
+        _ => Err(IoError::Format(
+            "trailing bytes after the last section".into(),
+        )),
+    }
+}
+
+/// Write `a` (values included) as an `.msb` stream.
+pub fn write_msb<W: Write>(w: W, a: &Csr<f64>) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    write_header(&mut w, 0, a.nrows(), a.ncols(), a.nnz())?;
+    for &p in a.rowptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &j in a.colidx() {
+        w.write_all(&j.to_le_bytes())?;
+    }
+    for &v in a.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write the pattern of `a` (no values section).
+pub fn write_msb_pattern<W: Write, T>(w: W, a: &Csr<T>) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    write_header(&mut w, MSB_FLAG_PATTERN, a.nrows(), a.ncols(), a.nnz())?;
+    for &p in a.rowptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &j in a.colidx() {
+        w.write_all(&j.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read an `.msb` stream into `Csr<f64>`. Pattern streams read with every
+/// value `1.0`. All structural invariants are re-validated.
+pub fn read_msb<R: Read>(r: R) -> Result<Csr<f64>, IoError> {
+    let mut r = BufReader::new(r);
+    let h = read_msb_header(&mut r)?;
+    let (rowptr, colidx, values) = read_sections(&mut r, &h)?;
+    let values = values.unwrap_or_else(|| vec![1.0; h.nnz]);
+    Csr::try_from_parts(h.nrows, h.ncols, rowptr, colidx, values)
+        .map_err(|e| IoError::Format(format!("invalid CSR in stream: {e}")))
+}
+
+/// Read an `.msb` stream as a structural pattern, discarding any values.
+pub fn read_msb_pattern<R: Read>(r: R) -> Result<Csr<()>, IoError> {
+    let mut r = BufReader::new(r);
+    let h = read_msb_header(&mut r)?;
+    let (rowptr, colidx, _values) = read_sections(&mut r, &h)?;
+    Csr::try_from_parts(h.nrows, h.ncols, rowptr, colidx, vec![(); h.nnz])
+        .map_err(|e| IoError::Format(format!("invalid CSR in stream: {e}")))
+}
+
+/// Write an `.msb` file to disk.
+pub fn write_msb_file(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoError> {
+    write_msb(std::fs::File::create(path)?, a)
+}
+
+/// Read an `.msb` file from disk.
+pub fn read_msb_file(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
+    read_msb(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_dense(
+            &[
+                vec![Some(1.5), None, Some(-2.0)],
+                vec![None, None, None],
+                vec![Some(0.0), Some(4.25), None],
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        let b = read_msb(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb_pattern(&mut buf, &a.pattern()).unwrap();
+        let p = read_msb_pattern(buf.as_slice()).unwrap();
+        assert_eq!(p, a.pattern());
+        // Reading a pattern stream as values gives 1.0 everywhere.
+        let ones = read_msb(buf.as_slice()).unwrap();
+        assert!(ones.values().iter().all(|&v| v == 1.0));
+        assert_eq!(ones.pattern(), a.pattern());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let a: Csr<f64> = Csr::empty(5, 7);
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        let b = read_msb(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_fields() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        let h = read_msb_header(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.version, MSB_VERSION);
+        assert!(!h.is_pattern());
+        assert_eq!((h.nrows, h.ncols, h.nnz), (3, 3, 4));
+        assert_eq!(buf.len(), 40 + 8 * 4 + 4 * 4 + 8 * 4);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_flags() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_msb(bad.as_slice()), Err(IoError::Format(_))));
+
+        let mut bad = buf.clone();
+        bad[4] = 99; // version
+        assert!(matches!(read_msb(bad.as_slice()), Err(IoError::Format(_))));
+
+        let mut bad = buf.clone();
+        bad[8] = 0xfe; // unknown flags
+        assert!(matches!(read_msb(bad.as_slice()), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        // Truncation at every section boundary and a few interiors.
+        for cut in [0, 10, 39, 40, 50, 72, 80, buf.len() - 1] {
+            let r = read_msb(&buf[..cut]);
+            assert!(r.is_err(), "accepted truncation at {cut}/{}", buf.len());
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_header_dimensions_without_allocating() {
+        // A 40-byte stream whose header declares astronomically large
+        // sections must fail with a format error — not a capacity-overflow
+        // panic or an OOM attempt (the corrupt-sidecar fallback in
+        // load.rs depends on getting an Err back).
+        for (nrows, nnz) in [
+            (u64::MAX / 2, 4u64),
+            (1u64 << 60, 4),
+            (4, u64::MAX / 2),
+            (4, 1u64 << 60),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MSB_MAGIC);
+            buf.extend_from_slice(&MSB_VERSION.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&nrows.to_le_bytes());
+            buf.extend_from_slice(&4u64.to_le_bytes()); // ncols
+            buf.extend_from_slice(&nnz.to_le_bytes());
+            let r = read_msb(buf.as_slice());
+            assert!(
+                matches!(r, Err(IoError::Format(_))),
+                "nrows={nrows} nnz={nnz}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        buf.push(0);
+        assert!(matches!(read_msb(buf.as_slice()), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_structure() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        // Scramble a rowptr entry (offset 40 + 8 = second entry).
+        let mut bad = buf.clone();
+        bad[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_msb(bad.as_slice()).is_err());
+        // Out-of-bounds column index in the colidx section.
+        let colidx_off = 40 + 8 * 4;
+        let mut bad = buf.clone();
+        bad[colidx_off..colidx_off + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_msb(bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mspgemm_io_msb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.msb");
+        let a = sample();
+        write_msb_file(&path, &a).unwrap();
+        let b = read_msb_file(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+}

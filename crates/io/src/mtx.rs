@@ -1,0 +1,543 @@
+//! Streaming Matrix Market (`.mtx`) reader/writer.
+//!
+//! Supports `matrix coordinate {real | integer | pattern}
+//! {general | symmetric}` — the subset covering every SuiteSparse/GAP
+//! matrix the paper evaluates (§7). Entries stream straight into a
+//! [`Coo`] sized from the header's nnz (symmetric files reserve 2×), then
+//! canonicalize into [`Csr`] with the workspace's row-parallel
+//! `Coo::to_csr`; no intermediate per-line allocations.
+//!
+//! Relative to `mspgemm_sparse::mm_io` (kept for backward compatibility),
+//! this reader adds: header introspection ([`MtxHeader`]), line-numbered
+//! errors, value/NaN validation, CRLF tolerance, comment lines between
+//! entries, and a symmetric writer that emits only the lower triangle.
+
+use crate::error::IoError;
+use mspgemm_sparse::{Coo, Csr, Idx};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Value field of the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MtxField {
+    /// Floating-point values.
+    Real,
+    /// Integer values (parsed into `f64`; SuiteSparse graphs use small
+    /// weights that are exactly representable).
+    Integer,
+    /// No stored values; every entry reads as `1.0`.
+    Pattern,
+}
+
+/// Symmetry declaration of the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MtxSymmetry {
+    /// Entries are stored explicitly.
+    General,
+    /// Only one triangle is stored; off-diagonal entries mirror.
+    Symmetric,
+}
+
+/// The parsed banner + size line of a Matrix Market file.
+#[derive(Clone, Debug)]
+pub struct MtxHeader {
+    /// Value field.
+    pub field: MtxField,
+    /// Symmetry.
+    pub symmetry: MtxSymmetry,
+    /// Declared rows.
+    pub nrows: usize,
+    /// Declared columns.
+    pub ncols: usize,
+    /// Declared stored entries (before symmetric expansion).
+    pub stored_entries: usize,
+}
+
+/// Read and validate the banner and size line, leaving `lines` positioned
+/// at the first entry.
+fn parse_header(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    lineno: &mut usize,
+) -> Result<MtxHeader, IoError> {
+    *lineno += 1;
+    let banner = match lines.next() {
+        Some(l) => l?,
+        None => return Err(IoError::parse(*lineno, "empty input")),
+    };
+    let banner_lc = banner.trim().to_ascii_lowercase();
+    let fields: Vec<&str> = banner_lc.split_whitespace().collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(IoError::parse(*lineno, format!("bad banner: {banner}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(IoError::parse(
+            *lineno,
+            format!("unsupported format '{}' (only 'coordinate')", fields[2]),
+        ));
+    }
+    let field = match fields[3] {
+        "real" => MtxField::Real,
+        "integer" => MtxField::Integer,
+        "pattern" => MtxField::Pattern,
+        other => {
+            return Err(IoError::parse(
+                *lineno,
+                format!("unsupported value field '{other}' (real|integer|pattern)"),
+            ))
+        }
+    };
+    let symmetry = match fields.get(4).copied().unwrap_or("general") {
+        "general" => MtxSymmetry::General,
+        "symmetric" => MtxSymmetry::Symmetric,
+        other => {
+            return Err(IoError::parse(
+                *lineno,
+                format!("unsupported symmetry '{other}' (general|symmetric)"),
+            ))
+        }
+    };
+    // Comments, then the size line.
+    for line in lines.by_ref() {
+        *lineno += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let dims: Vec<&str> = t.split_whitespace().collect();
+        if dims.len() != 3 {
+            return Err(IoError::parse(
+                *lineno,
+                format!("size line needs 'nrows ncols nnz', got: {t}"),
+            ));
+        }
+        let parse = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .map_err(|e| IoError::parse(*lineno, format!("bad {what} '{s}': {e}")))
+        };
+        return Ok(MtxHeader {
+            field,
+            symmetry,
+            nrows: parse(dims[0], "nrows")?,
+            ncols: parse(dims[1], "ncols")?,
+            stored_entries: parse(dims[2], "nnz")?,
+        });
+    }
+    Err(IoError::parse(*lineno, "missing size line"))
+}
+
+/// Read a Matrix Market stream into `(header, Csr<f64>)`.
+///
+/// Symmetric files are expanded to both triangles (diagonal entries are
+/// not duplicated); pattern entries get value `1.0`; duplicate general
+/// entries are summed (pattern duplicates collapse to one entry).
+pub fn read_mtx<R: Read>(reader: R) -> Result<(MtxHeader, Csr<f64>), IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+    let header = parse_header(&mut lines, &mut lineno)?;
+    let symmetric = header.symmetry == MtxSymmetry::Symmetric;
+    let pattern = header.field == MtxField::Pattern;
+    // The size line is untrusted input: treat its nnz as a reservation
+    // hint only, capped so a corrupt header cannot force a huge or
+    // overflowing up-front allocation (entries still stream in fine past
+    // the cap; the Vec grows normally). Same hardening standard as the
+    // `.msb` reader.
+    const CAP_LIMIT: usize = 1 << 24;
+    let cap = if symmetric {
+        header.stored_entries.saturating_mul(2)
+    } else {
+        header.stored_entries
+    };
+    let mut coo: Coo<f64> = Coo::with_capacity(header.nrows, header.ncols, cap.min(CAP_LIMIT));
+    let mut seen = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| IoError::parse(lineno, "entry missing row index"))?
+            .parse()
+            .map_err(|e| IoError::parse(lineno, format!("bad row index: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| IoError::parse(lineno, "entry missing column index"))?
+            .parse()
+            .map_err(|e| IoError::parse(lineno, format!("bad column index: {e}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            let tok = it
+                .next()
+                .ok_or_else(|| IoError::parse(lineno, "entry missing value"))?;
+            let v: f64 = tok
+                .parse()
+                .map_err(|e| IoError::parse(lineno, format!("bad value '{tok}': {e}")))?;
+            if v.is_nan() {
+                return Err(IoError::parse(lineno, "NaN value"));
+            }
+            v
+        };
+        if it.next().is_some() {
+            return Err(IoError::parse(lineno, "trailing tokens after entry"));
+        }
+        if i == 0 || j == 0 {
+            return Err(IoError::parse(lineno, "indices are 1-based; found 0"));
+        }
+        if i > header.nrows || j > header.ncols {
+            return Err(IoError::parse(
+                lineno,
+                format!(
+                    "entry ({i},{j}) outside declared shape {}x{}",
+                    header.nrows, header.ncols
+                ),
+            ));
+        }
+        if symmetric && j > i {
+            return Err(IoError::parse(
+                lineno,
+                format!("symmetric file stores the lower triangle, found ({i},{j}) above"),
+            ));
+        }
+        let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
+        coo.push(i0, j0, v);
+        if symmetric && i0 != j0 {
+            coo.push(j0, i0, v);
+        }
+        seen += 1;
+    }
+    if seen != header.stored_entries {
+        return Err(IoError::parse(
+            lineno,
+            format!(
+                "size line declared {} entries, found {seen}",
+                header.stored_entries
+            ),
+        ));
+    }
+    let csr = if pattern {
+        coo.to_csr(|a, _| a)
+    } else {
+        coo.to_csr(|a, b| a + b)
+    };
+    Ok((header, csr))
+}
+
+/// Read a `.mtx` file from disk.
+pub fn read_mtx_file(path: impl AsRef<Path>) -> Result<(MtxHeader, Csr<f64>), IoError> {
+    read_mtx(std::fs::File::open(path)?)
+}
+
+/// Write `a` as `matrix coordinate {field} general` with 1-based indices.
+/// `Pattern` omits values.
+pub fn write_mtx<W: Write>(w: W, a: &Csr<f64>, field: MtxField) -> Result<(), IoError> {
+    let mut w = std::io::BufWriter::new(w);
+    let field_name = match field {
+        MtxField::Real => "real",
+        MtxField::Integer => "integer",
+        MtxField::Pattern => "pattern",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field_name} general")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        match field {
+            MtxField::Real => writeln!(w, "{} {} {}", i + 1, j + 1, v)?,
+            MtxField::Integer => writeln!(w, "{} {} {}", i + 1, j + 1, *v as i64)?,
+            MtxField::Pattern => writeln!(w, "{} {}", i + 1, j + 1)?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a structurally symmetric `a` storing only the lower triangle
+/// (`j <= i`), the Matrix Market convention that halves file size for
+/// undirected graphs.
+///
+/// # Errors
+/// [`IoError::Format`] if `a` is not square or not symmetric.
+pub fn write_mtx_symmetric<W: Write>(w: W, a: &Csr<f64>, field: MtxField) -> Result<(), IoError> {
+    if a.nrows() != a.ncols() {
+        return Err(IoError::Format(format!(
+            "symmetric write needs a square matrix, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    // Count lower-triangle entries and verify the mirror structure AND
+    // values: checking every strict-lower entry's mirror (value included)
+    // plus equal strict-triangle counts covers unmirrored or
+    // unequal-valued entries in either triangle — only the lower triangle
+    // is written, so any asymmetry would otherwise be silently rewritten.
+    let (mut lower, mut strict_lower, mut strict_upper) = (0usize, 0usize, 0usize);
+    for (i, j, v) in a.iter() {
+        let j = j as usize;
+        if j <= i {
+            lower += 1;
+        }
+        if j < i {
+            strict_lower += 1;
+            match a.get(j, i as Idx) {
+                None => {
+                    return Err(IoError::Format(format!(
+                        "matrix is not symmetric: ({i},{j}) stored but ({j},{i}) missing"
+                    )));
+                }
+                Some(mirror) if mirror != v => {
+                    return Err(IoError::Format(format!(
+                        "matrix is not value-symmetric: ({i},{j})={v} but ({j},{i})={mirror}"
+                    )));
+                }
+                Some(_) => {}
+            }
+        } else if j > i {
+            strict_upper += 1;
+        }
+    }
+    if strict_lower != strict_upper {
+        return Err(IoError::Format(format!(
+            "matrix is not symmetric: {strict_lower} strict-lower vs {strict_upper} strict-upper entries"
+        )));
+    }
+    let mut w = std::io::BufWriter::new(w);
+    let field_name = match field {
+        MtxField::Real => "real",
+        MtxField::Integer => "integer",
+        MtxField::Pattern => "pattern",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field_name} symmetric")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), lower)?;
+    for (i, j, v) in a.iter() {
+        if (j as usize) > i {
+            continue;
+        }
+        match field {
+            MtxField::Real => writeln!(w, "{} {} {}", i + 1, j + 1, v)?,
+            MtxField::Integer => writeln!(w, "{} {} {}", i + 1, j + 1, *v as i64)?,
+            MtxField::Pattern => writeln!(w, "{} {}", i + 1, j + 1)?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a `.mtx` file to disk (general symmetry, real field).
+pub fn write_mtx_file(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoError> {
+    write_mtx(std::fs::File::create(path)?, a, MtxField::Real)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_real_parses_with_header() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    \n\
+                    3 4 3\n\
+                    1 1 1.5\n\
+                    % mid-stream comment\n\
+                    2 3 -2.0\n\
+                    3 4 7\n";
+        let (h, m) = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(h.field, MtxField::Real);
+        assert_eq!(h.symmetry, MtxSymmetry::General);
+        assert_eq!((h.nrows, h.ncols, h.stored_entries), (3, 4, 3));
+        assert_eq!(m.get(0, 0), Some(&1.5));
+        assert_eq!(m.get(1, 2), Some(&-2.0));
+        assert_eq!(m.get(2, 3), Some(&7.0));
+    }
+
+    #[test]
+    fn symmetric_expands_lower_triangle() {
+        let text = "%%MatrixMarket matrix coordinate integer symmetric\n\
+                    3 3 3\n\
+                    2 1 5\n\
+                    3 1 6\n\
+                    2 2 1\n";
+        let (h, m) = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(h.field, MtxField::Integer);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 1), Some(&5.0));
+        assert_eq!(m.get(1, 0), Some(&5.0));
+        assert_eq!(m.get(1, 1), Some(&1.0));
+    }
+
+    #[test]
+    fn symmetric_rejects_upper_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 1\n\
+                    1 3 2.0\n";
+        let e = read_mtx(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn pattern_dedups_not_sums() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 3\n\
+                    1 2\n\
+                    1 2\n\
+                    2 1\n";
+        let (_, m) = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(&1.0), "pattern duplicates stay 1.0");
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn crlf_and_whitespace_tolerated() {
+        let text = "%%MatrixMarket matrix coordinate real general\r\n\
+                    2 2 2\r\n\
+                    1 1   1.0\r\n\
+                    2\t2\t2.0\r\n";
+        let (_, m) = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(&1.0));
+        assert_eq!(m.get(1, 1), Some(&2.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n",
+                3,
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 3.0\n",
+                3,
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+                3,
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0 9\n",
+                3,
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n",
+                3,
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\nbogus size\n",
+                2,
+            ),
+        ];
+        for (text, want_line) in cases {
+            match read_mtx(text.as_bytes()) {
+                Err(IoError::Parse { line, .. }) => {
+                    assert_eq!(line, *want_line, "wrong line for: {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_size_line_errors_without_allocating() {
+        // nnz is untrusted: usize::MAX (and huge-but-allocatable values)
+        // must produce Err, not a capacity-overflow panic or OOM.
+        for nnz in ["18446744073709551615", "1152921504606846976"] {
+            let text =
+                format!("%%MatrixMarket matrix coordinate real general\n2 2 {nnz}\n1 1 1.0\n");
+            let r = read_mtx(text.as_bytes());
+            assert!(r.is_err(), "accepted nnz={nnz}");
+        }
+        // Symmetric doubling must not overflow either.
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 {}\n1 1 1.0\n",
+            usize::MAX
+        );
+        assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn symmetric_write_rejects_value_asymmetry() {
+        // Pattern-symmetric but value-asymmetric: writing only the lower
+        // triangle would silently replace 2.0 with 3.0.
+        let a = Csr::from_dense(&[vec![None, Some(2.0)], vec![Some(3.0), None]], 2);
+        let mut buf = Vec::new();
+        let e = write_mtx_symmetric(&mut buf, &a, MtxField::Real).unwrap_err();
+        assert!(format!("{e}").contains("value-symmetric"), "{e}");
+    }
+
+    #[test]
+    fn nnz_mismatch_detected() {
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_mtx(short.as_bytes()).is_err());
+        let long = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n";
+        assert!(read_mtx(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_banners_rejected() {
+        for text in [
+            "hello\n",
+            "%%MatrixMarket matrix array real general\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+            "",
+        ] {
+            assert!(read_mtx(text.as_bytes()).is_err(), "accepted: {text:?}");
+        }
+    }
+
+    #[test]
+    fn general_roundtrip() {
+        let a = Csr::from_dense(
+            &[
+                vec![Some(1.0), None, Some(2.5)],
+                vec![None, Some(-3.0), None],
+            ],
+            3,
+        );
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &a, MtxField::Real).unwrap();
+        let (_, b) = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_roundtrip_halves_stored_entries() {
+        // 4-cycle: symmetric, loop-free.
+        let mut coo = Coo::new(4, 4);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        let a = coo.to_csr(|x, _| x);
+        let mut buf = Vec::new();
+        write_mtx_symmetric(&mut buf, &a, MtxField::Real).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("symmetric"));
+        assert!(
+            text.lines().nth(1).unwrap().ends_with(" 4"),
+            "4 stored entries: {text}"
+        );
+        let (h, b) = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(h.symmetry, MtxSymmetry::Symmetric);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_write_rejects_asymmetric() {
+        let a = Csr::from_dense(&[vec![None, Some(1.0)], vec![None, None]], 2);
+        let mut buf = Vec::new();
+        assert!(write_mtx_symmetric(&mut buf, &a, MtxField::Real).is_err());
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let a = Csr::from_dense(&[vec![Some(1.0), None], vec![Some(1.0), Some(1.0)]], 2);
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &a, MtxField::Pattern).unwrap();
+        let (h, b) = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(h.field, MtxField::Pattern);
+        assert_eq!(a, b);
+    }
+}

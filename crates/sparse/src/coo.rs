@@ -18,12 +18,36 @@ pub struct Coo<T> {
 impl<T: Copy + Send + Sync> Coo<T> {
     /// An empty triplet bag for an `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, entries: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty triplet bag with room for `cap` entries — the streaming
+    /// ingestion path (Matrix Market readers, edge-list loaders) knows the
+    /// entry count up front and avoids regrowth.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Build directly from a triplet vector.
     pub fn from_entries(nrows: usize, ncols: usize, entries: Vec<(Idx, Idx, T)>) -> Self {
-        Self { nrows, ncols, entries }
+        Self {
+            nrows,
+            ncols,
+            entries,
+        }
+    }
+
+    /// Reserve room for at least `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
     }
 
     /// Append one triplet. Duplicates are allowed; they are merged by
@@ -186,7 +210,9 @@ mod tests {
         let mut dense = vec![vec![0i64; nc]; nr];
         let mut state = 0x9e3779b97f4a7c15u64;
         for _ in 0..2000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (state >> 33) as usize % nr;
             let j = (state >> 17) as usize % nc;
             let v = (state % 7) as i64 - 3;

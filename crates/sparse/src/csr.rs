@@ -26,7 +26,13 @@ pub struct Csr<T> {
 impl<T> Csr<T> {
     /// An `nrows × ncols` matrix with no stored entries.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), values: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from raw parts, validating every invariant.
@@ -42,10 +48,20 @@ impl<T> Csr<T> {
         values: Vec<T>,
     ) -> Result<Self, String> {
         if colidx.len() != values.len() {
-            return Err(format!("colidx.len() {} != values.len() {}", colidx.len(), values.len()));
+            return Err(format!(
+                "colidx.len() {} != values.len() {}",
+                colidx.len(),
+                values.len()
+            ));
         }
         validate_pattern(nrows, ncols, &rowptr, &colidx)?;
-        Ok(Self { nrows, ncols, rowptr, colidx, values })
+        Ok(Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
     }
 
     /// Build from raw parts without validation (debug builds still assert).
@@ -64,7 +80,13 @@ impl<T> Csr<T> {
         if let Err(e) = validate_pattern(nrows, ncols, &rowptr, &colidx) {
             panic!("Csr invariant violated: {e}");
         }
-        Self { nrows, ncols, rowptr, colidx, values }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -185,7 +207,12 @@ impl<T> Csr<T> {
         assert_eq!(self.ncols, b.nrows, "flops_with: inner dimensions differ");
         (0..self.nrows)
             .into_par_iter()
-            .map(|i| self.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+            .map(|i| {
+                self.row_cols(i)
+                    .iter()
+                    .map(|&k| b.row_nnz(k as usize) as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
@@ -195,10 +222,18 @@ impl<T> Csr<T> {
         T: Sync,
         U: Sync,
     {
-        assert_eq!(self.ncols, b.nrows, "row_flops_with: inner dimensions differ");
+        assert_eq!(
+            self.ncols, b.nrows,
+            "row_flops_with: inner dimensions differ"
+        );
         (0..self.nrows)
             .into_par_iter()
-            .map(|i| self.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+            .map(|i| {
+                self.row_cols(i)
+                    .iter()
+                    .map(|&k| b.row_nnz(k as usize) as u64)
+                    .sum::<u64>()
+            })
             .collect()
     }
 }
@@ -231,7 +266,13 @@ impl<T: Copy + Send + Sync> Csr<T> {
             }
             rowptr.push(colidx.len());
         }
-        Self { nrows, ncols, rowptr, colidx, values }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
     }
 
     /// Identity-pattern square matrix with `value` on the diagonal.
@@ -300,7 +341,13 @@ impl<T: Copy + Send + Sync> Csr<T> {
         let nnz = rowptr[nrows];
         // Fast path: bounds were exact, buffers are already tight.
         if nnz == tmp_cols.len() {
-            return Self { nrows, ncols, rowptr, colidx: tmp_cols, values: tmp_vals };
+            return Self {
+                nrows,
+                ncols,
+                rowptr,
+                colidx: tmp_cols,
+                values: tmp_vals,
+            };
         }
         let mut colidx = vec![0 as Idx; nnz];
         let mut values = vec![fill; nnz];
@@ -318,7 +365,13 @@ impl<T: Copy + Send + Sync> Csr<T> {
                 v.copy_from_slice(&tmp_vals[src..src + n]);
             });
         }
-        Self { nrows, ncols, rowptr, colidx, values }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
     }
 }
 
@@ -330,7 +383,11 @@ fn validate_pattern(
     colidx: &[Idx],
 ) -> Result<(), String> {
     if rowptr.len() != nrows + 1 {
-        return Err(format!("rowptr length {} != nrows+1 = {}", rowptr.len(), nrows + 1));
+        return Err(format!(
+            "rowptr length {} != nrows+1 = {}",
+            rowptr.len(),
+            nrows + 1
+        ));
     }
     if rowptr[0] != 0 {
         return Err("rowptr[0] must be 0".into());
@@ -345,6 +402,16 @@ fn validate_pattern(
     for i in 0..nrows {
         if rowptr[i] > rowptr[i + 1] {
             return Err(format!("rowptr not monotone at row {i}"));
+        }
+        // Bounds-check before slicing: a corrupt interior rowptr entry can
+        // exceed colidx.len() even when rowptr[last] is consistent.
+        if rowptr[i + 1] > colidx.len() {
+            return Err(format!(
+                "rowptr[{}] = {} exceeds colidx.len() = {}",
+                i + 1,
+                rowptr[i + 1],
+                colidx.len()
+            ));
         }
         let row = &colidx[rowptr[i]..rowptr[i + 1]];
         for w in row.windows(2) {
@@ -366,7 +433,11 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Csr<T> {
         writeln!(f, "Csr {}x{} nnz={}", self.nrows, self.ncols, self.nnz())?;
         for i in 0..self.nrows.min(20) {
             let (cols, vals) = self.row(i);
-            writeln!(f, "  row {i}: {:?}", cols.iter().zip(vals).collect::<Vec<_>>())?;
+            writeln!(
+                f,
+                "  row {i}: {:?}",
+                cols.iter().zip(vals).collect::<Vec<_>>()
+            )?;
         }
         if self.nrows > 20 {
             writeln!(f, "  ... ({} more rows)", self.nrows - 20)?;
@@ -383,8 +454,14 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        Csr::try_from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        Csr::try_from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -432,14 +509,19 @@ mod tests {
     fn validation_rejects_bad_rowptr() {
         assert!(Csr::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         assert!(Csr::try_from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
-        assert!(Csr::try_from_parts(1, 2, vec![1, 1], Vec::<Idx>::new(), Vec::<f64>::new()).is_err());
+        assert!(
+            Csr::try_from_parts(1, 2, vec![1, 1], Vec::<Idx>::new(), Vec::<f64>::new()).is_err()
+        );
     }
 
     #[test]
     fn iter_yields_all_entries() {
         let a = small();
         let entries: Vec<(usize, Idx, f64)> = a.iter().map(|(i, j, v)| (i, j, *v)).collect();
-        assert_eq!(entries, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 
     #[test]

@@ -1,6 +1,15 @@
-//! Matrix Market (`.mtx`) I/O. The paper's real-world inputs come from the
-//! SuiteSparse collection in this format; the reader lets users drop in the
-//! actual files, while the synthetic suite stands in when they are absent.
+//! Minimal Matrix Market (`.mtx`) I/O, retained for this crate's internal
+//! tests and backward compatibility.
+//!
+//! **The canonical reader/writer lives in the `mspgemm-io` crate**
+//! (`mspgemm_io::mtx`), which adds header introspection, line-numbered
+//! errors, NaN/trailing-token rejection, symmetric lower-triangle writing,
+//! untrusted-size-line hardening, and the `.msb` sidecar cache. This
+//! module is deliberately kept small and lax (e.g. it accepts NaN values
+//! and upper-triangle entries in symmetric files) — new code should use
+//! `mspgemm-io`. Consolidating the two is an open ROADMAP item; the
+//! dependency direction (`mspgemm-io` depends on this crate) prevents
+//! delegation from here.
 //!
 //! Supported: `matrix coordinate {real|integer|pattern} {general|symmetric}`.
 //! Indices are 1-based per the spec.
@@ -46,9 +55,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// (diagonal entries are not duplicated).
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty input"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
     let header_lc = header.to_ascii_lowercase();
     let fields: Vec<&str> = header_lc.split_whitespace().collect();
     if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -82,7 +89,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| parse_err(format!("bad size line: {e}"))))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| parse_err(format!("bad size line: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err("size line must have 3 fields: nrows ncols nnz"));
@@ -117,7 +127,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
                 .map_err(|e| parse_err(format!("bad value: {e}")))?
         };
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(format!("entry ({i},{j}) out of bounds (1-based)")));
+            return Err(parse_err(format!(
+                "entry ({i},{j}) out of bounds (1-based)"
+            )));
         }
         let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
         coo.push(i0, j0, v);
@@ -127,7 +139,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(format!("size line promised {nnz} entries, found {seen}")));
+        return Err(parse_err(format!(
+            "size line promised {nnz} entries, found {seen}"
+        )));
     }
     Ok(coo.to_csr(|a, b| a + b))
 }
@@ -176,7 +190,11 @@ mod tests {
                     3 1 6.0\n\
                     2 2 1.0\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
-        assert_eq!(m.nnz(), 5, "off-diagonals mirrored, diagonal not duplicated");
+        assert_eq!(
+            m.nnz(),
+            5,
+            "off-diagonals mirrored, diagonal not duplicated"
+        );
         assert_eq!(m.get(0, 1), Some(&5.0));
         assert_eq!(m.get(1, 0), Some(&5.0));
         assert_eq!(m.get(1, 1), Some(&1.0));
@@ -196,7 +214,10 @@ mod tests {
     #[test]
     fn roundtrip() {
         let a = Csr::from_dense(
-            &[vec![Some(1.0), None, Some(2.5)], vec![None, Some(-3.0), None]],
+            &[
+                vec![Some(1.0), None, Some(2.5)],
+                vec![None, Some(-3.0), None],
+            ],
             3,
         );
         let mut buf = Vec::new();
@@ -208,9 +229,14 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(read_matrix_market("hello\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
         let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(read_matrix_market(short.as_bytes()).is_err(), "nnz mismatch detected");
+        assert!(
+            read_matrix_market(short.as_bytes()).is_err(),
+            "nnz mismatch detected"
+        );
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(oob.as_bytes()).is_err());
     }

@@ -32,11 +32,7 @@ fn union_len(a: &[Idx], b: &[Idx]) -> usize {
 /// `C = A .* B` on the pattern intersection; values combined with `f`.
 ///
 /// Entries appear in `C` exactly where both `A` and `B` store an entry.
-pub fn ewise_mult<T, U, V>(
-    a: &Csr<T>,
-    b: &Csr<U>,
-    f: impl Fn(&T, &U) -> V + Sync,
-) -> Csr<V>
+pub fn ewise_mult<T, U, V>(a: &Csr<T>, b: &Csr<U>, f: impl Fn(&T, &U) -> V + Sync) -> Csr<V>
 where
     T: Copy + Send + Sync,
     U: Copy + Send + Sync,

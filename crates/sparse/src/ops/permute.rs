@@ -17,7 +17,11 @@ pub fn permute_symmetric<T>(a: &Csr<T>, new_of_old: &[Idx]) -> Csr<T>
 where
     T: Copy + Send + Sync,
 {
-    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs a square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "symmetric permutation needs a square matrix"
+    );
     assert_eq!(new_of_old.len(), a.nrows(), "permutation length mismatch");
     debug_assert!(is_permutation(new_of_old));
     let n = a.nrows();
@@ -29,7 +33,11 @@ where
     let rowptr = par_exclusive_prefix_sum(&sizes);
     let nnz = a.nnz();
     let mut colidx = vec![0 as Idx; nnz];
-    let mut values = if nnz > 0 { vec![a.values()[0]; nnz] } else { Vec::new() };
+    let mut values = if nnz > 0 {
+        vec![a.values()[0]; nnz]
+    } else {
+        Vec::new()
+    };
     {
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);
@@ -41,8 +49,11 @@ where
             let dst_c = unsafe { cw.slice_mut(start, cols.len()) };
             let dst_v = unsafe { vw.slice_mut(start, cols.len()) };
             // Scatter with relabeled columns, then sort the row.
-            let mut pairs: Vec<(Idx, T)> =
-                cols.iter().zip(vals).map(|(&j, &v)| (new_of_old[j as usize], v)).collect();
+            let mut pairs: Vec<(Idx, T)> = cols
+                .iter()
+                .zip(vals)
+                .map(|(&j, &v)| (new_of_old[j as usize], v))
+                .collect();
             pairs.sort_unstable_by_key(|&(j, _)| j);
             for (k, (j, v)) in pairs.into_iter().enumerate() {
                 dst_c[k] = j;

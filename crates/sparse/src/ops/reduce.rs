@@ -101,8 +101,9 @@ mod tests {
     #[test]
     fn large_parallel_sum_matches_sequential() {
         let n = 500usize;
-        let dense: Vec<Vec<Option<i64>>> =
-            (0..n).map(|i| (0..n).map(|j| ((i * j) % 3 == 0).then_some(1i64)).collect()).collect();
+        let dense: Vec<Vec<Option<i64>>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * j) % 3 == 0).then_some(1i64)).collect())
+            .collect();
         let a = Csr::from_dense(&dense, n);
         let par = reduce_all(&a, 0i64, |acc, v| acc + v, |x, y| x + y);
         let seq: i64 = a.values().iter().sum();

@@ -50,8 +50,9 @@ mod tests {
     use super::*;
 
     fn full3() -> Csr<i64> {
-        let d: Vec<Vec<Option<i64>>> =
-            (0..3).map(|i| (0..3).map(|j| Some((i * 3 + j) as i64)).collect()).collect();
+        let d: Vec<Vec<Option<i64>>> = (0..3)
+            .map(|i| (0..3).map(|j| Some((i * 3 + j) as i64)).collect())
+            .collect();
         Csr::from_dense(&d, 3)
     }
 

@@ -202,7 +202,11 @@ mod tests {
             for &y in samples {
                 assert_eq!(S::add(x, y), S::add(y, x), "commutativity");
                 for &z in samples {
-                    assert_eq!(S::add(S::add(x, y), z), S::add(x, S::add(y, z)), "associativity");
+                    assert_eq!(
+                        S::add(S::add(x, y), z),
+                        S::add(x, S::add(y, z)),
+                        "associativity"
+                    );
                 }
             }
         }

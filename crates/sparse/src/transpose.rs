@@ -102,25 +102,32 @@ fn transpose_par<T: Copy + Send + Sync>(a: &Csr<T>, chunks: usize) -> Csr<T> {
     }
 
     let mut colidx = vec![0 as Idx; nnz];
-    let mut values = if nnz > 0 { vec![a.values()[0]; nnz] } else { Vec::new() };
+    let mut values = if nnz > 0 {
+        vec![a.values()[0]; nnz]
+    } else {
+        Vec::new()
+    };
     {
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);
-        ranges.par_iter().zip(cursor_flat.par_chunks_mut(n)).for_each(|(r, cursor)| {
-            for i in r.clone() {
-                let (cols, vals) = a.row(i);
-                for (&j, &v) in cols.iter().zip(vals) {
-                    let p = cursor[j as usize];
-                    // SAFETY: cursor ranges are disjoint across chunks by
-                    // construction of the per-chunk scan.
-                    unsafe {
-                        cw.write(p, i as Idx);
-                        vw.write(p, v);
+        ranges
+            .par_iter()
+            .zip(cursor_flat.par_chunks_mut(n))
+            .for_each(|(r, cursor)| {
+                for i in r.clone() {
+                    let (cols, vals) = a.row(i);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        let p = cursor[j as usize];
+                        // SAFETY: cursor ranges are disjoint across chunks by
+                        // construction of the per-chunk scan.
+                        unsafe {
+                            cw.write(p, i as Idx);
+                            vw.write(p, v);
+                        }
+                        cursor[j as usize] += 1;
                     }
-                    cursor[j as usize] += 1;
                 }
-            }
-        });
+            });
     }
     Csr::from_parts_unchecked(n, m, rowptr, colidx, values)
 }
@@ -134,7 +141,9 @@ mod tests {
         let mut s = seed | 1;
         for (i, row) in d.iter_mut().enumerate() {
             for (j, cell) in row.iter_mut().enumerate() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if s % 100 < density_pct {
                     *cell = Some((i * nc + j) as i64);
                 }
@@ -180,8 +189,7 @@ mod tests {
         assert_eq!(t.ncols(), 5);
         assert_eq!(t.nnz(), 0);
 
-        let single =
-            Csr::try_from_parts(1, 1, vec![0, 1], vec![0], vec![9i64]).unwrap();
+        let single = Csr::try_from_parts(1, 1, vec![0, 1], vec![0], vec![9i64]).unwrap();
         assert_eq!(transpose(&single), single);
     }
 

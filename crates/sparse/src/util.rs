@@ -71,7 +71,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
         // SAFETY: &mut [T] -> &[UnsafeCell<T>] is sound (UnsafeCell<T> has
         // the same layout as T) and we hold the unique borrow for 'a.
         let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
-        Self { data: unsafe { &*ptr } }
+        Self {
+            data: unsafe { &*ptr },
+        }
     }
 
     /// Total length of the underlying slice.
@@ -101,7 +103,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
-        debug_assert!(start + len <= self.data.len(), "UnsafeSlice range out of bounds");
+        debug_assert!(
+            start + len <= self.data.len(),
+            "UnsafeSlice range out of bounds"
+        );
         if len == 0 {
             return &mut [];
         }
@@ -147,7 +152,10 @@ mod tests {
     #[test]
     fn prefix_sum_par_matches_seq() {
         let counts: Vec<usize> = (0..100_000).map(|i| (i * 31 + 7) % 13).collect();
-        assert_eq!(par_exclusive_prefix_sum(&counts), exclusive_prefix_sum(&counts));
+        assert_eq!(
+            par_exclusive_prefix_sum(&counts),
+            exclusive_prefix_sum(&counts)
+        );
     }
 
     #[test]

@@ -17,14 +17,22 @@ pub struct SparseVec<T> {
 impl<T> SparseVec<T> {
     /// The empty vector of logical length `n`.
     pub fn empty(n: usize) -> Self {
-        Self { n, idx: Vec::new(), vals: Vec::new() }
+        Self {
+            n,
+            idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Build from parallel index/value arrays (indices must be sorted and
     /// unique; checked).
     pub fn try_from_parts(n: usize, idx: Vec<Idx>, vals: Vec<T>) -> Result<Self, String> {
         if idx.len() != vals.len() {
-            return Err(format!("idx.len() {} != vals.len() {}", idx.len(), vals.len()));
+            return Err(format!(
+                "idx.len() {} != vals.len() {}",
+                idx.len(),
+                vals.len()
+            ));
         }
         for w in idx.windows(2) {
             if w[0] >= w[1] {
@@ -84,12 +92,20 @@ impl<T> SparseVec<T> {
 
     /// Drop values, keep the pattern.
     pub fn pattern(&self) -> SparseVec<()> {
-        SparseVec { n: self.n, idx: self.idx.clone(), vals: vec![(); self.idx.len()] }
+        SparseVec {
+            n: self.n,
+            idx: self.idx.clone(),
+            vals: vec![(); self.idx.len()],
+        }
     }
 
     /// Map values (pattern preserved).
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> SparseVec<U> {
-        SparseVec { n: self.n, idx: self.idx.clone(), vals: self.vals.iter().map(f).collect() }
+        SparseVec {
+            n: self.n,
+            idx: self.idx.clone(),
+            vals: self.vals.iter().map(f).collect(),
+        }
     }
 }
 
@@ -97,7 +113,11 @@ impl<T: Copy> SparseVec<T> {
     /// A single-entry vector.
     pub fn unit(n: usize, i: Idx, v: T) -> Self {
         assert!((i as usize) < n);
-        Self { n, idx: vec![i], vals: vec![v] }
+        Self {
+            n,
+            idx: vec![i],
+            vals: vec![v],
+        }
     }
 
     /// Dense materialization (`None` = structural zero). Test helper.
@@ -116,10 +136,10 @@ impl<T: Copy> SparseVec<T> {
         let mut vals = Vec::with_capacity(self.nnz() + other.nnz());
         let (mut x, mut y) = (0usize, 0usize);
         while x < self.idx.len() || y < other.idx.len() {
-            let take_a = y >= other.idx.len()
-                || (x < self.idx.len() && self.idx[x] <= other.idx[y]);
-            let take_b = x >= self.idx.len()
-                || (y < other.idx.len() && other.idx[y] <= self.idx[x]);
+            let take_a =
+                y >= other.idx.len() || (x < self.idx.len() && self.idx[x] <= other.idx[y]);
+            let take_b =
+                x >= self.idx.len() || (y < other.idx.len() && other.idx[y] <= self.idx[x]);
             if take_a && take_b {
                 idx.push(self.idx[x]);
                 vals.push(f(self.vals[x], other.vals[y]));
@@ -135,7 +155,11 @@ impl<T: Copy> SparseVec<T> {
                 y += 1;
             }
         }
-        Self { n: self.n, idx, vals }
+        Self {
+            n: self.n,
+            idx,
+            vals,
+        }
     }
 }
 

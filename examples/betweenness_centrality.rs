@@ -11,14 +11,23 @@ use mspgemm::harness::mteps;
 use mspgemm::prelude::*;
 
 fn main() {
-    let batch: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let g = rmat_symmetric(11, RmatParams::default(), 5);
     let n = g.nrows();
     let edges = g.nnz() / 2;
     let sources: Vec<usize> = (0..batch.min(n)).collect();
-    println!("R-MAT scale 11: {n} vertices, {edges} edges, batch = {}\n", sources.len());
+    println!(
+        "R-MAT scale 11: {n} vertices, {edges} edges, batch = {}\n",
+        sources.len()
+    );
 
-    println!("{:<12} {:>12} {:>12} {:>10} {:>7}", "scheme", "mxm secs", "total secs", "MTEPS", "depth");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>7}",
+        "scheme", "mxm secs", "total secs", "MTEPS", "depth"
+    );
     let schemes = [
         Scheme::Ours(Algorithm::Msa, Phases::One),
         Scheme::Ours(Algorithm::Msa, Phases::Two),
@@ -46,5 +55,8 @@ fn main() {
             Some(t) => assert_eq!(&top, t, "{} ranks differently", s.name()),
         }
     }
-    println!("\ntop-5 most central vertices: {:?} ✓", top_vertices.unwrap());
+    println!(
+        "\ntop-5 most central vertices: {:?} ✓",
+        top_vertices.unwrap()
+    );
 }

@@ -12,7 +12,11 @@ use mspgemm::prelude::*;
 
 fn main() {
     let g = rmat_symmetric(12, RmatParams::default(), 17);
-    println!("R-MAT scale 12: {} vertices, {} edges\n", g.nrows(), g.nnz() / 2);
+    println!(
+        "R-MAT scale 12: {} vertices, {} edges\n",
+        g.nrows(),
+        g.nnz() / 2
+    );
 
     // Single-source BFS, three direction policies.
     println!("single-source BFS from vertex 0:");
@@ -37,7 +41,11 @@ fn main() {
         let reached = r.levels[q].iter().filter(|&&l| l >= 0).count();
         println!("  source {src:>5}: reached {reached} vertices");
     }
-    println!("  {} waves, {:.3} ms inside masked SpGEMM", r.depth, r.mxm_seconds * 1e3);
+    println!(
+        "  {} waves, {:.3} ms inside masked SpGEMM",
+        r.depth,
+        r.mxm_seconds * 1e3
+    );
 
     // The batched run must agree with per-source runs.
     for (q, &src) in sources.iter().enumerate() {

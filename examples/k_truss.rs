@@ -38,7 +38,11 @@ fn main() {
     let mut prev = usize::MAX;
     for &k in &[3usize, 4, 5, 6] {
         let r = k_truss(&g, k, Scheme::Ours(Algorithm::Hash, Phases::One));
-        assert!(r.truss.nnz() <= prev, "{k}-truss larger than {}-truss", k - 1);
+        assert!(
+            r.truss.nnz() <= prev,
+            "{k}-truss larger than {}-truss",
+            k - 1
+        );
         prev = r.truss.nnz();
     }
     println!("\nnesting property verified ✓");

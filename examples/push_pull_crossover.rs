@@ -26,16 +26,30 @@ fn main() {
     for mask_degree in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let mask = mspgemm::gen::er_pattern(n, n, mask_degree, 3);
         let (push_s, push_c) = time_best(2, || {
-            masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, Algorithm::Msa, MaskMode::Mask, Phases::One)
-                .unwrap()
+            masked_mxm::<PlusTimesF64, ()>(
+                &mask,
+                &a,
+                &b,
+                Algorithm::Msa,
+                MaskMode::Mask,
+                Phases::One,
+            )
+            .unwrap()
         });
         let (pull_s, pull_c) = time_best(2, || {
             masked_mxm_with_bt::<PlusTimesF64, ()>(&mask, &a, &bt, MaskMode::Mask, Phases::One)
                 .unwrap()
         });
-        assert_eq!(push_c.pattern(), pull_c.pattern(), "push and pull must agree on pattern");
+        assert_eq!(
+            push_c.pattern(),
+            pull_c.pattern(),
+            "push and pull must agree on pattern"
+        );
         for (x, y) in push_c.values().iter().zip(pull_c.values()) {
-            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "push/pull values diverge");
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                "push/pull values diverge"
+            );
         }
         let winner = if pull_s < push_s { "pull" } else { "push" };
         pull_won_somewhere |= pull_s < push_s;

@@ -10,8 +10,10 @@ use mspgemm::harness::{gflops, time_best};
 use mspgemm::prelude::*;
 
 fn main() {
-    let scale: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let g = rmat_symmetric(scale, RmatParams::default(), 42);
     println!(
         "R-MAT scale {scale}: {} vertices, {} edges (stored nnz {})\n",
@@ -22,7 +24,10 @@ fn main() {
 
     let ops = tricount::prepare(&g);
     println!("L: nnz = {}, product flops = {}\n", ops.l.nnz(), ops.flops);
-    println!("{:<12} {:>12} {:>12} {:>10}", "scheme", "triangles", "seconds", "GFLOPS");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "scheme", "triangles", "seconds", "GFLOPS"
+    );
 
     let mut schemes = Scheme::all_ours();
     schemes.push(Scheme::SsSaxpy);

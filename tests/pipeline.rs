@@ -43,25 +43,35 @@ fn full_bc_pipeline_produces_sane_scores() {
     let sources: Vec<usize> = (0..32).collect();
     let r = bc::betweenness(&g, &sources, Scheme::Ours(Algorithm::Msa, Phases::One));
     assert_eq!(r.scores.len(), g.nrows());
-    assert!(r.scores.iter().all(|&x| x >= -1e-9), "scores are nonnegative");
-    assert!(r.scores.iter().any(|&x| x > 0.0), "something must be central");
+    assert!(
+        r.scores.iter().all(|&x| x >= -1e-9),
+        "scores are nonnegative"
+    );
+    assert!(
+        r.scores.iter().any(|&x| x > 0.0),
+        "something must be central"
+    );
     assert!(mteps(sources.len(), g.nnz() / 2, r.total_seconds.max(1e-12)) > 0.0);
 }
 
 #[test]
 fn profile_machinery_end_to_end() {
     let suite = vec![
-        gen::SuiteGraph { name: "er", adj: gen::er_symmetric(150, 6, 1) },
-        gen::SuiteGraph { name: "rmat", adj: gen::rmat_symmetric(7, RmatParams::default(), 2) },
+        gen::SuiteGraph::new("er", gen::er_symmetric(150, 6, 1)),
+        gen::SuiteGraph::new("rmat", gen::rmat_symmetric(7, RmatParams::default(), 2)),
     ];
-    let schemes =
-        [Scheme::Ours(Algorithm::Msa, Phases::One), Scheme::Ours(Algorithm::Hash, Phases::One)];
+    let schemes = [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Hash, Phases::One),
+    ];
     let runs: Vec<SchemeRuns> = mspgemm::harness::runner::tc_runs(&suite, &schemes, 1);
     let profile = performance_profile(&runs, &mspgemm::harness::default_taus(2.4, 0.2));
     // Some scheme must be best somewhere; fractions in [0, 1].
-    let sum_best: f64 =
-        profile.curves.iter().map(|(_, fr)| fr[0]).sum();
-    assert!(sum_best >= 1.0 - 1e-9, "at least one best per case (ties can exceed 1)");
+    let sum_best: f64 = profile.curves.iter().map(|(_, fr)| fr[0]).sum();
+    assert!(
+        sum_best >= 1.0 - 1e-9,
+        "at least one best per case (ties can exceed 1)"
+    );
     for (_, fr) in &profile.curves {
         assert!(fr.iter().all(|&f| (0.0..=1.0).contains(&f)));
     }
@@ -95,21 +105,66 @@ fn matrix_market_roundtrip_through_apps() {
 }
 
 #[test]
+fn msb_cache_roundtrip_through_apps() {
+    // Generate → write .mtx → load through the sidecar cache (which
+    // writes and then serves .msb) → identical triangle counts. This is
+    // the repeat-experiment path `mxm` exercises on real datasets.
+    let dir = std::env::temp_dir().join("mspgemm_pipeline_msb");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("g.mtx");
+
+    let g = gen::er_symmetric(200, 8, 23);
+    mspgemm::io::mtx::write_mtx_file(&mtx, &g).unwrap();
+
+    let (a, first) = mspgemm::io::load_matrix_cached(&mtx, CachePolicy::ReadWrite).unwrap();
+    let (b, second) = mspgemm::io::load_matrix_cached(&mtx, CachePolicy::ReadWrite).unwrap();
+    assert_eq!(first, mspgemm::io::CacheOutcome::Written);
+    assert_eq!(second, mspgemm::io::CacheOutcome::Hit);
+    assert_eq!(a, b);
+    assert_eq!(a, g);
+
+    let t_direct = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Hash, Phases::One));
+    let t_cached = tricount::triangle_count(&b, Scheme::Ours(Algorithm::Hash, Phases::One));
+    assert_eq!(t_direct.triangles, t_cached.triangles);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_source_feeds_runners() {
+    // On-disk datasets flow through the same runner machinery as the
+    // synthetic suite — the shape `mxm suite --source <dir>` relies on.
+    let dir = std::env::temp_dir().join("mspgemm_pipeline_source");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, seed) in [("g1", 3u64), ("g2", 4)] {
+        let g = gen::er_symmetric(120, 6, seed);
+        mspgemm::io::mtx::write_mtx_file(dir.join(format!("{name}.mtx")), &g).unwrap();
+    }
+    let graphs = DatasetSource::parse(dir.to_str().unwrap())
+        .load(CachePolicy::Off)
+        .unwrap();
+    assert_eq!(graphs.len(), 2);
+    let schemes = [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Hash, Phases::One),
+    ];
+    let runs: Vec<SchemeRuns> = mspgemm::harness::runner::tc_runs(&graphs, &schemes, 1);
+    let profile = performance_profile(&runs, &mspgemm::harness::default_taus(2.0, 0.5));
+    assert_eq!(profile.curves.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn semirings_compose_with_apps() {
     // Reachability on the or_and semiring through the masked primitive:
     // two-hop neighbors restricted to existing edges = "triangle edges".
     let g = gen::er_symmetric(100, 6, 33);
     let gb = g.map(|_| true);
     let mask = g.pattern();
-    let two_hop = masked_mxm::<OrAndBool, ()>(
-        &mask,
-        &gb,
-        &gb,
-        Algorithm::Msa,
-        MaskMode::Mask,
-        Phases::One,
-    )
-    .unwrap();
+    let two_hop =
+        masked_mxm::<OrAndBool, ()>(&mask, &gb, &gb, Algorithm::Msa, MaskMode::Mask, Phases::One)
+            .unwrap();
     // Every surviving coordinate is an edge that closes a triangle.
     for (i, j, &v) in two_hop.iter() {
         assert!(v, "or_and output values are true");
