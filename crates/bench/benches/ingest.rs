@@ -1,0 +1,169 @@
+//! Ingest microbenchmark: the serial streaming `.mtx` reader vs the
+//! chunked parallel byte parser, on a generated R-MAT matrix (plus any
+//! real file named by `MSPGEMM_INGEST_FILE`). Emits CSV on stdout, an
+//! aligned table on stderr, and — for the CI perf lane — a JSON report
+//! at `MSPGEMM_INGEST_JSON`. Every parallel parse is cross-checked
+//! against the serial CSR before its timing counts.
+//!
+//! Environment knobs (defaults keep the run CI-sized):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MSPGEMM_INGEST_SCALE` | R-MAT scale of the generated matrix | 13 |
+//! | `MSPGEMM_INGEST_THREADS` | comma list of parse fan-outs | 1,2,4,8 |
+//! | `MSPGEMM_INGEST_FILE` | extra `.mtx` file to include | (none) |
+//! | `MSPGEMM_INGEST_JSON` | write the JSON report to this path | (none) |
+//! | `MSPGEMM_REPS` | timing repetitions (best-of) | 3 |
+
+use mspgemm_bench::banner;
+use mspgemm_gen::RmatParams;
+use mspgemm_harness::report::{json_escape, Table};
+use mspgemm_harness::{entries_per_s, env_usize, mb_per_s, time_best};
+use mspgemm_io::mtx::{read_mtx, read_mtx_bytes, write_mtx, MtxField};
+
+struct Row {
+    dataset: String,
+    bytes: usize,
+    entries: usize,
+    mode: &'static str,
+    threads: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+fn thread_list() -> Vec<usize> {
+    let spec = std::env::var("MSPGEMM_INGEST_THREADS").unwrap_or_else(|_| "1,2,4,8".into());
+    let list: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    assert!(
+        !list.is_empty(),
+        "MSPGEMM_INGEST_THREADS has no fan-outs: {spec:?}"
+    );
+    list
+}
+
+fn main() {
+    banner(
+        "ingest",
+        "serial streaming vs chunked parallel .mtx parse (MB/s, entries/s)",
+    );
+    let reps = env_usize("MSPGEMM_REPS", 3).max(1);
+    let scale = env_usize("MSPGEMM_INGEST_SCALE", 13) as u32;
+    let threads = thread_list();
+
+    let mut datasets: Vec<(String, Vec<u8>)> = Vec::new();
+    if let Ok(path) = std::env::var("MSPGEMM_INGEST_FILE") {
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        // Cargo runs bench binaries from the package dir; fall back to
+        // workspace-root-relative so `data/karate.mtx` works from CI.
+        let bytes = std::fs::read(&path)
+            .or_else(|_| {
+                std::fs::read(
+                    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                        .join("../..")
+                        .join(&path),
+                )
+            })
+            .unwrap_or_else(|e| panic!("MSPGEMM_INGEST_FILE {path}: {e}"));
+        datasets.push((name, bytes));
+    }
+    let g = mspgemm_gen::rmat_symmetric(scale, RmatParams::default(), 5);
+    let mut buf = Vec::new();
+    write_mtx(&mut buf, &g, MtxField::Real).unwrap();
+    datasets.push((format!("rmat{scale}"), buf));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, bytes) in &datasets {
+        let (serial_secs, (header, base)) = time_best(reps, || read_mtx(bytes.as_slice()).unwrap());
+        rows.push(Row {
+            dataset: name.clone(),
+            bytes: bytes.len(),
+            entries: header.stored_entries,
+            mode: "serial",
+            threads: 1,
+            seconds: serial_secs,
+            speedup: 1.0,
+        });
+        for &t in &threads {
+            let (secs, (_, par)) = time_best(reps, || read_mtx_bytes(bytes, t).unwrap());
+            assert_eq!(
+                par, base,
+                "{name}: parallel CSR diverged from serial at {t} threads"
+            );
+            rows.push(Row {
+                dataset: name.clone(),
+                bytes: bytes.len(),
+                entries: header.stored_entries,
+                mode: "parallel",
+                threads: t,
+                seconds: secs,
+                speedup: serial_secs / secs.max(1e-12),
+            });
+        }
+    }
+
+    let headers = [
+        "dataset",
+        "bytes",
+        "entries",
+        "mode",
+        "threads",
+        "seconds",
+        "mb_per_s",
+        "entries_per_s",
+        "speedup_vs_serial",
+    ];
+    let mut table = Table::new(&headers);
+    for r in &rows {
+        table.row(&[
+            r.dataset.clone(),
+            r.bytes.to_string(),
+            r.entries.to_string(),
+            r.mode.to_string(),
+            r.threads.to_string(),
+            format!("{:.6}", r.seconds),
+            format!("{:.2}", mb_per_s(r.bytes as u64, r.seconds)),
+            format!("{:.0}", entries_per_s(r.entries, r.seconds)),
+            format!("{:.2}", r.speedup),
+        ]);
+    }
+    print!("{}", table.to_csv());
+    eprint!("{}", table.to_text());
+
+    if let Ok(json_path) = std::env::var("MSPGEMM_INGEST_JSON") {
+        std::fs::write(&json_path, report_json(&rows))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        eprintln!("json report: {json_path}");
+    }
+}
+
+/// The perf-trajectory artifact the CI benchmark-smoke lane uploads:
+/// one record per (dataset, mode, fan-out).
+fn report_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"ingest\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"bytes\": {}, \"entries\": {}, \
+             \"mode\": \"{}\", \"threads\": {}, \"seconds\": {:.9}, \
+             \"mb_per_s\": {:.3}, \"entries_per_s\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            json_escape(&r.dataset),
+            r.bytes,
+            r.entries,
+            r.mode,
+            r.threads,
+            r.seconds,
+            mb_per_s(r.bytes as u64, r.seconds),
+            entries_per_s(r.entries, r.seconds),
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

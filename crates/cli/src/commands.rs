@@ -11,8 +11,12 @@ use mspgemm_graph::scheme::Scheme;
 use mspgemm_graph::{tricount, App};
 use mspgemm_harness::report::{DatasetInfo, SuiteReport, Table};
 use mspgemm_harness::runner::{bc_runs, ktruss_runs, tc_runs};
-use mspgemm_harness::{default_taus, gflops, performance_profile, time_best, with_threads};
-use mspgemm_io::{load_matrix, load_matrix_cached, save_matrix, CachePolicy, DatasetSource};
+use mspgemm_harness::{
+    default_taus, entries_per_s, gflops, mb_per_s, performance_profile, time_best, with_threads,
+};
+use mspgemm_io::{
+    load_matrix_report, load_matrix_with, save_matrix, CachePolicy, DatasetSource, IngestReport,
+};
 use mspgemm_sparse::semiring::PlusTimesF64;
 use std::io::Write;
 
@@ -47,20 +51,35 @@ fn cache_policy(p: &Parsed) -> CachePolicy {
     }
 }
 
+/// The ingest-throughput report line: what moved, how fast, and whether
+/// the text parse or the binary sidecar served it.
+fn ingest_line(r: &IngestReport) -> String {
+    format!(
+        "ingest   : {} bytes in {:.6} s ({:.1} MB/s, {:.0} entries/s, {:?})",
+        r.bytes,
+        r.seconds,
+        mb_per_s(r.bytes, r.seconds),
+        entries_per_s(r.entries, r.seconds),
+        r.outcome
+    )
+}
+
 /// `mxm run`: one masked product `C = M ⊙ (A·A)` (or `¬M ⊙ (A·A)`) where
 /// `M` is the pattern of `A` — the paper's single-input experiment shape.
 pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let path = p
         .positional
         .first()
-        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--threads N] [--reps R] <matrix.mtx|.msb>")?;
+        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--threads N] [--parse-threads N] [--reps R] <matrix.mtx|.msb>")?;
     let algo: Algorithm = p.flag("algo").unwrap_or("auto").parse()?;
     let mode: MaskMode = p.flag("mask").unwrap_or("normal").parse()?;
     let phases: Phases = p.flag("phases").unwrap_or("1").parse()?;
     let threads = p.flag_parse("threads", 0usize)?;
+    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let reps = p.flag_parse("reps", 3usize)?.max(1);
 
-    let (a, outcome) = load_matrix_cached(path, cache_policy(p)).map_err(|e| e.to_string())?;
+    let (a, ingest) =
+        load_matrix_report(path, cache_policy(p), parse_threads).map_err(|e| e.to_string())?;
     if a.nrows() != a.ncols() {
         return Err(format!(
             "mxm run squares its input (C = M ⊙ A·A); {path} is {}x{}",
@@ -68,7 +87,7 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             a.ncols()
         ));
     }
-    writeln!(out, "matrix   : {path} ({:?})", outcome).map_err(|e| e.to_string())?;
+    writeln!(out, "matrix   : {path} ({:?})", ingest.outcome).map_err(|e| e.to_string())?;
     writeln!(
         out,
         "shape    : {}x{}, nnz {}",
@@ -77,6 +96,7 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         a.nnz()
     )
     .map_err(|e| e.to_string())?;
+    writeln!(out, "{}", ingest_line(&ingest)).map_err(|e| e.to_string())?;
     let mask = a.pattern();
     let flops = 2 * a.flops_with(&a);
 
@@ -140,11 +160,14 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let source = DatasetSource::parse(p.flag("source").unwrap_or("synthetic"));
     let reps = p.flag_parse("reps", 1usize)?.max(1);
     let threads = p.flag_parse("threads", 0usize)?;
+    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let k = p.flag_parse("k", 4usize)?;
     let batch = p.flag_parse("batch", 16usize)?;
     let tau_max = p.flag_parse("tau-max", 2.4f64)?;
 
-    let graphs = source.load(cache_policy(p)).map_err(|e| e.to_string())?;
+    let graphs = source
+        .load_with(cache_policy(p), parse_threads)
+        .map_err(|e| e.to_string())?;
     let schemes = scheme_list(p, app)?;
     writeln!(
         out,
@@ -251,12 +274,15 @@ fn suite_report(
 }
 
 /// `mxm convert`: read one matrix, write it in the format the output
-/// extension names (`.mtx` ↔ `.msb`).
+/// extension names (`.mtx` ↔ `.msb`). The write goes through a temp
+/// file + atomic rename, so an interrupted convert never leaves a
+/// truncated output behind for the sidecar cache to trust.
 pub fn cmd_convert(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let [src, dst] = p.positional.as_slice() else {
-        return Err("usage: mxm convert <in.mtx|.msb> <out.mtx|.msb>".into());
+        return Err("usage: mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>".into());
     };
-    let a = load_matrix(src).map_err(|e| format!("{src}: {e}"))?;
+    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
+    let a = load_matrix_with(src, parse_threads).map_err(|e| format!("{src}: {e}"))?;
     save_matrix(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
     writeln!(
         out,
@@ -356,6 +382,35 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Hash"), "{text}");
         assert!(text.contains("gflops"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_reports_ingest_throughput_with_parse_threads() {
+        let dir = tempdir("run_ingest");
+        let mtx = dir.join("g.mtx");
+        write_small_graph(&mtx);
+        let p = parse(
+            &sv(&[
+                "--algo",
+                "msa",
+                "--reps",
+                "1",
+                "--parse-threads",
+                "3",
+                "--no-cache",
+                mtx.to_str().unwrap(),
+            ]),
+            &["algo", "mask", "phases", "threads", "parse-threads", "reps"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_run(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ingest"), "{text}");
+        assert!(text.contains("MB/s"), "{text}");
+        assert!(text.contains("entries/s"), "{text}");
+        assert!(text.contains("Parsed"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

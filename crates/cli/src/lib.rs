@@ -26,33 +26,48 @@ mxm — masked sparse matrix-matrix product experiment driver
 USAGE:
     mxm run [--algo msa|hash|mca|heap|heapdot|inner|auto|hybrid]
             [--mask normal|complement] [--phases 1|2]
-            [--threads N] [--reps R] [--no-cache] <matrix.mtx|.msb>
-        One masked product C = M (.*) A*A with M = pattern(A).
+            [--threads N] [--parse-threads N] [--reps R] [--no-cache]
+            <matrix.mtx|.msb>
+        One masked product C = M (.*) A*A with M = pattern(A). The run
+        report includes the ingest throughput (MB/s, entries/s).
 
     mxm suite [--app tc|ktruss|bc] [--source synthetic|synthetic-full|DIR|FILE]
               [--schemes msa-1p,hash-2p,...] [--no-baselines]
-              [--reps R] [--threads N] [--k K] [--batch B]
-              [--tau-max X] [--json out.json] [--no-cache]
+              [--reps R] [--threads N] [--parse-threads N] [--k K]
+              [--batch B] [--tau-max X] [--json out.json] [--no-cache]
         Sweep an application over datasets x schemes; print the per-case
         table and Dolan-More profile, optionally write a JSON report.
 
-    mxm convert <in.mtx|.msb> <out.mtx|.msb>
+    mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>
         Convert between Matrix Market text and the .msb binary cache.
+        The output is written to a temp file and renamed atomically.
 
     mxm check
         Generator/kernel self-check (used by CI).
 
-Matrices load through the .msb sidecar cache: parsing big.mtx writes
-big.msb next to it, and later runs deserialize the binary directly.
+Text matrices parse with the chunked parallel reader (--parse-threads N
+pins the fan-out; 0 = all cores) and load through the .msb sidecar
+cache: parsing big.mtx writes big.msb next to it, and later runs
+deserialize the binary directly.
 ";
 
 /// Value-taking flags per subcommand.
 fn value_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "run" => &["algo", "mask", "phases", "threads", "reps"],
+        "run" => &["algo", "mask", "phases", "threads", "parse-threads", "reps"],
         "suite" => &[
-            "app", "source", "schemes", "json", "reps", "threads", "k", "batch", "tau-max",
+            "app",
+            "source",
+            "schemes",
+            "json",
+            "reps",
+            "threads",
+            "parse-threads",
+            "k",
+            "batch",
+            "tau-max",
         ],
+        "convert" => &["parse-threads"],
         _ => &[],
     }
 }
@@ -142,6 +157,31 @@ mod tests {
     fn check_via_dispatch() {
         let mut out = Vec::new();
         dispatch(&sv(&["check"]), &mut out).unwrap();
+    }
+
+    #[test]
+    fn convert_accepts_parse_threads_via_dispatch() {
+        let dir = std::env::temp_dir().join("mxm_cli_dispatch_convert");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let msb = dir.join("g.msb");
+        let g = mspgemm_gen::er_symmetric(40, 4, 3);
+        mspgemm_io::mtx::write_mtx_file(&mtx, &g).unwrap();
+        let mut out = Vec::new();
+        dispatch(
+            &sv(&[
+                "convert",
+                "--parse-threads",
+                "2",
+                mtx.to_str().unwrap(),
+                msb.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(mspgemm_io::load_matrix(&msb).unwrap(), g);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod report;
 pub mod runner;
 pub mod threads;
 
-pub use metrics::{env_usize, gflops, mteps, time_best};
+pub use metrics::{entries_per_s, env_usize, gflops, mb_per_s, mteps, time_best};
 pub use perfprofile::{default_taus, performance_profile, PerfProfile, SchemeRuns};
 pub use threads::{scaling_thread_counts, with_threads};

@@ -21,6 +21,25 @@ pub fn mteps(batch_size: usize, num_edges: usize, seconds: f64) -> f64 {
     (batch_size as f64) * (num_edges as f64) / seconds / 1e6
 }
 
+/// Ingest throughput in decimal megabytes per second — the dataset
+/// cold-start metric the `mxm run` report and the ingest microbench
+/// print.
+pub fn mb_per_s(bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / seconds / 1e6
+}
+
+/// Ingest throughput in parsed entries per second (one coordinate line
+/// of a `.mtx` file = one entry, before symmetric expansion).
+pub fn entries_per_s(entries: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    entries as f64 / seconds
+}
+
 /// Run `f` once to warm up, then `reps` times, returning the minimum
 /// wall-clock seconds (the standard noise-robust estimator) and the last
 /// result.
@@ -62,6 +81,14 @@ mod tests {
         // 512 sources × 1M edges in 2s = 256 MTEPS.
         assert!((mteps(512, 1_000_000, 2.0) - 256.0).abs() < 1e-9);
         assert_eq!(mteps(1, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert!((mb_per_s(5_000_000, 2.0) - 2.5).abs() < 1e-12);
+        assert_eq!(mb_per_s(100, 0.0), 0.0);
+        assert!((entries_per_s(1_000_000, 0.5) - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(entries_per_s(100, 0.0), 0.0);
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! disk (§7) — into the in-memory [`Csr`](mspgemm_sparse::Csr) operands
 //! the kernels consume, and back.
 //!
-//! * [`mtx`] — streaming Matrix Market reader/writer
+//! * [`mtx`] — Matrix Market reader/writer
 //!   (`general`/`symmetric` × `real`/`integer`/`pattern`), with
-//!   line-numbered errors.
+//!   line-numbered errors: a serial streaming reader plus the chunked
+//!   parallel ingest path ([`read_mtx_bytes`]), both driving the single
+//!   tokenizer in `mspgemm-formats`.
 //! * [`msb`] — the little-endian binary cache format (`.msb`): magic,
 //!   version, dims, nnz header + raw CSR sections, so repeat experiment
 //!   runs skip text parsing entirely.
@@ -28,11 +30,13 @@ pub mod source;
 
 pub use error::IoError;
 pub use load::{
-    load_graph, load_matrix, load_matrix_cached, save_matrix, sidecar_path, to_adjacency,
-    AdjacencyStats, CacheOutcome, CachePolicy, Format,
+    load_graph, load_graph_with, load_matrix, load_matrix_cached, load_matrix_report,
+    load_matrix_with, save_matrix, sidecar_path, to_adjacency, AdjacencyStats, CacheOutcome,
+    CachePolicy, Format, IngestReport,
 };
 pub use msb::{read_msb, read_msb_file, write_msb, write_msb_file, MsbHeader};
 pub use mtx::{
-    read_mtx, read_mtx_file, write_mtx, write_mtx_file, MtxField, MtxHeader, MtxSymmetry,
+    read_mtx, read_mtx_bytes, read_mtx_file, read_mtx_file_parallel, write_mtx, write_mtx_file,
+    MtxField, MtxHeader, MtxSymmetry,
 };
 pub use source::{dataset_name, matrix_files_in, DatasetSource};

@@ -1,235 +1,285 @@
-//! Streaming Matrix Market (`.mtx`) reader/writer.
+//! Matrix Market (`.mtx`) reader/writer.
 //!
 //! Supports `matrix coordinate {real | integer | pattern}
 //! {general | symmetric}` — the subset covering every SuiteSparse/GAP
-//! matrix the paper evaluates (§7). Entries stream straight into a
-//! [`Coo`] sized from the header's nnz (symmetric files reserve 2×), then
-//! canonicalize into [`Csr`] with the workspace's row-parallel
-//! `Coo::to_csr`; no intermediate per-line allocations.
+//! matrix the paper evaluates (§7). Two readers drive the single shared
+//! tokenizer in `mspgemm-formats` (this workspace's only `.mtx` lexical
+//! layer), so their outputs and error positions are identical:
 //!
-//! Relative to `mspgemm_sparse::mm_io` (kept for backward compatibility),
-//! this reader adds: header introspection ([`MtxHeader`]), line-numbered
-//! errors, value/NaN validation, CRLF tolerance, comment lines between
-//! entries, and a symmetric writer that emits only the lower triangle.
+//! * [`read_mtx`] — serial streaming over any [`Read`], line by line.
+//! * [`read_mtx_bytes`] — the parallel ingest path: the entry section is
+//!   split into newline-aligned byte ranges, chunks are parsed
+//!   concurrently into per-chunk COO bags (line-numbered errors
+//!   preserved), and the bags merge in file order before the
+//!   row-parallel `Coo::to_csr` pass. On multi-GB inputs this turns the
+//!   cold-start text parse from a single-core bottleneck into a
+//!   near-linear-scaling one.
+//!
+//! Entries stream into a [`Coo`] (symmetric files mirror inline, so both
+//! readers produce the same triplet order), then canonicalize into
+//! [`Csr`]; no intermediate per-line allocations on the byte path.
 
 use crate::error::IoError;
+use mspgemm_formats as formats;
 use mspgemm_sparse::{Coo, Csr, Idx};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Value field of the file.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MtxField {
-    /// Floating-point values.
-    Real,
-    /// Integer values (parsed into `f64`; SuiteSparse graphs use small
-    /// weights that are exactly representable).
-    Integer,
-    /// No stored values; every entry reads as `1.0`.
-    Pattern,
-}
+pub use mspgemm_formats::{MtxField, MtxHeader, MtxSymmetry};
 
-/// Symmetry declaration of the file.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MtxSymmetry {
-    /// Entries are stored explicitly.
-    General,
-    /// Only one triangle is stored; off-diagonal entries mirror.
-    Symmetric,
-}
+/// The size line is untrusted input: treat its nnz as a reservation hint
+/// only, capped so a corrupt header cannot force a huge or overflowing
+/// up-front allocation (entries still stream in fine past the cap; the
+/// Vec grows normally). Same hardening standard as the `.msb` reader.
+const CAP_LIMIT: usize = 1 << 24;
 
-/// The parsed banner + size line of a Matrix Market file.
-#[derive(Clone, Debug)]
-pub struct MtxHeader {
-    /// Value field.
-    pub field: MtxField,
-    /// Symmetry.
-    pub symmetry: MtxSymmetry,
-    /// Declared rows.
-    pub nrows: usize,
-    /// Declared columns.
-    pub ncols: usize,
-    /// Declared stored entries (before symmetric expansion).
-    pub stored_entries: usize,
-}
-
-/// Read and validate the banner and size line, leaving `lines` positioned
-/// at the first entry.
-fn parse_header(
-    lines: &mut impl Iterator<Item = std::io::Result<String>>,
-    lineno: &mut usize,
-) -> Result<MtxHeader, IoError> {
-    *lineno += 1;
-    let banner = match lines.next() {
-        Some(l) => l?,
-        None => return Err(IoError::parse(*lineno, "empty input")),
+fn reserve_hint(h: &MtxHeader) -> usize {
+    let cap = if h.symmetry == MtxSymmetry::Symmetric {
+        h.stored_entries.saturating_mul(2)
+    } else {
+        h.stored_entries
     };
-    let banner_lc = banner.trim().to_ascii_lowercase();
-    let fields: Vec<&str> = banner_lc.split_whitespace().collect();
-    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-        return Err(IoError::parse(*lineno, format!("bad banner: {banner}")));
-    }
-    if fields[2] != "coordinate" {
+    cap.min(CAP_LIMIT)
+}
+
+/// Column indices are `u32`; a header declaring more rows/columns than
+/// that would make `(idx - 1) as Idx` wrap silently on extreme entries.
+fn check_idx_space(h: &MtxHeader, line: usize) -> Result<(), IoError> {
+    if h.nrows > Idx::MAX as usize || h.ncols > Idx::MAX as usize {
         return Err(IoError::parse(
-            *lineno,
-            format!("unsupported format '{}' (only 'coordinate')", fields[2]),
+            line,
+            format!(
+                "declared shape {}x{} exceeds the u32 index space",
+                h.nrows, h.ncols
+            ),
         ));
     }
-    let field = match fields[3] {
-        "real" => MtxField::Real,
-        "integer" => MtxField::Integer,
-        "pattern" => MtxField::Pattern,
-        other => {
-            return Err(IoError::parse(
-                *lineno,
-                format!("unsupported value field '{other}' (real|integer|pattern)"),
-            ))
-        }
-    };
-    let symmetry = match fields.get(4).copied().unwrap_or("general") {
-        "general" => MtxSymmetry::General,
-        "symmetric" => MtxSymmetry::Symmetric,
-        other => {
-            return Err(IoError::parse(
-                *lineno,
-                format!("unsupported symmetry '{other}' (general|symmetric)"),
-            ))
-        }
-    };
-    // Comments, then the size line.
-    for line in lines.by_ref() {
-        *lineno += 1;
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let dims: Vec<&str> = t.split_whitespace().collect();
-        if dims.len() != 3 {
-            return Err(IoError::parse(
-                *lineno,
-                format!("size line needs 'nrows ncols nnz', got: {t}"),
-            ));
-        }
-        let parse = |s: &str, what: &str| {
-            s.parse::<usize>()
-                .map_err(|e| IoError::parse(*lineno, format!("bad {what} '{s}': {e}")))
-        };
-        return Ok(MtxHeader {
-            field,
-            symmetry,
-            nrows: parse(dims[0], "nrows")?,
-            ncols: parse(dims[1], "ncols")?,
-            stored_entries: parse(dims[2], "nnz")?,
-        });
-    }
-    Err(IoError::parse(*lineno, "missing size line"))
+    Ok(())
 }
 
-/// Read a Matrix Market stream into `(header, Csr<f64>)`.
+/// Canonicalize: duplicate general/symmetric entries are summed, pattern
+/// duplicates collapse to one entry.
+fn finish(header: &MtxHeader, coo: Coo<f64>) -> Csr<f64> {
+    if header.field == MtxField::Pattern {
+        coo.to_csr(|a, _| a)
+    } else {
+        coo.to_csr(|a, b| a + b)
+    }
+}
+
+fn entry_count_mismatch(lineno: usize, declared: usize, seen: usize) -> IoError {
+    IoError::parse(
+        lineno,
+        format!("size line declared {declared} entries, found {seen}"),
+    )
+}
+
+/// Read a Matrix Market stream into `(header, Csr<f64>)`, serially.
 ///
 /// Symmetric files are expanded to both triangles (diagonal entries are
 /// not duplicated); pattern entries get value `1.0`; duplicate general
-/// entries are summed (pattern duplicates collapse to one entry).
+/// entries are summed (pattern duplicates collapse to one entry). For
+/// seekable inputs already in memory, [`read_mtx_bytes`] parses the same
+/// grammar in parallel.
 pub fn read_mtx<R: Read>(reader: R) -> Result<(MtxHeader, Csr<f64>), IoError> {
     let mut lines = BufReader::new(reader).lines();
-    let mut lineno = 0usize;
-    let header = parse_header(&mut lines, &mut lineno)?;
-    let symmetric = header.symmetry == MtxSymmetry::Symmetric;
-    let pattern = header.field == MtxField::Pattern;
-    // The size line is untrusted input: treat its nnz as a reservation
-    // hint only, capped so a corrupt header cannot force a huge or
-    // overflowing up-front allocation (entries still stream in fine past
-    // the cap; the Vec grows normally). Same hardening standard as the
-    // `.msb` reader.
-    const CAP_LIMIT: usize = 1 << 24;
-    let cap = if symmetric {
-        header.stored_entries.saturating_mul(2)
-    } else {
-        header.stored_entries
+    let mut lineno = 1usize;
+    let banner = match lines.next() {
+        Some(l) => l?,
+        None => return Err(IoError::parse(1, "empty input")),
     };
-    let mut coo: Coo<f64> = Coo::with_capacity(header.nrows, header.ncols, cap.min(CAP_LIMIT));
+    let (field, symmetry) =
+        formats::parse_banner(banner.as_bytes()).map_err(|m| IoError::parse(lineno, m))?;
+    let mut header = None;
+    for line in lines.by_ref() {
+        lineno += 1;
+        let line = line?;
+        if formats::is_skippable(line.as_bytes()) {
+            continue;
+        }
+        let (nrows, ncols, stored_entries) =
+            formats::parse_size_line(line.as_bytes()).map_err(|m| IoError::parse(lineno, m))?;
+        header = Some(MtxHeader {
+            field,
+            symmetry,
+            nrows,
+            ncols,
+            stored_entries,
+        });
+        break;
+    }
+    let Some(header) = header else {
+        return Err(IoError::parse(lineno, "missing size line"));
+    };
+    check_idx_space(&header, lineno)?;
+    let symmetric = header.symmetry == MtxSymmetry::Symmetric;
+    let mut coo: Coo<f64> = Coo::with_capacity(header.nrows, header.ncols, reserve_hint(&header));
     let mut seen = 0usize;
     for line in lines {
         lineno += 1;
         let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
+        let b = line.as_bytes();
+        if formats::is_skippable(b) {
             continue;
         }
-        let mut it = t.split_whitespace();
-        let i: usize = it
-            .next()
-            .ok_or_else(|| IoError::parse(lineno, "entry missing row index"))?
-            .parse()
-            .map_err(|e| IoError::parse(lineno, format!("bad row index: {e}")))?;
-        let j: usize = it
-            .next()
-            .ok_or_else(|| IoError::parse(lineno, "entry missing column index"))?
-            .parse()
-            .map_err(|e| IoError::parse(lineno, format!("bad column index: {e}")))?;
-        let v: f64 = if pattern {
-            1.0
-        } else {
-            let tok = it
-                .next()
-                .ok_or_else(|| IoError::parse(lineno, "entry missing value"))?;
-            let v: f64 = tok
-                .parse()
-                .map_err(|e| IoError::parse(lineno, format!("bad value '{tok}': {e}")))?;
-            if v.is_nan() {
-                return Err(IoError::parse(lineno, "NaN value"));
-            }
-            v
-        };
-        if it.next().is_some() {
-            return Err(IoError::parse(lineno, "trailing tokens after entry"));
-        }
-        if i == 0 || j == 0 {
-            return Err(IoError::parse(lineno, "indices are 1-based; found 0"));
-        }
-        if i > header.nrows || j > header.ncols {
-            return Err(IoError::parse(
-                lineno,
-                format!(
-                    "entry ({i},{j}) outside declared shape {}x{}",
-                    header.nrows, header.ncols
-                ),
-            ));
-        }
-        if symmetric && j > i {
-            return Err(IoError::parse(
-                lineno,
-                format!("symmetric file stores the lower triangle, found ({i},{j}) above"),
-            ));
-        }
-        let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
-        coo.push(i0, j0, v);
+        let e = formats::parse_entry(b, header.field).map_err(|m| IoError::parse(lineno, m))?;
+        formats::validate_entry(&header, &e).map_err(|m| IoError::parse(lineno, m))?;
+        let (i0, j0) = ((e.i - 1) as Idx, (e.j - 1) as Idx);
+        coo.push(i0, j0, e.v);
         if symmetric && i0 != j0 {
-            coo.push(j0, i0, v);
+            coo.push(j0, i0, e.v);
         }
         seen += 1;
     }
     if seen != header.stored_entries {
-        return Err(IoError::parse(
-            lineno,
-            format!(
-                "size line declared {} entries, found {seen}",
-                header.stored_entries
-            ),
-        ));
+        return Err(entry_count_mismatch(lineno, header.stored_entries, seen));
     }
-    let csr = if pattern {
-        coo.to_csr(|a, _| a)
-    } else {
-        coo.to_csr(|a, b| a + b)
-    };
-    Ok((header, csr))
+    Ok((header, finish(&header, coo)))
 }
 
-/// Read a `.mtx` file from disk.
+/// One chunk's parse result: inline-mirrored 0-based triplets, the lines
+/// the chunk spans (for global line numbering), and the entries counted
+/// against the size line.
+struct ChunkBag {
+    entries: Vec<(Idx, Idx, f64)>,
+    lines: usize,
+    seen: usize,
+}
+
+/// Parse one newline-aligned byte range of the entry section. Errors
+/// carry the 1-based line number *within the chunk*; the merge pass
+/// rebases them to file-global numbers.
+fn parse_chunk(chunk: &[u8], h: &MtxHeader) -> Result<ChunkBag, (usize, String)> {
+    let symmetric = h.symmetry == MtxSymmetry::Symmetric;
+    // ~16 bytes per coordinate line is a conservative density guess; the
+    // Vec grows normally past it.
+    let mut entries = Vec::with_capacity(chunk.len() / 16);
+    let (mut lines, mut seen, mut pos) = (0usize, 0usize, 0usize);
+    while let Some((line, next)) = formats::next_line(chunk, pos) {
+        pos = next;
+        lines += 1;
+        if formats::is_skippable(line) {
+            continue;
+        }
+        let e = formats::parse_entry(line, h.field).map_err(|m| (lines, m))?;
+        formats::validate_entry(h, &e).map_err(|m| (lines, m))?;
+        let (i0, j0) = ((e.i - 1) as Idx, (e.j - 1) as Idx);
+        entries.push((i0, j0, e.v));
+        if symmetric && i0 != j0 {
+            entries.push((j0, i0, e.v));
+        }
+        seen += 1;
+    }
+    Ok(ChunkBag {
+        entries,
+        lines,
+        seen,
+    })
+}
+
+/// Don't bother fanning out below this many bytes per chunk when the
+/// caller asked for automatic threading — thread spawns would dominate.
+const MIN_AUTO_CHUNK: usize = 1 << 16;
+
+/// Hard ceiling on the parse fan-out. The rayon shim maps each chunk to
+/// one OS thread (`std::thread::scope` spawns, which abort the process
+/// on thread-creation failure), so an absurd `--parse-threads` must not
+/// translate into an absurd thread count.
+const MAX_FANOUT: usize = 256;
+
+/// Read a Matrix Market byte buffer with chunked parallel entry parsing.
+///
+/// `threads` is the parse fan-out: `0` picks the rayon thread count
+/// (scaled down for small inputs); an explicit `N` forces exactly `N`
+/// chunks (clamped to 256). Output is identical to [`read_mtx`] for
+/// every input and every
+/// thread count — same CSR (entry order is preserved, so duplicate
+/// merging is bit-identical), same error line numbers and messages —
+/// because both drive the `mspgemm-formats` tokenizer and the chunk
+/// boundaries are newline-aligned. The one intentional difference: this
+/// path is byte-oriented, so non-UTF-8 bytes inside comments are
+/// tolerated rather than failing the stream read.
+pub fn read_mtx_bytes(bytes: &[u8], threads: usize) -> Result<(MtxHeader, Csr<f64>), IoError> {
+    let (header, body_off, header_lines) =
+        formats::scan_header(bytes).map_err(|e| IoError::parse(e.line, e.msg))?;
+    check_idx_space(&header, header_lines)?;
+    let body = &bytes[body_off..];
+    let parts = if threads == 0 {
+        rayon::current_num_threads()
+            .min(body.len().div_ceil(MIN_AUTO_CHUNK))
+            .max(1)
+    } else {
+        threads.min(MAX_FANOUT)
+    };
+    let ranges = formats::chunk_at_newlines(body, parts);
+
+    let mut results: Vec<Option<Result<ChunkBag, (usize, String)>>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.first() {
+            results[0] = Some(parse_chunk(&body[r.clone()], &header));
+        }
+    } else {
+        let header = &header;
+        rayon::scope(|s| {
+            for (slot, r) in results.iter_mut().zip(&ranges) {
+                let chunk = &body[r.clone()];
+                s.spawn(move |_| *slot = Some(parse_chunk(chunk, header)));
+            }
+        });
+    }
+
+    // Rebase per-chunk line numbers; the first failing chunk reports (all
+    // chunks before it parsed fully, so its global base is exact).
+    let mut lineno = header_lines;
+    let mut bags = Vec::with_capacity(results.len());
+    for res in results {
+        match res.expect("chunk task completed") {
+            Ok(bag) => {
+                lineno += bag.lines;
+                bags.push(bag);
+            }
+            Err((local, msg)) => return Err(IoError::parse(lineno + local, msg)),
+        }
+    }
+    let seen: usize = bags.iter().map(|b| b.seen).sum();
+    if seen != header.stored_entries {
+        return Err(entry_count_mismatch(lineno, header.stored_entries, seen));
+    }
+    let total: usize = bags.iter().map(|b| b.entries.len()).sum();
+    let mut entries = Vec::with_capacity(total);
+    for mut b in bags {
+        entries.append(&mut b.entries);
+    }
+    let coo = Coo::from_entries(header.nrows, header.ncols, entries);
+    Ok((header, finish(&header, coo)))
+}
+
+/// Read a `.mtx` file from disk, serially (see [`read_mtx`]).
 pub fn read_mtx_file(path: impl AsRef<Path>) -> Result<(MtxHeader, Csr<f64>), IoError> {
     read_mtx(std::fs::File::open(path)?)
+}
+
+/// Read a `.mtx` file from disk with chunked parallel parsing (see
+/// [`read_mtx_bytes`]); `threads == 0` picks the rayon thread count.
+///
+/// Parallel parsing needs the whole file in memory for byte-range
+/// chunking; when the fan-out resolves to 1 (explicit `--parse-threads
+/// 1`, or auto on a single-core box) this streams through [`read_mtx`]
+/// instead, keeping text memory bounded on multi-GB inputs.
+pub fn read_mtx_file_parallel(
+    path: impl AsRef<Path>,
+    threads: usize,
+) -> Result<(MtxHeader, Csr<f64>), IoError> {
+    let fanout = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    if fanout <= 1 {
+        return read_mtx_file(path);
+    }
+    read_mtx_bytes(&std::fs::read(path)?, threads)
 }
 
 /// Write `a` as `matrix coordinate {field} general` with 1-based indices.
@@ -435,6 +485,16 @@ mod tests {
                 }
                 other => panic!("expected parse error for {text:?}, got {other:?}"),
             }
+            // The parallel reader reports the same position, at every
+            // fan-out.
+            for threads in [1usize, 2, 8] {
+                match read_mtx_bytes(text.as_bytes(), threads) {
+                    Err(IoError::Parse { line, .. }) => {
+                        assert_eq!(line, *want_line, "parallel({threads}) for: {text:?}")
+                    }
+                    other => panic!("parallel({threads}) expected error for {text:?}: {other:?}"),
+                }
+            }
         }
     }
 
@@ -445,8 +505,8 @@ mod tests {
         for nnz in ["18446744073709551615", "1152921504606846976"] {
             let text =
                 format!("%%MatrixMarket matrix coordinate real general\n2 2 {nnz}\n1 1 1.0\n");
-            let r = read_mtx(text.as_bytes());
-            assert!(r.is_err(), "accepted nnz={nnz}");
+            assert!(read_mtx(text.as_bytes()).is_err(), "accepted nnz={nnz}");
+            assert!(read_mtx_bytes(text.as_bytes(), 4).is_err());
         }
         // Symmetric doubling must not overflow either.
         let text = format!(
@@ -454,6 +514,22 @@ mod tests {
             usize::MAX
         );
         assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn huge_declared_shape_rejected() {
+        // A shape past u32 would wrap `(idx - 1) as Idx` on extreme
+        // entries; both readers refuse at the size line.
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} 2 1\n1 1 1.0\n",
+            (Idx::MAX as u64) + 1
+        );
+        for r in [
+            read_mtx(text.as_bytes()),
+            read_mtx_bytes(text.as_bytes(), 2),
+        ] {
+            assert!(matches!(r, Err(IoError::Parse { line: 2, .. })), "{r:?}");
+        }
     }
 
     #[test]
@@ -470,8 +546,10 @@ mod tests {
     fn nnz_mismatch_detected() {
         let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
         assert!(read_mtx(short.as_bytes()).is_err());
+        assert!(read_mtx_bytes(short.as_bytes(), 4).is_err());
         let long = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n";
         assert!(read_mtx(long.as_bytes()).is_err());
+        assert!(read_mtx_bytes(long.as_bytes(), 4).is_err());
     }
 
     #[test]
@@ -484,6 +562,7 @@ mod tests {
             "",
         ] {
             assert!(read_mtx(text.as_bytes()).is_err(), "accepted: {text:?}");
+            assert!(read_mtx_bytes(text.as_bytes(), 2).is_err());
         }
     }
 
@@ -539,5 +618,91 @@ mod tests {
         let (h, b) = read_mtx(buf.as_slice()).unwrap();
         assert_eq!(h.field, MtxField::Pattern);
         assert_eq!(a, b);
+    }
+
+    /// A synthetic text with duplicates, comments between entries, CRLF
+    /// endings, and no trailing newline — the stress shape for chunked
+    /// parsing.
+    fn awkward_text(n: usize) -> String {
+        let mut s = String::from("%%MatrixMarket matrix coordinate real general\r\n");
+        s.push_str(&format!("{n} {n} {}\r\n", 2 * n));
+        for k in 0..n {
+            s.push_str(&format!("{} {} {}.5\r\n", k + 1, (k % n) + 1, k));
+            if k % 7 == 0 {
+                s.push_str("% interleaved comment\r\n");
+            }
+            // Duplicate coordinates: merge order must match too.
+            s.push_str(&format!("{} {} 1", k + 1, (k % n) + 1));
+            if k + 1 < n {
+                s.push_str("\r\n");
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_fanouts() {
+        let text = awkward_text(97);
+        let (hs, serial) = read_mtx(text.as_bytes()).unwrap();
+        // 1 << 20 exercises the MAX_FANOUT clamp: an absurd request must
+        // neither spawn a thread per line nor change the output.
+        for threads in [0usize, 1, 2, 3, 8, 64, 1 << 20] {
+            let (hp, par) = read_mtx_bytes(text.as_bytes(), threads).unwrap();
+            assert_eq!((hp.nrows, hp.ncols), (hs.nrows, hs.ncols));
+            assert_eq!(par, serial, "{threads} threads");
+            // Byte-identical, not merely value-equal.
+            let bits = |m: &Csr<f64>| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&par), bits(&serial));
+        }
+    }
+
+    #[test]
+    fn parallel_error_line_in_late_chunk() {
+        // Enough entries that 4 chunks all carry lines; the poisoned line
+        // sits deep in the file and its global number must survive
+        // rebasing.
+        let mut s = String::from("%%MatrixMarket matrix coordinate real general\n");
+        s.push_str("400 400 400\n");
+        for k in 0..400 {
+            if k == 333 {
+                s.push_str("334 334 oops\n");
+            } else {
+                s.push_str(&format!("{} {} 1.0\n", k + 1, k + 1));
+            }
+        }
+        let want_line = 2 + 333 + 1; // banner + size + preceding entries
+        for threads in [1usize, 2, 4, 16] {
+            match read_mtx_bytes(s.as_bytes(), threads) {
+                Err(IoError::Parse { line, msg }) => {
+                    assert_eq!(line, want_line, "{threads} threads");
+                    assert!(msg.contains("bad value"), "{msg}");
+                }
+                other => panic!("expected parse error, got {other:?}"),
+            }
+        }
+        // And the streaming reader agrees.
+        match read_mtx(s.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, want_line),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_parallel_roundtrip() {
+        let dir = std::env::temp_dir().join("mspgemm_io_mtx_par");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mtx");
+        let a = Csr::from_dense(
+            &[
+                vec![Some(1.0), None, Some(2.5)],
+                vec![None, Some(-3.0), None],
+                vec![Some(4.0), None, None],
+            ],
+            3,
+        );
+        write_mtx_file(&path, &a).unwrap();
+        let (_, b) = read_mtx_file_parallel(&path, 3).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -7,7 +7,7 @@
 //! stand-ins" identically.
 
 use crate::error::IoError;
-use crate::load::{load_graph, CachePolicy, Format};
+use crate::load::{load_graph_with, CachePolicy, Format};
 use mspgemm_gen::{build_suite, SuiteGraph, SuiteSize};
 use std::path::{Path, PathBuf};
 
@@ -43,6 +43,16 @@ impl DatasetSource {
     /// Materialize the graphs: generate or load + normalize every
     /// dataset, returning them with their names.
     pub fn load(&self, policy: CachePolicy) -> Result<Vec<SuiteGraph>, IoError> {
+        self.load_with(policy, 0)
+    }
+
+    /// [`DatasetSource::load`] with an explicit text-parse fan-out
+    /// (`0` = rayon default).
+    pub fn load_with(
+        &self,
+        policy: CachePolicy,
+        parse_threads: usize,
+    ) -> Result<Vec<SuiteGraph>, IoError> {
         match self {
             DatasetSource::Synthetic(size) => Ok(build_suite(*size)),
             DatasetSource::Dir(dir) => {
@@ -53,9 +63,9 @@ impl DatasetSource {
                         format!("no .mtx/.mm/.msb files in {}", dir.display()),
                     )));
                 }
-                load_files(&files, policy)
+                load_files(&files, policy, parse_threads)
             }
-            DatasetSource::Files(files) => load_files(files, policy),
+            DatasetSource::Files(files) => load_files(files, policy, parse_threads),
         }
     }
 }
@@ -88,11 +98,15 @@ pub fn matrix_files_in(dir: &Path) -> Result<Vec<PathBuf>, IoError> {
     Ok(files)
 }
 
-fn load_files(files: &[PathBuf], policy: CachePolicy) -> Result<Vec<SuiteGraph>, IoError> {
+fn load_files(
+    files: &[PathBuf],
+    policy: CachePolicy,
+    parse_threads: usize,
+) -> Result<Vec<SuiteGraph>, IoError> {
     files
         .iter()
         .map(|p| {
-            let (adj, _) = load_graph(p, policy).map_err(|e| match e {
+            let (adj, _) = load_graph_with(p, policy, parse_threads).map_err(|e| match e {
                 IoError::Parse { line, msg } => IoError::Parse {
                     line,
                     msg: format!("{}: {msg}", p.display()),

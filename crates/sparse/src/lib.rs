@@ -16,15 +16,17 @@
 //! * [`ops`] — eWiseMult/eWiseAdd, masking, reductions, selection
 //!   (tril/triu), symmetric permutation, degree relabeling.
 //! * [`semiring`] — `plus_times`, `plus_pair`, `or_and`, `min_plus`, …
-//! * [`mm_io`] — Matrix Market reader/writer.
 //! * [`util`] — parallel prefix sums and the disjoint-write slice used by
 //!   the row-parallel drivers.
+//!
+//! Matrix Market I/O lives in the `mspgemm-io` crate (tokenizer shared
+//! via the leaf `mspgemm-formats` crate); the lax legacy reader this
+//! crate used to carry is gone.
 
 #![warn(missing_docs)]
 
 pub mod coo;
 pub mod csr;
-pub mod mm_io;
 pub mod ops;
 pub mod semiring;
 pub mod transpose;

@@ -121,12 +121,8 @@ proptest! {
         prop_assert_eq!(coo.to_csr(|x, _| x), a);
     }
 
-    #[test]
-    fn matrix_market_roundtrip(a in csr_strategy(7, 9, 0.4)) {
-        let af = a.map(|v| *v as f64);
-        let mut buf = Vec::new();
-        mspgemm_sparse::mm_io::write_matrix_market(&mut buf, &af).unwrap();
-        let back = mspgemm_sparse::mm_io::read_matrix_market(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, af);
-    }
+    // Matrix Market round-trips moved to `mspgemm-io`'s proptests when
+    // the lax legacy `mm_io` reader was deleted: the canonical hardened
+    // reader (shared tokenizer in `mspgemm-formats`) covers them,
+    // serially and chunk-parallel, in crates/io/tests/.
 }

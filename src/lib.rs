@@ -5,13 +5,16 @@
 //! Products* (PPoPP 2022). Re-exports every sub-crate under one roof so the
 //! examples and downstream users need a single dependency:
 //!
-//! * [`sparse`] — CSR/CSC/COO formats, semirings, kernels, Matrix Market I/O;
+//! * [`sparse`] — CSR/CSC/COO formats, semirings, kernels;
 //! * [`gen`] — deterministic graph generators (ER, R-MAT, suite);
 //! * [`core`] — the masked SpGEMM algorithms (MSA, Hash, MCA, Heap, Inner);
 //! * [`graph`] — triangle counting, k-truss, betweenness centrality;
 //! * [`harness`] — metrics and Dolan-Moré performance profiles;
-//! * [`io`] — dataset loading: `.mtx` text, the `.msb` binary cache, and
-//!   the [`io::DatasetSource`] abstraction feeding the `mxm` CLI.
+//! * [`formats`] — the shared Matrix Market lexical layer (tokenizers,
+//!   header scanning, newline-aligned chunk splitting);
+//! * [`io`] — dataset loading: `.mtx` text (serial or chunked-parallel
+//!   parse), the `.msb` binary cache, and the [`io::DatasetSource`]
+//!   abstraction feeding the `mxm` CLI.
 //!
 //! ## Library quick start
 //!
@@ -63,6 +66,8 @@
 
 /// The masked SpGEMM core (algorithms, accumulators, baselines).
 pub use masked_spgemm as core;
+/// The shared Matrix Market lexical layer.
+pub use mspgemm_formats as formats;
 /// Graph generators.
 pub use mspgemm_gen as gen;
 /// Applications: TC / k-truss / BC.

@@ -92,13 +92,16 @@ fn pipeline_deterministic_across_thread_counts() {
 
 #[test]
 fn matrix_market_roundtrip_through_apps() {
-    // Write a generated graph to .mtx, read it back, and get identical
-    // triangle counts — exercises the I/O substrate in the pipeline.
+    // Write a generated graph to .mtx, read it back (serial stream AND
+    // chunked parallel), and get identical triangle counts — exercises
+    // the I/O substrate in the pipeline.
     let g = gen::er_symmetric(120, 6, 9);
     let mut buf = Vec::new();
-    mspgemm::sparse::mm_io::write_matrix_market(&mut buf, &g).unwrap();
-    let g2 = mspgemm::sparse::mm_io::read_matrix_market(buf.as_slice()).unwrap();
+    mspgemm::io::mtx::write_mtx(&mut buf, &g, mspgemm::io::MtxField::Real).unwrap();
+    let (_, g2) = mspgemm::io::read_mtx(buf.as_slice()).unwrap();
+    let (_, g3) = mspgemm::io::read_mtx_bytes(&buf, 4).unwrap();
     assert_eq!(g, g2);
+    assert_eq!(g, g3);
     let t1 = tricount::triangle_count(&g, Scheme::Ours(Algorithm::Msa, Phases::One)).triangles;
     let t2 = tricount::triangle_count(&g2, Scheme::Ours(Algorithm::Msa, Phases::One)).triangles;
     assert_eq!(t1, t2);
