@@ -1,0 +1,186 @@
+//! Row-schedule ablation: static vs guided vs flop-balanced row
+//! distribution on an adversarially skewed R-MAT, across a scale sweep and
+//! a thread sweep. This is the load-imbalance experiment behind the
+//! `--schedule` flag: power-law inputs concentrate the flops in a few hub
+//! rows, and after a degree-descending relabeling those hubs sit in the
+//! *first* contiguous block — the worst case for static chunking, the
+//! intended case for guided/flop-balanced claiming.
+//!
+//! Every timed product is cross-checked for CSR equality against the
+//! static-schedule output (schedules must never change results). Per-run
+//! output includes the per-thread busy-time spread (max/mean) and the
+//! wall-clock speedup over the static schedule at the same thread count.
+//! Emits CSV on stdout, an aligned table on stderr, and — for the CI perf
+//! lane — a JSON report at `MSPGEMM_SCHED_JSON`.
+//!
+//! Environment knobs (defaults keep the run CI-sized):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MSPGEMM_SCHED_SCALES` | comma list of R-MAT scales | 11,12,13 |
+//! | `MSPGEMM_SCHED_THREADS` | comma list of thread counts | 1,2,4,8 |
+//! | `MSPGEMM_SCHED_JSON` | write the JSON report to this path | (none) |
+//! | `MSPGEMM_REPS` | timing repetitions (best-of) | 3 |
+
+use masked_spgemm::{
+    masked_mxm_with_opts, Algorithm, ExecOpts, ExecStats, MaskMode, Phases, RowSchedule, WsPool,
+};
+use mspgemm_bench::banner;
+use mspgemm_gen::RmatParams;
+use mspgemm_harness::report::{json_escape, Table};
+use mspgemm_harness::{busy_spread, env_usize, env_usize_list, time_best, with_threads};
+use mspgemm_sparse::ops::permute::{degree_descending_permutation, permute_symmetric};
+use mspgemm_sparse::semiring::PlusPairU64;
+use mspgemm_sparse::Csr;
+
+struct Row {
+    scale: u32,
+    nrows: usize,
+    nnz: usize,
+    threads: usize,
+    schedule: &'static str,
+    seconds: f64,
+    speedup_vs_static: f64,
+    busy_ratio: f64,
+    busy_threads: usize,
+}
+
+/// A skewed test input: R-MAT with boosted top-left quadrant probability,
+/// relabeled in degree-descending order so the hub rows occupy one
+/// contiguous prefix — the static schedule's adversary.
+fn skewed_rmat(scale: u32) -> Csr<()> {
+    let params = RmatParams {
+        a: 0.65,
+        b: 0.15,
+        c: 0.15,
+        edge_factor: 16,
+    };
+    let g = mspgemm_gen::rmat_symmetric(scale, params, 7);
+    let perm = degree_descending_permutation(&g);
+    permute_symmetric(&g, &perm).pattern()
+}
+
+fn main() {
+    banner(
+        "abl_schedule",
+        "static vs guided vs flop-balanced row scheduling on skewed R-MAT",
+    );
+    let reps = env_usize("MSPGEMM_REPS", 3).max(1);
+    let scales = env_usize_list("MSPGEMM_SCHED_SCALES", "11,12,13");
+    let threads_list = env_usize_list("MSPGEMM_SCHED_THREADS", "1,2,4,8");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &scale in &scales {
+        let a = skewed_rmat(scale as u32);
+        let mask = a.clone();
+        // plus_pair over the pattern: the triangle-counting product shape,
+        // so row cost tracks structure rather than value arithmetic.
+        let run = |opts: &ExecOpts<'_>| {
+            masked_mxm_with_opts::<PlusPairU64, ()>(
+                &mask,
+                &a,
+                &a,
+                Algorithm::Hash,
+                MaskMode::Mask,
+                Phases::One,
+                opts,
+            )
+            .expect("masked product failed")
+        };
+        let reference = run(&ExecOpts::with_schedule(RowSchedule::Static));
+        for &t in &threads_list {
+            let mut static_secs = f64::NAN;
+            for sched in RowSchedule::ALL {
+                let pool = WsPool::new();
+                let stats = ExecStats::new();
+                let opts = ExecOpts {
+                    schedule: sched,
+                    ws_pool: Some(&pool),
+                    stats: Some(&stats),
+                };
+                let (secs, c) = with_threads(t, || time_best(reps, || run(&opts)));
+                assert_eq!(
+                    c,
+                    reference,
+                    "rmat{scale}@{t}t: {} CSR diverged from static",
+                    sched.name()
+                );
+                if sched == RowSchedule::Static {
+                    static_secs = secs;
+                }
+                let sp = busy_spread(&stats.busy_seconds());
+                rows.push(Row {
+                    scale: scale as u32,
+                    nrows: a.nrows(),
+                    nnz: a.nnz(),
+                    threads: t,
+                    schedule: sched.name(),
+                    seconds: secs,
+                    speedup_vs_static: static_secs / secs.max(1e-12),
+                    busy_ratio: sp.as_ref().map_or(1.0, |s| s.ratio()),
+                    busy_threads: sp.as_ref().map_or(0, |s| s.threads),
+                });
+            }
+        }
+    }
+
+    let headers = [
+        "scale",
+        "nrows",
+        "nnz",
+        "threads",
+        "schedule",
+        "seconds",
+        "speedup_vs_static",
+        "busy_max_over_mean",
+        "busy_threads",
+    ];
+    let mut table = Table::new(&headers);
+    for r in &rows {
+        table.row(&[
+            r.scale.to_string(),
+            r.nrows.to_string(),
+            r.nnz.to_string(),
+            r.threads.to_string(),
+            r.schedule.to_string(),
+            format!("{:.6}", r.seconds),
+            format!("{:.2}", r.speedup_vs_static),
+            format!("{:.2}", r.busy_ratio),
+            r.busy_threads.to_string(),
+        ]);
+    }
+    print!("{}", table.to_csv());
+    eprint!("{}", table.to_text());
+
+    if let Ok(json_path) = std::env::var("MSPGEMM_SCHED_JSON") {
+        std::fs::write(&json_path, report_json(&rows))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        eprintln!("json report: {json_path}");
+    }
+}
+
+/// The perf-trajectory artifact the CI benchmark-smoke lane uploads:
+/// one record per (scale, threads, schedule).
+fn report_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"abl_schedule\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"rmat{}\", \"nrows\": {}, \"nnz\": {}, \
+             \"threads\": {}, \"schedule\": \"{}\", \"seconds\": {:.9}, \
+             \"speedup_vs_static\": {:.3}, \"busy_max_over_mean\": {:.3}, \
+             \"busy_threads\": {}}}{}\n",
+            r.scale,
+            r.nrows,
+            r.nnz,
+            r.threads,
+            json_escape(r.schedule),
+            r.seconds,
+            r.speedup_vs_static,
+            r.busy_ratio,
+            r.busy_threads,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

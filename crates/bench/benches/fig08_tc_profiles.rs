@@ -13,7 +13,7 @@ fn main() {
     let suite = suite();
     eprintln!("suite: {} graphs", suite.len());
     let schemes = Scheme::all_ours();
-    let runs = tc_runs(&suite, &schemes, reps());
+    let runs = tc_runs(&suite, &schemes, reps(), &Default::default());
     let profile = performance_profile(&runs, &default_taus(2.4, 0.1));
     println!("{}", profile.to_csv());
     for (name, fr) in &profile.curves {

@@ -9,7 +9,7 @@ use mspgemm_harness::{default_taus, performance_profile};
 fn main() {
     banner("Fig 9", "TC — ours vs SS:GB-modelled baselines");
     let suite = suite();
-    let runs = tc_runs(&suite, &tc_vs_ssgb_schemes(), reps());
+    let runs = tc_runs(&suite, &tc_vs_ssgb_schemes(), reps(), &Default::default());
     let profile = performance_profile(&runs, &default_taus(2.4, 0.1));
     println!("{}", profile.to_csv());
     for (name, fr) in &profile.curves {

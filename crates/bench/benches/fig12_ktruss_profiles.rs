@@ -13,7 +13,7 @@ fn main() {
         "k-truss (k=5) performance profiles — our 12 variants",
     );
     let suite = suite();
-    let runs = ktruss_runs(&suite, &Scheme::all_ours(), 5, reps());
+    let runs = ktruss_runs(&suite, &Scheme::all_ours(), 5, reps(), &Default::default());
     let profile = performance_profile(&runs, &default_taus(1.8, 0.1));
     println!("{}", profile.to_csv());
     for (name, fr) in &profile.curves {

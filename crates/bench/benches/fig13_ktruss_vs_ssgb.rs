@@ -9,7 +9,13 @@ use mspgemm_harness::{default_taus, performance_profile};
 fn main() {
     banner("Fig 13", "k-truss (k=5) — ours vs SS:GB-modelled baselines");
     let suite = suite();
-    let runs = ktruss_runs(&suite, &ktruss_vs_ssgb_schemes(), 5, reps());
+    let runs = ktruss_runs(
+        &suite,
+        &ktruss_vs_ssgb_schemes(),
+        5,
+        reps(),
+        &Default::default(),
+    );
     let profile = performance_profile(&runs, &default_taus(1.8, 0.1));
     println!("{}", profile.to_csv());
     for (name, fr) in &profile.curves {

@@ -12,7 +12,7 @@ fn main() {
     let suite = suite();
     let batch = bc_batch();
     eprintln!("batch = {batch}");
-    let runs = bc_runs(&suite, &bc_schemes(), batch, reps());
+    let runs = bc_runs(&suite, &bc_schemes(), batch, reps(), &Default::default());
     let profile = performance_profile(&runs, &default_taus(1.5, 0.05));
     println!("{}", profile.to_csv());
     for (name, fr) in &profile.curves {

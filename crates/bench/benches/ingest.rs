@@ -18,7 +18,7 @@
 use mspgemm_bench::banner;
 use mspgemm_gen::RmatParams;
 use mspgemm_harness::report::{json_escape, Table};
-use mspgemm_harness::{entries_per_s, env_usize, mb_per_s, time_best};
+use mspgemm_harness::{entries_per_s, env_usize, env_usize_list, mb_per_s, time_best};
 use mspgemm_io::mtx::{read_mtx, read_mtx_bytes, write_mtx, MtxField};
 
 struct Row {
@@ -32,17 +32,7 @@ struct Row {
 }
 
 fn thread_list() -> Vec<usize> {
-    let spec = std::env::var("MSPGEMM_INGEST_THREADS").unwrap_or_else(|_| "1,2,4,8".into());
-    let list: Vec<usize> = spec
-        .split(',')
-        .filter_map(|t| t.trim().parse().ok())
-        .filter(|&t| t > 0)
-        .collect();
-    assert!(
-        !list.is_empty(),
-        "MSPGEMM_INGEST_THREADS has no fan-outs: {spec:?}"
-    );
-    list
+    env_usize_list("MSPGEMM_INGEST_THREADS", "1,2,4,8")
 }
 
 fn main() {

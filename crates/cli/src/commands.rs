@@ -5,14 +5,17 @@
 //! processes; `main` only maps errors to exit codes.
 
 use crate::args::Parsed;
-use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+use masked_spgemm::{
+    masked_mxm_with_opts, Algorithm, ExecOpts, ExecStats, MaskMode, Phases, RowSchedule, WsPool,
+};
 use mspgemm_gen::SuiteGraph;
 use mspgemm_graph::scheme::Scheme;
 use mspgemm_graph::{tricount, App};
 use mspgemm_harness::report::{DatasetInfo, SuiteReport, Table};
 use mspgemm_harness::runner::{bc_runs, ktruss_runs, tc_runs};
 use mspgemm_harness::{
-    default_taus, entries_per_s, gflops, mb_per_s, performance_profile, time_best, with_threads,
+    busy_spread, default_taus, entries_per_s, gflops, mb_per_s, performance_profile, time_best,
+    with_threads,
 };
 use mspgemm_io::{
     load_matrix_report, load_matrix_with, save_matrix, CachePolicy, DatasetSource, IngestReport,
@@ -70,10 +73,11 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let path = p
         .positional
         .first()
-        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--threads N] [--parse-threads N] [--reps R] <matrix.mtx|.msb>")?;
+        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--schedule static|guided|flops] [--threads N] [--parse-threads N] [--reps R] <matrix.mtx|.msb>")?;
     let algo: Algorithm = p.flag("algo").unwrap_or("auto").parse()?;
     let mode: MaskMode = p.flag("mask").unwrap_or("normal").parse()?;
     let phases: Phases = p.flag("phases").unwrap_or("1").parse()?;
+    let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
     let threads = p.flag_parse("threads", 0usize)?;
     let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let reps = p.flag_parse("reps", 3usize)?.max(1);
@@ -100,9 +104,18 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let mask = a.pattern();
     let flops = 2 * a.flops_with(&a);
 
+    // Warm accumulator pool + busy-time recorder: steady-state reps reuse
+    // scratch, and the recorder feeds the load-balance report line.
+    let pool = WsPool::new();
+    let stats = ExecStats::new();
+    let opts = ExecOpts {
+        schedule,
+        ws_pool: Some(&pool),
+        stats: Some(&stats),
+    };
     let work = || {
         let (secs, c) = time_best(reps, || {
-            masked_mxm::<PlusTimesF64, ()>(&mask, &a, &a, algo, mode, phases)
+            masked_mxm_with_opts::<PlusTimesF64, ()>(&mask, &a, &a, algo, mode, phases, &opts)
         });
         (secs, c)
     };
@@ -125,6 +138,20 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             String::new()
         }
     )
+    .map_err(|e| e.to_string())?;
+    match busy_spread(&stats.busy_seconds()) {
+        Some(sp) => writeln!(
+            out,
+            "schedule : {} (busy max/mean {:.2} over {} threads, pool hits {}/{} takes)",
+            schedule.name(),
+            sp.ratio(),
+            sp.threads,
+            pool.hits(),
+            pool.hits() + pool.misses(),
+        ),
+        // Pull-based Inner records nothing — it has no row-push drive.
+        None => writeln!(out, "schedule : {} (no push drives timed)", schedule.name()),
+    }
     .map_err(|e| e.to_string())?;
     writeln!(out, "output   : nnz {}", c.nnz()).map_err(|e| e.to_string())?;
     writeln!(out, "time     : {:.6} s (best of {reps})", secs).map_err(|e| e.to_string())?;
@@ -158,6 +185,7 @@ fn scheme_list(p: &Parsed, app: App) -> Result<Vec<Scheme>, String> {
 pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let app: App = p.flag("app").unwrap_or("tc").parse()?;
     let source = DatasetSource::parse(p.flag("source").unwrap_or("synthetic"));
+    let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
     let reps = p.flag_parse("reps", 1usize)?.max(1);
     let threads = p.flag_parse("threads", 0usize)?;
     let parse_threads = p.flag_parse("parse-threads", 0usize)?;
@@ -171,23 +199,44 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let schemes = scheme_list(p, app)?;
     writeln!(
         out,
-        "== mxm suite: app={} datasets={} schemes={} reps={reps} ==",
+        "== mxm suite: app={} datasets={} schemes={} reps={reps} schedule={} ==",
         app.name(),
         graphs.len(),
-        schemes.len()
+        schemes.len(),
+        schedule.name(),
     )
     .map_err(|e| e.to_string())?;
 
+    // One pool + recorder for the whole sweep: workspaces survive across
+    // schemes, datasets and repetitions.
+    let pool = WsPool::new();
+    let stats = ExecStats::new();
+    let opts = ExecOpts {
+        schedule,
+        ws_pool: Some(&pool),
+        stats: Some(&stats),
+    };
     let sweep = || match app {
-        App::Tc => tc_runs(&graphs, &schemes, reps),
-        App::Ktruss => ktruss_runs(&graphs, &schemes, k, reps),
-        App::Bc => bc_runs(&graphs, &schemes, batch, reps),
+        App::Tc => tc_runs(&graphs, &schemes, reps, &opts),
+        App::Ktruss => ktruss_runs(&graphs, &schemes, k, reps, &opts),
+        App::Bc => bc_runs(&graphs, &schemes, batch, reps, &opts),
     };
     let runs = if threads > 0 {
         with_threads(threads, sweep)
     } else {
         sweep()
     };
+    if let Some(sp) = busy_spread(&stats.busy_seconds()) {
+        writeln!(
+            out,
+            "balance: busy max/mean {:.2} over {} threads; pool hits {}/{} takes",
+            sp.ratio(),
+            sp.threads,
+            pool.hits(),
+            pool.hits() + pool.misses(),
+        )
+        .map_err(|e| e.to_string())?;
+    }
 
     // Per-case seconds table: dataset rows × scheme columns.
     let mut headers: Vec<&str> = vec!["dataset", "n", "nnz"];
@@ -232,7 +281,7 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     if let Some(json_path) = p.flag("json") {
-        let report = suite_report(app, &graphs, &runs, reps, threads, k, batch);
+        let report = suite_report(app, &graphs, &runs, reps, threads, k, batch, schedule);
         std::fs::write(json_path, report.to_json())
             .map_err(|e| format!("writing {json_path}: {e}"))?;
         writeln!(out, "json report: {json_path}").map_err(|e| e.to_string())?;
@@ -240,6 +289,7 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn suite_report(
     app: App,
     graphs: &[SuiteGraph],
@@ -248,8 +298,12 @@ fn suite_report(
     threads: usize,
     k: usize,
     batch: usize,
+    schedule: RowSchedule,
 ) -> SuiteReport {
-    let mut params = vec![("reps".to_string(), reps.to_string())];
+    let mut params = vec![
+        ("reps".to_string(), reps.to_string()),
+        ("schedule".to_string(), schedule.name().to_string()),
+    ];
     if threads > 0 {
         params.push(("threads".into(), threads.to_string()));
     }
@@ -411,6 +465,75 @@ mod tests {
         assert!(text.contains("MB/s"), "{text}");
         assert!(text.contains("entries/s"), "{text}");
         assert!(text.contains("Parsed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_reports_schedule_and_balance() {
+        let dir = tempdir("run_sched");
+        let mtx = dir.join("g.mtx");
+        write_small_graph(&mtx);
+        for sched in ["static", "guided", "flops"] {
+            let p = parse(
+                &sv(&[
+                    "--algo",
+                    "hash",
+                    "--schedule",
+                    sched,
+                    "--reps",
+                    "1",
+                    "--no-cache",
+                    mtx.to_str().unwrap(),
+                ]),
+                &["algo", "mask", "phases", "schedule", "threads", "reps"],
+            )
+            .unwrap();
+            let mut out = Vec::new();
+            cmd_run(&p, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains(&format!("schedule : {sched}")), "{text}");
+            assert!(text.contains("busy max/mean"), "{text}");
+            assert!(text.contains("pool hits"), "{text}");
+        }
+        // A typo'd schedule is rejected up front.
+        let p = parse(
+            &sv(&["--schedule", "dynamic", mtx.to_str().unwrap()]),
+            &["schedule"],
+        )
+        .unwrap();
+        let err = cmd_run(&p, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("unknown schedule"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_accepts_schedule_flag() {
+        let dir = tempdir("suite_sched");
+        write_small_graph(&dir.join("g.mtx"));
+        let json = dir.join("report.json");
+        let p = parse(
+            &sv(&[
+                "--app",
+                "tc",
+                "--source",
+                dir.to_str().unwrap(),
+                "--schemes",
+                "msa-1p",
+                "--schedule",
+                "flops",
+                "--json",
+                json.to_str().unwrap(),
+            ]),
+            &["app", "source", "schemes", "schedule", "json"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_suite(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("schedule=flops"), "{text}");
+        assert!(text.contains("pool hits"), "{text}");
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.contains("\"schedule\": \"flops\""), "{j}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,17 +26,27 @@ mxm — masked sparse matrix-matrix product experiment driver
 USAGE:
     mxm run [--algo msa|hash|mca|heap|heapdot|inner|auto|hybrid]
             [--mask normal|complement] [--phases 1|2]
+            [--schedule static|guided|flops]
             [--threads N] [--parse-threads N] [--reps R] [--no-cache]
             <matrix.mtx|.msb>
         One masked product C = M (.*) A*A with M = pattern(A). The run
-        report includes the ingest throughput (MB/s, entries/s).
+        report includes the ingest throughput (MB/s, entries/s), the row
+        schedule, and the per-thread busy-time spread (max/mean).
 
     mxm suite [--app tc|ktruss|bc] [--source synthetic|synthetic-full|DIR|FILE]
               [--schemes msa-1p,hash-2p,...] [--no-baselines]
+              [--schedule static|guided|flops]
               [--reps R] [--threads N] [--parse-threads N] [--k K]
               [--batch B] [--tau-max X] [--json out.json] [--no-cache]
         Sweep an application over datasets x schemes; print the per-case
         table and Dolan-More profile, optionally write a JSON report.
+        A warm accumulator pool spans the whole sweep.
+
+    Row schedules (--schedule, default guided): 'static' hands each thread
+    one contiguous equal-row block; 'guided' lets threads claim decreasing
+    chunks from a shared cursor; 'flops' places chunk boundaries by a
+    prefix sum of per-row flops so each chunk carries near-equal work
+    (best for power-law graphs). Output is identical across schedules.
 
     mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>
         Convert between Matrix Market text and the .msb binary cache.
@@ -54,11 +64,20 @@ deserialize the binary directly.
 /// Value-taking flags per subcommand.
 fn value_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "run" => &["algo", "mask", "phases", "threads", "parse-threads", "reps"],
+        "run" => &[
+            "algo",
+            "mask",
+            "phases",
+            "schedule",
+            "threads",
+            "parse-threads",
+            "reps",
+        ],
         "suite" => &[
             "app",
             "source",
             "schemes",
+            "schedule",
             "json",
             "reps",
             "threads",

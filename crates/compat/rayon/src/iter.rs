@@ -1,14 +1,18 @@
 //! The parallel-iterator core: indexed sources, lazy adapters, and
-//! chunk-fanned terminal drives.
+//! pool-driven terminal drives.
 //!
 //! Everything is built on [`Source`]: an indexed producer whose items can
 //! be fetched by position, at most once per position. Terminal operations
-//! split `0..len` into one contiguous block per thread and run the
-//! composed pipeline on each block in a scoped thread, preserving input
-//! order when results are concatenated.
+//! split `0..len` into contiguous chunks — oversubscribed a few × beyond
+//! the thread count — and publish one job to the persistent worker pool
+//! ([`crate::pool`]). Each executor claims chunks through a shared atomic
+//! cursor (guided self-scheduling), so a slow chunk no longer pins its
+//! whole thread's share of the input; chunk results are written to
+//! index-addressed slots, preserving input order exactly as before.
 
-use crate::{chunk_ranges, current_num_threads, override_value, with_override};
+use crate::{chunk_ranges, current_num_threads, override_value};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An indexed, thread-shareable item producer.
 ///
@@ -130,10 +134,15 @@ unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
 pub struct ParIter<S> {
     pub(crate) src: S,
     pub(crate) min_len: usize,
+    pub(crate) max_len: usize,
 }
 
 pub(crate) fn par_iter_from<S: Source>(src: S) -> ParIter<S> {
-    ParIter { src, min_len: 1 }
+    ParIter {
+        src,
+        min_len: 1,
+        max_len: usize::MAX,
+    }
 }
 
 /// Marker trait re-exported through the prelude so `use rayon::prelude::*`
@@ -164,17 +173,55 @@ impl<T: RangeIdx> IntoParallelIterator for Range<T> {
     }
 }
 
+/// Chunk oversubscription factor: more chunks than threads gives the
+/// claiming cursor room to rebalance when chunks carry unequal work.
+const OVERSUB: usize = 4;
+
+/// Write-once result slots, one per chunk, so dynamically-claimed chunks
+/// still land their results in input order.
+struct ResultSlots<R> {
+    ptr: *mut Option<R>,
+}
+
+// SAFETY: each slot index is written by exactly one executor (the chunk
+// cursor hands out each index once), and the owning Vec outlives the drive.
+unsafe impl<R: Send> Send for ResultSlots<R> {}
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+impl<R> ResultSlots<R> {
+    /// Store chunk `i`'s result.
+    ///
+    /// # Safety
+    /// `i` is in bounds and no other thread writes slot `i`.
+    unsafe fn write(&self, i: usize, value: R) {
+        unsafe { *self.ptr.add(i) = Some(value) };
+    }
+}
+
 impl<S: Source> ParIter<S> {
-    /// Chunk `0..len` by thread count and `with_min_len`.
+    /// Chunk `0..len` honoring `with_min_len` / `with_max_len`,
+    /// oversubscribing by [`OVERSUB`] beyond the thread count so the claim
+    /// cursor can balance.
     fn parts(&self) -> Vec<Range<usize>> {
         let n = self.src.len();
         let threads = current_num_threads().max(1);
+        // A max-len cap forces at least this many chunks (e.g. an item
+        // list that is already a work partition drives with max_len 1 so
+        // every item is its own claim unit).
+        let floor = if self.max_len < n.max(1) {
+            n.div_ceil(self.max_len.max(1))
+        } else {
+            1
+        };
+        if threads == 1 && floor <= 1 {
+            return chunk_ranges(n, 1);
+        }
         let cap = if self.min_len > 1 {
             (n / self.min_len).max(1)
         } else {
-            threads
+            n
         };
-        chunk_ranges(n, threads.min(cap))
+        chunk_ranges(n, (threads * OVERSUB).min(cap).max(floor))
     }
 
     /// Fan `work` out over the chunks; results come back in chunk order.
@@ -183,28 +230,67 @@ impl<S: Source> ParIter<S> {
         R: Send,
         W: Fn(Range<usize>, &S) -> R + Sync,
     {
+        self.drive_init(|| (), |(), range, src| work(range, src))
+    }
+
+    /// [`drive`](Self::drive) with one lazily-built workspace per
+    /// *executor* (not per chunk): executors claim chunks from a shared
+    /// atomic cursor and reuse their workspace across every chunk they
+    /// claim, so `init` cost is amortized no matter how finely the input
+    /// is chunked.
+    fn drive_init<T, R, INIT, W>(self, init: INIT, work: W) -> Vec<R>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync,
+        W: Fn(&mut T, Range<usize>, &S) -> R + Sync,
+    {
         let parts = self.parts();
         let src = self.src;
         if parts.len() <= 1 {
-            return parts.into_iter().map(|r| work(r, &src)).collect();
+            let mut ws = init();
+            return parts.into_iter().map(|r| work(&mut ws, r, &src)).collect();
         }
+        let executors = current_num_threads().max(1).min(parts.len());
+        let mut results: Vec<Option<R>> = (0..parts.len()).map(|_| None).collect();
+        let slots = ResultSlots {
+            ptr: results.as_mut_ptr(),
+        };
+        let cursor = AtomicUsize::new(0);
         let inherited = override_value();
-        let (src_ref, work_ref) = (&src, &work);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .into_iter()
-                .map(|r| scope.spawn(move || with_override(inherited, || work_ref(r, src_ref))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        })
+        let (parts_ref, src_ref, work_ref, init_ref, slots_ref, cursor_ref) =
+            (&parts, &src, &work, &init, &slots, &cursor);
+        crate::pool::broadcast(executors, inherited, &|_slot| {
+            // Workspace is built only if this executor claims a chunk.
+            let mut ws: Option<T> = None;
+            loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= parts_ref.len() {
+                    break;
+                }
+                let ws = ws.get_or_insert_with(init_ref);
+                let r = work_ref(ws, parts_ref[i].clone(), src_ref);
+                // SAFETY: the cursor hands out index `i` exactly once.
+                unsafe { slots_ref.write(i, r) };
+            }
+        });
+        results
+            .into_iter()
+            .map(|o| o.expect("rayon-shim: chunk not executed"))
+            .collect()
     }
 
     /// Hint the minimum number of items a chunk should hold.
     pub fn with_min_len(mut self, min: usize) -> Self {
         self.min_len = min.max(1);
+        self
+    }
+
+    /// Cap the number of items a chunk may hold (rayon's `with_max_len`):
+    /// `with_max_len(1)` makes every item its own dynamically-claimed
+    /// unit — used when the items are themselves a precomputed work
+    /// partition that must not be re-grouped.
+    pub fn with_max_len(mut self, max: usize) -> Self {
+        self.max_len = max.max(1);
         self
     }
 
@@ -217,6 +303,7 @@ impl<S: Source> ParIter<S> {
         ParIter {
             src: MapSource { src: self.src, f },
             min_len: self.min_len,
+            max_len: self.max_len,
         }
     }
 
@@ -225,6 +312,7 @@ impl<S: Source> ParIter<S> {
         ParIter {
             src: EnumerateSource { src: self.src },
             min_len: self.min_len,
+            max_len: self.max_len,
         }
     }
 
@@ -236,6 +324,7 @@ impl<S: Source> ParIter<S> {
                 b: other.src,
             },
             min_len: self.min_len.max(other.min_len),
+            max_len: self.max_len.min(other.max_len),
         }
     }
 
@@ -252,18 +341,18 @@ impl<S: Source> ParIter<S> {
         });
     }
 
-    /// Run `op` on every item with per-chunk scratch built by `init`
-    /// (rayon's thread-private workspace pattern).
+    /// Run `op` on every item with per-executor scratch built by `init`
+    /// (rayon's thread-private workspace pattern): each executor builds one
+    /// workspace and reuses it across every chunk it claims.
     pub fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
     where
         INIT: Fn() -> T + Sync,
         OP: Fn(&mut T, S::Item) + Sync,
     {
-        self.drive(|range, src| {
-            let mut ws = init();
+        self.drive_init(init, |ws, range, src| {
             for i in range {
                 // SAFETY: ranges are disjoint; each index fetched once.
-                op(&mut ws, unsafe { src.get(i) });
+                op(ws, unsafe { src.get(i) });
             }
         });
     }
@@ -392,12 +481,11 @@ where
         C: From<Vec<U>>,
     {
         let MapInit { inner, init, f } = self;
-        let chunks = inner.drive(|range, src| {
-            let mut ws = init();
+        let chunks = inner.drive_init(init, |ws, range, src| {
             let mut out = Vec::with_capacity(range.len());
             for i in range {
                 // SAFETY: disjoint ranges.
-                out.push(f(&mut ws, unsafe { src.get(i) }));
+                out.push(f(ws, unsafe { src.get(i) }));
             }
             out
         });

@@ -2,10 +2,20 @@
 //!
 //! The build environment for this workspace has no crates.io access, so this
 //! crate re-implements exactly the subset of rayon's API the workspace uses,
-//! with the same semantics: work is genuinely parallel (contiguous index
-//! chunks fanned out over `std::thread::scope`), `ThreadPool::install`
-//! scopes a thread-count override, and all combinators preserve input order
-//! so results are bit-identical to sequential execution.
+//! with the same semantics: `ThreadPool::install` scopes a thread-count
+//! override, and all combinators preserve input order so results are
+//! bit-identical to sequential execution.
+//!
+//! Parallel drives run on a **persistent worker pool** (`pool` module): the
+//! first drive lazily spawns parked workers, and every later drive wakes
+//! them with a published job instead of spawning threads — steady state is
+//! spawn-free. Within a drive, the input is split into contiguous chunks
+//! (oversubscribed a few × beyond the thread count) that executors claim
+//! through a shared atomic cursor — guided self-scheduling, the
+//! shared-memory cousin of work stealing — so imbalanced chunks migrate to
+//! whichever thread is free rather than pinning their original owner.
+//! `for_each_init` / `map_init` build one workspace per *executor* and
+//! reuse it across every chunk that executor claims.
 //!
 //! Supported surface:
 //!
@@ -19,10 +29,9 @@
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
 //!   [`current_num_threads`].
 //!
-//! Not a general rayon replacement: no work stealing (chunks are static),
-//! no `join`, no parallel sorts. The workspace's kernels distribute rows in
-//! large contiguous blocks, for which static chunking is the same strategy
-//! rayon's `with_min_len` tuning converges to.
+//! Not a general rayon replacement: no task-granularity stealing (balance
+//! comes from chunk claiming), no parallel sorts; [`scope`] / [`join`]
+//! still use scoped threads (they are off the row-loop hot path).
 
 #![warn(missing_docs)]
 
@@ -30,6 +39,7 @@ use std::cell::Cell;
 use std::ops::Range;
 
 pub mod iter;
+pub(crate) mod pool;
 pub mod slice;
 
 /// One-stop imports mirroring `rayon::prelude`.
@@ -246,5 +256,78 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_workers_observe_install_override() {
+        // Regression: the install override lives in a thread_local Cell;
+        // persistent pool workers are *different threads*, so the job must
+        // carry the installing thread's effective count explicitly.
+        use crate::iter::IntoParallelIterator;
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen: Vec<usize> = pool.install(|| {
+            (0..256usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            seen.iter().all(|&n| n == 3),
+            "a drive chunk ran without the installed override: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn nested_install_overrides_nest_and_restore() {
+        use crate::iter::IntoParallelIterator;
+        let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            inner.install(|| {
+                assert_eq!(current_num_threads(), 2);
+                let seen: Vec<usize> = (0..64usize)
+                    .into_par_iter()
+                    .map(|_| current_num_threads())
+                    .collect();
+                assert!(
+                    seen.iter().all(|&n| n == 2),
+                    "inner install leaked: {seen:?}"
+                );
+            });
+            // Back under the outer override — including on pool workers.
+            assert_eq!(current_num_threads(), 4);
+            let seen: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect();
+            assert!(seen.iter().all(|&n| n == 4), "outer install lost: {seen:?}");
+        });
+        assert_eq!(override_value(), 0, "override must fully unwind");
+    }
+
+    #[test]
+    fn nested_parallel_drives_complete() {
+        use crate::iter::IntoParallelIterator;
+        // Inner drives issued from worker threads fall back to inline
+        // execution; the totals must still be exact.
+        let sums: Vec<u64> = (0..16u64)
+            .into_par_iter()
+            .map(|i| (0..1000u64).into_par_iter().map(|j| j + i).sum::<u64>())
+            .collect();
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, 499_500 + 1000 * i as u64);
+        }
+    }
+
+    #[test]
+    fn drive_panic_propagates() {
+        use crate::iter::IntoParallelIterator;
+        let caught = std::panic::catch_unwind(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                assert!(i != 617, "worker chunk panic");
+            });
+        });
+        assert!(caught.is_err());
     }
 }

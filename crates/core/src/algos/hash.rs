@@ -45,6 +45,16 @@ impl<S: Semiring> PushKernel<S> for HashKernel {
         HashAccum::with_capacity_factor(self.capacity_factor)
     }
 
+    fn ws_tag(&self) -> u64 {
+        // The capacity factor is baked into the accumulator at
+        // construction; pool shelves must not mix factors.
+        self.capacity_factor as u64
+    }
+
+    fn ws_depends_on_ncols(&self) -> bool {
+        false // the table is sized per row, not per matrix width
+    }
+
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
         ws.begin_row(self.row_capacity(&ctx));
         if self.complement {

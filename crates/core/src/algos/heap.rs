@@ -153,6 +153,10 @@ impl<S: Semiring> PushKernel<S> for HeapKernel {
         RowHeap::new()
     }
 
+    fn ws_depends_on_ncols(&self) -> bool {
+        false // the heap grows per row's A-row length, not matrix width
+    }
+
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
         let mut n = 0usize;
         self.drive::<S>(ws, &ctx, |_, _, _, is_new| {

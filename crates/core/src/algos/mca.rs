@@ -21,6 +21,10 @@ impl<S: Semiring> PushKernel<S> for McaKernel {
         Mca::new()
     }
 
+    fn ws_depends_on_ncols(&self) -> bool {
+        false // arrays are sized per mask row, not per matrix width
+    }
+
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
         let mask = ctx.mask_cols;
         ws.begin_row(mask.len());

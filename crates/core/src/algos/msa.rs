@@ -26,6 +26,12 @@ impl<S: Semiring> PushKernel<S> for MsaKernel {
         }
     }
 
+    fn ws_tag(&self) -> u64 {
+        // Normal and complemented MSAs share a type but hold opposite
+        // dense default states — never interchangeable in a pool.
+        self.complement as u64
+    }
+
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize {
         ws.begin_row();
         ws.load_mask(ctx.mask_cols);

@@ -7,7 +7,8 @@ use crate::algos::heap::HeapKernel;
 use crate::algos::inner::{inner_masked_mxm, inner_masked_mxm_complement};
 use crate::algos::mca::McaKernel;
 use crate::algos::msa::MsaKernel;
-use crate::phases::{run_push, Phases};
+use crate::phases::{run_push_with, Phases};
+use crate::schedule::ExecOpts;
 use mspgemm_sparse::semiring::Semiring;
 use mspgemm_sparse::{transpose, Csr};
 
@@ -192,6 +193,27 @@ where
     S: Semiring,
     M: Send + Sync,
 {
+    masked_mxm_with_opts::<S, M>(mask, a, b, algo, mode, phases, &ExecOpts::default())
+}
+
+/// [`masked_mxm`] with explicit execution options: row-scheduling policy,
+/// cross-call workspace pool, and busy-time stats (see
+/// [`crate::schedule`]). The options apply to the row-parallel push
+/// drives; [`Algorithm::Inner`]'s pull path ignores them.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_mxm_with_opts<S, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    algo: Algorithm,
+    mode: MaskMode,
+    phases: Phases,
+    opts: &ExecOpts<'_>,
+) -> Result<Csr<S::Out>, Error>
+where
+    S: Semiring,
+    M: Send + Sync,
+{
     check_dims::<S, M>(mask, a, b)?;
     let complement = mode == MaskMode::Complement;
     if complement && !algo.supports_complement() {
@@ -207,28 +229,44 @@ where
         other => other,
     };
     Ok(match algo {
-        Algorithm::Msa => {
-            run_push::<S, _, M>(mask, a, b, complement, phases, &MsaKernel { complement })
+        Algorithm::Msa => run_push_with::<S, _, M>(
+            mask,
+            a,
+            b,
+            complement,
+            phases,
+            &MsaKernel { complement },
+            opts,
+        ),
+        Algorithm::Hash => run_push_with::<S, _, M>(
+            mask,
+            a,
+            b,
+            complement,
+            phases,
+            &HashKernel::new(complement),
+            opts,
+        ),
+        Algorithm::Mca => {
+            run_push_with::<S, _, M>(mask, a, b, complement, phases, &McaKernel, opts)
         }
-        Algorithm::Hash => {
-            run_push::<S, _, M>(mask, a, b, complement, phases, &HashKernel::new(complement))
-        }
-        Algorithm::Mca => run_push::<S, _, M>(mask, a, b, complement, phases, &McaKernel),
-        Algorithm::Heap => run_push::<S, _, M>(
+        Algorithm::Heap => run_push_with::<S, _, M>(
             mask,
             a,
             b,
             complement,
             phases,
             &HeapKernel::heap(complement),
+            opts,
         ),
-        Algorithm::HeapDot => run_push::<S, _, M>(
+        Algorithm::HeapDot => run_push_with::<S, _, M>(
             mask,
             a,
             b,
             complement,
             phases,
             &HeapKernel::heap_dot(complement),
+            opts,
         ),
         Algorithm::Inner => {
             let bt = transpose(b);
@@ -238,13 +276,14 @@ where
                 inner_masked_mxm::<S, M>(mask, a, &bt, phases)
             }
         }
-        Algorithm::Hybrid => run_push::<S, _, M>(
+        Algorithm::Hybrid => run_push_with::<S, _, M>(
             mask,
             a,
             b,
             complement,
             phases,
             &crate::algos::adaptive::AdaptiveKernel::new(),
+            opts,
         ),
         Algorithm::Auto => unreachable!("Auto resolved above"),
     })

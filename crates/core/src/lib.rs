@@ -51,7 +51,11 @@ pub mod algos;
 pub mod baseline;
 pub mod dispatch;
 pub mod phases;
+pub mod schedule;
 pub mod spmv;
 
-pub use dispatch::{masked_mxm, masked_mxm_with_bt, Algorithm, Error, MaskMode};
+pub use dispatch::{
+    masked_mxm, masked_mxm_with_bt, masked_mxm_with_opts, Algorithm, Error, MaskMode,
+};
 pub use phases::Phases;
+pub use schedule::{ExecOpts, ExecStats, RowSchedule, WsPool};

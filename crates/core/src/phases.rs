@@ -11,13 +11,23 @@
 //!   usually wins for Masked SpGEMM — the mask makes the bound tight enough
 //!   that the symbolic pass does not pay for itself.
 //!
-//! Rows are distributed over rayon with per-split reusable workspaces
-//! (`for_each_init`), matching the paper's thread-private accumulators.
+//! Rows are distributed per the [`RowSchedule`] policy (§6 distributes rows
+//! dynamically for exactly the skewed-input reason): the chunk list built by
+//! [`crate::schedule`] is claimed by executors of the persistent worker
+//! pool, with one reusable workspace per executor — leased from a
+//! [`WsPool`] when [`ExecOpts`] carries one, so iterative callers pay zero
+//! accumulator allocations in steady state. Every row writes into an
+//! index-addressed range from a prefix sum, so the output is bit-identical
+//! across schedules and thread counts.
 
+use crate::schedule::{row_chunks, ExecOpts, WsPool};
 use mspgemm_sparse::semiring::Semiring;
 use mspgemm_sparse::util::{par_exclusive_prefix_sum, UnsafeSlice};
 use mspgemm_sparse::{Csr, Idx};
 use rayon::prelude::*;
+use std::any::Any;
+use std::ops::Range;
+use std::time::Instant;
 
 /// Execution strategy (§6): with (`Two`) or without (`One`) a symbolic
 /// phase. Suffixes `-1P`/`-2P` in the paper's plots.
@@ -59,11 +69,29 @@ pub struct RowCtx<'a, S: Semiring> {
 /// mask row and one `A` row (§5's row-by-row formulation,
 /// `c_i = m_i ⊙ Σ_k a_ik · B_k*`).
 pub trait PushKernel<S: Semiring>: Sync {
-    /// Per-thread reusable scratch (the accumulator).
-    type Ws: Send;
+    /// Per-thread reusable scratch (the accumulator). `'static` so it can
+    /// be parked in a [`WsPool`] across calls.
+    type Ws: Send + 'static;
 
     /// Allocate scratch for a matrix with `ncols` output columns.
     fn make_ws(&self, ncols: usize) -> Self::Ws;
+
+    /// Distinguishes kernel configurations whose workspaces share a type
+    /// but are **not** interchangeable (e.g. MSA's normal vs complemented
+    /// dense-array defaults). [`WsPool`] keys on it; configurations that
+    /// produce identical workspaces can share the default `0`.
+    fn ws_tag(&self) -> u64 {
+        0
+    }
+
+    /// Whether [`make_ws`](Self::make_ws) output depends on `ncols`.
+    /// Kernels whose scratch is row-adaptive (hash tables, heaps,
+    /// mask-rank arrays) return `false`, so a [`WsPool`] shares their
+    /// workspaces across output widths — e.g. across the datasets of one
+    /// suite sweep.
+    fn ws_depends_on_ncols(&self) -> bool {
+        true
+    }
 
     /// Symbolic pass: the exact number of entries row `i` will produce.
     fn row_symbolic(&self, ws: &mut Self::Ws, ctx: RowCtx<'_, S>) -> usize;
@@ -80,21 +108,119 @@ pub trait PushKernel<S: Semiring>: Sync {
     ) -> usize;
 }
 
-/// Minimum rows per rayon split: keeps workspace (re)initialization
-/// amortized while leaving enough splits for load balancing on skewed
-/// degree distributions.
-const MIN_SPLIT: usize = 16;
+/// A leased workspace: taken from the pool (or freshly built) when an
+/// executor starts claiming chunks, returned to the pool on drop. Also
+/// accumulates the executor's busy seconds locally, reporting the total
+/// once at lease end so no shared state sits inside the timed region.
+struct WsLease<'a, W: Any + Send> {
+    ws: Option<W>,
+    pool: Option<&'a WsPool>,
+    stats: Option<&'a crate::schedule::ExecStats>,
+    busy: f64,
+    tag: u64,
+    ncols: usize,
+}
+
+impl<'a, W: Any + Send> WsLease<'a, W> {
+    fn new(
+        pool: Option<&'a WsPool>,
+        stats: Option<&'a crate::schedule::ExecStats>,
+        tag: u64,
+        ncols: usize,
+        make: impl FnOnce() -> W,
+    ) -> Self {
+        let ws = match pool {
+            Some(p) => p.take(tag, ncols, make),
+            None => make(),
+        };
+        Self {
+            ws: Some(ws),
+            pool,
+            stats,
+            busy: 0.0,
+            tag,
+            ncols,
+        }
+    }
+
+    fn get(&mut self) -> &mut W {
+        self.ws.as_mut().expect("workspace leased out")
+    }
+}
+
+impl<W: Any + Send> Drop for WsLease<'_, W> {
+    fn drop(&mut self) {
+        // Never park a workspace while unwinding: a panic mid-row leaves
+        // the accumulator dirty, and a pooled dirty accumulator would
+        // silently corrupt a later product.
+        if std::thread::panicking() {
+            return;
+        }
+        if let (Some(pool), Some(ws)) = (self.pool, self.ws.take()) {
+            pool.put(self.tag, self.ncols, ws);
+        }
+        if let Some(stats) = self.stats {
+            if self.busy > 0.0 {
+                stats.record(self.busy);
+            }
+        }
+    }
+}
+
+/// Drive `row` over every row of every chunk, one leased workspace per
+/// executor. `with_max_len(1)` pins every schedule chunk as its own claim
+/// unit — the drive must not re-group the work partition the policy
+/// computed. Records per-executor busy time (rank-folded at drive end)
+/// when `opts.stats` is set.
+fn run_rows<S, K>(
+    chunks: &[Range<usize>],
+    opts: &ExecOpts<'_>,
+    kernel: &K,
+    ncols: usize,
+    row: impl Fn(&mut K::Ws, usize) + Sync,
+) where
+    S: Semiring,
+    K: PushKernel<S>,
+{
+    // ncols-independent workspaces share one shelf across output widths.
+    let key_ncols = if kernel.ws_depends_on_ncols() {
+        ncols
+    } else {
+        0
+    };
+    chunks.par_iter().with_max_len(1).for_each_init(
+        || {
+            WsLease::new(opts.ws_pool, opts.stats, kernel.ws_tag(), key_ncols, || {
+                kernel.make_ws(ncols)
+            })
+        },
+        |lease, range| {
+            let t0 = lease.stats.map(|_| Instant::now());
+            let ws = lease.get();
+            for i in range.clone() {
+                row(ws, i);
+            }
+            if let Some(t0) = t0 {
+                lease.busy += t0.elapsed().as_secs_f64();
+            }
+        },
+    );
+    if let Some(stats) = opts.stats {
+        stats.fold_drive();
+    }
+}
 
 /// Per-row output upper bounds for the one-phase pass.
 ///
 /// Normal mask: the output is a subset of the mask row. Complemented mask:
-/// at most one entry per product (`flops_i`) and at most the non-mask
-/// columns.
-pub(crate) fn one_phase_bounds<S: Semiring, M: Send + Sync>(
+/// at most one entry per product (`flops_i`, precomputed once in
+/// [`run_push_with`] and shared with the flop-balanced schedule) and at
+/// most the non-mask columns.
+pub(crate) fn one_phase_bounds<M: Send + Sync>(
     mask: &Csr<M>,
-    a: &Csr<S::Left>,
-    b: &Csr<S::Right>,
+    ncols: usize,
     complement: bool,
+    flops: Option<&[u64]>,
 ) -> Vec<usize> {
     if !complement {
         (0..mask.nrows())
@@ -102,18 +228,19 @@ pub(crate) fn one_phase_bounds<S: Semiring, M: Send + Sync>(
             .map(|i| mask.row_nnz(i))
             .collect()
     } else {
-        let ncols = b.ncols();
+        let flops = flops.expect("complemented one-phase bounds need per-row flops");
         (0..mask.nrows())
             .into_par_iter()
             .map(|i| {
-                let flops: usize = a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize)).sum();
-                flops.min(ncols - mask.row_nnz(i))
+                let f = usize::try_from(flops[i]).unwrap_or(usize::MAX);
+                f.min(ncols - mask.row_nnz(i))
             })
             .collect()
     }
 }
 
-/// Run a push kernel over all rows with the chosen phase strategy.
+/// Run a push kernel over all rows with the chosen phase strategy and
+/// default execution options (guided schedule, no workspace pool).
 pub fn run_push<S, K, M>(
     mask: &Csr<M>,
     a: &Csr<S::Left>,
@@ -127,18 +254,59 @@ where
     K: PushKernel<S>,
     M: Send + Sync,
 {
+    run_push_with(mask, a, b, complement, phases, kernel, &ExecOpts::default())
+}
+
+/// [`run_push`] with explicit execution options (row schedule, workspace
+/// pool, busy-time stats).
+///
+/// The per-row flop count `flops_i = Σ_{A_ik≠0} nnz(B_k*)` is computed at
+/// most once here and shared between its two consumers: the complemented
+/// one-phase bound and the flop-balanced chunk boundaries.
+pub fn run_push_with<S, K, M>(
+    mask: &Csr<M>,
+    a: &Csr<S::Left>,
+    b: &Csr<S::Right>,
+    complement: bool,
+    phases: Phases,
+    kernel: &K,
+    opts: &ExecOpts<'_>,
+) -> Csr<S::Out>
+where
+    S: Semiring,
+    K: PushKernel<S>,
+    M: Send + Sync,
+{
+    let threads = rayon::current_num_threads().max(1);
+    let need_flops = opts.schedule == crate::schedule::RowSchedule::FlopBalanced
+        || (phases == Phases::One && complement);
+    let flops = need_flops.then(|| a.row_flops_with(b));
+    let chunks = row_chunks(opts.schedule, mask.nrows(), threads, flops.as_deref());
     match phases {
-        Phases::One => run_one_phase(mask, a, b, complement, kernel),
-        Phases::Two => run_two_phase(mask, a, b, kernel),
+        Phases::One => run_one_phase(
+            mask,
+            a,
+            b,
+            complement,
+            kernel,
+            flops.as_deref(),
+            &chunks,
+            opts,
+        ),
+        Phases::Two => run_two_phase(mask, a, b, kernel, &chunks, opts),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_phase<S, K, M>(
     mask: &Csr<M>,
     a: &Csr<S::Left>,
     b: &Csr<S::Right>,
     complement: bool,
     kernel: &K,
+    flops: Option<&[u64]>,
+    chunks: &[Range<usize>],
+    opts: &ExecOpts<'_>,
 ) -> Csr<S::Out>
 where
     S: Semiring,
@@ -147,7 +315,7 @@ where
 {
     let nrows = mask.nrows();
     let ncols = b.ncols();
-    let bounds = one_phase_bounds::<S, M>(mask, a, b, complement);
+    let bounds = one_phase_bounds(mask, ncols, complement, flops);
     let offsets = par_exclusive_prefix_sum(&bounds);
     let cap = offsets[nrows];
     let mut tmp_cols = vec![0 as Idx; cap];
@@ -156,26 +324,22 @@ where
     {
         let cw = UnsafeSlice::new(&mut tmp_cols);
         let vw = UnsafeSlice::new(&mut tmp_vals);
-        sizes
-            .par_iter_mut()
-            .enumerate()
-            .with_min_len(MIN_SPLIT)
-            .for_each_init(
-                || kernel.make_ws(ncols),
-                |ws, (i, size)| {
-                    let ctx = RowCtx::<S> {
-                        mask_cols: mask.row_cols(i),
-                        a_cols: a.row_cols(i),
-                        a_vals: a.row_vals(i),
-                        b,
-                    };
-                    // SAFETY: prefix-sum offsets make row ranges disjoint.
-                    let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
-                    let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
-                    *size = kernel.row_numeric(ws, ctx, oc, ov);
-                    debug_assert!(*size <= bounds[i], "row {i} overflowed its bound");
-                },
-            );
+        let sw = UnsafeSlice::new(&mut sizes);
+        run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {
+            let ctx = RowCtx::<S> {
+                mask_cols: mask.row_cols(i),
+                a_cols: a.row_cols(i),
+                a_vals: a.row_vals(i),
+                b,
+            };
+            // SAFETY: prefix-sum offsets make row ranges disjoint, and
+            // each row index is claimed by exactly one chunk.
+            let oc = unsafe { cw.slice_mut(offsets[i], bounds[i]) };
+            let ov = unsafe { vw.slice_mut(offsets[i], bounds[i]) };
+            let n = kernel.row_numeric(ws, ctx, oc, ov);
+            debug_assert!(n <= bounds[i], "row {i} overflowed its bound");
+            unsafe { sw.write(i, n) };
+        });
     }
     Csr::compact(
         nrows,
@@ -193,6 +357,8 @@ fn run_two_phase<S, K, M>(
     a: &Csr<S::Left>,
     b: &Csr<S::Right>,
     kernel: &K,
+    chunks: &[Range<usize>],
+    opts: &ExecOpts<'_>,
 ) -> Csr<S::Out>
 where
     S: Semiring,
@@ -202,53 +368,46 @@ where
     let nrows = mask.nrows();
     let ncols = b.ncols();
     // Symbolic phase: exact per-row sizes.
-    let sizes: Vec<usize> = (0..nrows)
-        .into_par_iter()
-        .with_min_len(MIN_SPLIT)
-        .map_init(
-            || kernel.make_ws(ncols),
-            |ws, i| {
-                let ctx = RowCtx::<S> {
-                    mask_cols: mask.row_cols(i),
-                    a_cols: a.row_cols(i),
-                    a_vals: a.row_vals(i),
-                    b,
-                };
-                kernel.row_symbolic(ws, ctx)
-            },
-        )
-        .collect();
+    let mut sizes = vec![0usize; nrows];
+    {
+        let sw = UnsafeSlice::new(&mut sizes);
+        run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {
+            let ctx = RowCtx::<S> {
+                mask_cols: mask.row_cols(i),
+                a_cols: a.row_cols(i),
+                a_vals: a.row_vals(i),
+                b,
+            };
+            let n = kernel.row_symbolic(ws, ctx);
+            // SAFETY: each row index is claimed by exactly one chunk.
+            unsafe { sw.write(i, n) };
+        });
+    }
     let rowptr = par_exclusive_prefix_sum(&sizes);
     let nnz = rowptr[nrows];
-    // Numeric phase into the exact allocation.
+    // Numeric phase into the exact allocation, over the same chunk list.
     let mut colidx = vec![0 as Idx; nnz];
     let mut values = vec![S::Out::default(); nnz];
     {
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);
-        (0..nrows)
-            .into_par_iter()
-            .with_min_len(MIN_SPLIT)
-            .for_each_init(
-                || kernel.make_ws(ncols),
-                |ws, i| {
-                    let ctx = RowCtx::<S> {
-                        mask_cols: mask.row_cols(i),
-                        a_cols: a.row_cols(i),
-                        a_vals: a.row_vals(i),
-                        b,
-                    };
-                    let len = sizes[i];
-                    // SAFETY: rowptr ranges are disjoint.
-                    let oc = unsafe { cw.slice_mut(rowptr[i], len) };
-                    let ov = unsafe { vw.slice_mut(rowptr[i], len) };
-                    let n = kernel.row_numeric(ws, ctx, oc, ov);
-                    debug_assert_eq!(
-                        n, len,
-                        "row {i}: symbolic phase predicted {len} entries, numeric produced {n}"
-                    );
-                },
+        run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {
+            let ctx = RowCtx::<S> {
+                mask_cols: mask.row_cols(i),
+                a_cols: a.row_cols(i),
+                a_vals: a.row_vals(i),
+                b,
+            };
+            let len = sizes[i];
+            // SAFETY: rowptr ranges are disjoint.
+            let oc = unsafe { cw.slice_mut(rowptr[i], len) };
+            let ov = unsafe { vw.slice_mut(rowptr[i], len) };
+            let n = kernel.row_numeric(ws, ctx, oc, ov);
+            debug_assert_eq!(
+                n, len,
+                "row {i}: symbolic phase predicted {len} entries, numeric produced {n}"
             );
+        });
     }
     Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
 }

@@ -1,0 +1,480 @@
+//! Row-scheduling policy, cross-call workspace pooling, and per-thread
+//! busy-time accounting for the row-parallel push drives.
+//!
+//! ## Why scheduling is a policy
+//!
+//! Power-law inputs (R-MAT, web/social graphs) concentrate most of the
+//! flops of `A·B` in a few heavy rows. How those rows are split across
+//! threads decides whether the paper's "plenty of coarse-grained
+//! parallelism across rows" (§3) actually materializes:
+//!
+//! * [`RowSchedule::Static`] — one contiguous equal-**row** block per
+//!   thread. Zero scheduling overhead, perfect for uniform degree
+//!   distributions; on skewed inputs the thread that drew the hub rows
+//!   runs long while the rest idle.
+//! * [`RowSchedule::Guided`] — contiguous chunks of geometrically
+//!   decreasing size claimed from an atomic cursor (guided
+//!   self-scheduling). Heavy early chunks stop pinning a whole thread's
+//!   share, at the cost of one `fetch_add` per chunk. Needs no input
+//!   analysis, so it is the default.
+//! * [`RowSchedule::FlopBalanced`] — chunk boundaries placed by a prefix
+//!   sum of per-row flops (`flops_i = Σ_{A_ik≠0} nnz(B_k*)`) so every
+//!   chunk carries near-equal *work* rather than near-equal *rows*. Costs
+//!   one O(nnz(A)) counting pass — which the complemented-mask one-phase
+//!   bound already needs, so the two share it — and is the strongest
+//!   policy when row costs vary by orders of magnitude.
+//!
+//! Scheduling never changes results: every row writes to an
+//! index-addressed output range derived from a prefix sum, so the output
+//! CSR is bit-identical across policies and thread counts.
+//!
+//! ## Workspace pooling
+//!
+//! [`WsPool`] caches accumulator scratch (the `PushKernel::Ws` of each
+//! kernel — hash tables, dense MSA arrays, heaps) across `run_push`
+//! invocations, keyed by workspace type, kernel configuration tag, and
+//! `ncols`. Iterative applications (k-truss, BC) issue one masked product
+//! per convergence step; with a pool threaded through, steady-state
+//! products perform **zero accumulator allocations** — each executor
+//! leases a workspace at drive start and returns it at drive end.
+//!
+//! [`ExecStats`] records per-thread busy seconds inside the row loops, the
+//! raw material for the load-imbalance (max/mean) figure the CLI reports.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How the row loop distributes rows over threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RowSchedule {
+    /// One contiguous equal-row block per thread (the pre-policy
+    /// behaviour): no scheduling overhead, no load balancing.
+    Static,
+    /// Decreasing-size chunks claimed dynamically from a shared cursor
+    /// (guided self-scheduling). Robust default for unknown inputs.
+    #[default]
+    Guided,
+    /// Chunks bounded by a prefix sum of per-row flops: near-equal work
+    /// per chunk, at the cost of an O(nnz(A)) counting pass (shared with
+    /// the complemented-mask one-phase bound when both are needed).
+    FlopBalanced,
+}
+
+impl RowSchedule {
+    /// The name the CLI and reports print.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RowSchedule::Static => "static",
+            RowSchedule::Guided => "guided",
+            RowSchedule::FlopBalanced => "flops",
+        }
+    }
+
+    /// All policies, in sweep order.
+    pub const ALL: [RowSchedule; 3] = [
+        RowSchedule::Static,
+        RowSchedule::Guided,
+        RowSchedule::FlopBalanced,
+    ];
+}
+
+impl std::str::FromStr for RowSchedule {
+    type Err = String;
+
+    /// Parse a schedule as the CLI spells it (case-insensitive):
+    /// `static`, `guided`, or `flops` (aliases `flop`, `flop-balanced`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "static" => Ok(RowSchedule::Static),
+            "guided" => Ok(RowSchedule::Guided),
+            "flops" | "flop" | "flop-balanced" | "flopbalanced" => Ok(RowSchedule::FlopBalanced),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected static|guided|flops)"
+            )),
+        }
+    }
+}
+
+/// Smallest chunk the guided schedule will hand out: keeps the cursor
+/// traffic and per-chunk bookkeeping amortized over a useful batch of
+/// rows near the tail.
+const GUIDED_MIN_CHUNK: usize = 8;
+
+/// Chunk-count multiplier for the flop-balanced schedule: more chunks
+/// than threads gives the claiming cursor slack to absorb estimation
+/// error (flops ignore per-row mask/gather costs).
+const FLOP_OVERSUB: usize = 4;
+
+/// Build the row chunk list for a schedule.
+///
+/// `flops` must be `Some` for [`RowSchedule::FlopBalanced`] (one entry
+/// per row, multiplies of the push product). Chunks partition
+/// `0..nrows` exactly, in row order.
+pub(crate) fn row_chunks(
+    schedule: RowSchedule,
+    nrows: usize,
+    threads: usize,
+    flops: Option<&[u64]>,
+) -> Vec<Range<usize>> {
+    let threads = threads.max(1);
+    if nrows == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return std::iter::once(0..nrows).collect();
+    }
+    match schedule {
+        RowSchedule::Static => mspgemm_sparse::util::split_ranges(nrows, threads),
+        RowSchedule::Guided => {
+            // Textbook guided self-scheduling hands out `remaining / 2T`
+            // rows per claim, but its biggest chunk comes *first* — the
+            // worst shape when heavy rows are front-loaded (degree-sorted
+            // graphs). Capping every chunk at `n / 8T` spreads such a hub
+            // prefix over several dynamically-claimed chunks while the
+            // tail still decays to keep cursor traffic low.
+            let cap = nrows.div_ceil(8 * threads).max(GUIDED_MIN_CHUNK);
+            let mut out = Vec::new();
+            let mut start = 0usize;
+            while start < nrows {
+                let rem = nrows - start;
+                let len = rem
+                    .div_ceil(2 * threads)
+                    .min(cap)
+                    .max(GUIDED_MIN_CHUNK)
+                    .min(rem);
+                out.push(start..start + len);
+                start += len;
+            }
+            out
+        }
+        RowSchedule::FlopBalanced => {
+            let flops = flops.expect("FlopBalanced schedule needs per-row flops");
+            debug_assert_eq!(flops.len(), nrows);
+            // Weight each row by flops + 1 so zero-flop rows still spread
+            // (their symbolic/gather work is not free) and progress is
+            // guaranteed.
+            let total: u64 = flops.iter().map(|&f| f + 1).sum();
+            let parts = (threads * FLOP_OVERSUB) as u64;
+            let target = total.div_ceil(parts).max(1);
+            let mut out = Vec::new();
+            let mut start = 0usize;
+            let mut acc = 0u64;
+            for (i, &f) in flops.iter().enumerate() {
+                let w = f + 1;
+                // Close the running chunk *before* a row that would push it
+                // past the target, so a hub row starts its own chunk
+                // instead of inflating its neighbours'.
+                if acc > 0 && acc + w > target {
+                    out.push(start..i);
+                    start = i;
+                    acc = 0;
+                }
+                acc += w;
+            }
+            if start < nrows {
+                out.push(start..nrows);
+            }
+            out
+        }
+    }
+}
+
+/// Shelf key: workspace type, kernel configuration tag, output width.
+type ShelfKey = (TypeId, u64, usize);
+
+/// A cross-call cache of kernel workspaces (accumulator scratch), keyed by
+/// workspace type, kernel configuration tag, and `ncols`.
+///
+/// Thread-safe: executors `take` a workspace when a drive starts and `put`
+/// it back when the drive ends, so the shelf holds at most one workspace
+/// per executor that ever ran concurrently. After one warmup call, a
+/// steady-state `run_push` driven through the same pool allocates no
+/// accumulators at all — every `take` is a hit.
+#[derive(Default)]
+pub struct WsPool {
+    shelves: Mutex<HashMap<ShelfKey, Vec<Box<dyn Any + Send>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WsPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lease a workspace: reuse a cached one when available, else build
+    /// with `make` (counted as a miss).
+    pub(crate) fn take<W: Any + Send>(
+        &self,
+        tag: u64,
+        ncols: usize,
+        make: impl FnOnce() -> W,
+    ) -> W {
+        let key = (TypeId::of::<W>(), tag, ncols);
+        let cached = self
+            .shelves
+            .lock()
+            .unwrap()
+            .get_mut(&key)
+            .and_then(|shelf| shelf.pop());
+        match cached {
+            Some(boxed) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                *boxed.downcast::<W>().expect("WsPool: key/type mismatch")
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                make()
+            }
+        }
+    }
+
+    /// Return a leased workspace for future reuse.
+    pub(crate) fn put<W: Any + Send>(&self, tag: u64, ncols: usize, ws: W) {
+        let key = (TypeId::of::<W>(), tag, ncols);
+        self.shelves
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(Box::new(ws));
+    }
+
+    /// Number of leases served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of leases that had to allocate a fresh workspace.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Workspaces currently parked in the pool.
+    pub fn retained(&self) -> usize {
+        self.shelves.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Drop every parked workspace (the caller's eviction lever: shelves
+    /// otherwise grow to one workspace per concurrent executor per
+    /// distinct (type, tag, width) combination and live as long as the
+    /// pool). Counters are preserved.
+    pub fn clear(&self) {
+        self.shelves.lock().unwrap().clear();
+    }
+}
+
+/// Per-executor busy-time accounting for the row loops.
+///
+/// Each executor workspace lease accumulates the wall-clock seconds its
+/// owner spent processing chunks and reports the total once when the
+/// lease ends (one mutex touch per executor per drive — nothing shared
+/// sits inside the timed region). At the end of each drive the per-lease
+/// spans are *rank-folded*: sorted descending and added into rank-indexed
+/// buckets, so "rank 0" always means "the busiest executor of each
+/// drive", no matter which pool worker happened to claim the slot that
+/// time. The max/mean spread over the rank buckets is the load-imbalance
+/// figure (1.0 = perfectly balanced).
+#[derive(Default)]
+pub struct ExecStats {
+    /// Per-lease busy spans of the drive currently in flight.
+    current: Mutex<Vec<f64>>,
+    /// Rank-folded totals across completed drives (rank 0 = busiest).
+    ranks: Mutex<Vec<f64>>,
+}
+
+impl ExecStats {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Report one executor lease's total busy seconds for the drive in
+    /// flight.
+    pub(crate) fn record(&self, seconds: f64) {
+        self.current.lock().unwrap().push(seconds);
+    }
+
+    /// Close the drive in flight: rank-fold its per-lease spans into the
+    /// cross-drive buckets.
+    pub(crate) fn fold_drive(&self) {
+        let mut spans = std::mem::take(&mut *self.current.lock().unwrap());
+        if spans.is_empty() {
+            return;
+        }
+        spans.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranks = self.ranks.lock().unwrap();
+        if ranks.len() < spans.len() {
+            ranks.resize(spans.len(), 0.0);
+        }
+        for (rank, s) in spans.into_iter().enumerate() {
+            ranks[rank] += s;
+        }
+    }
+
+    /// Busy seconds per executor rank, descending (rank 0 aggregates the
+    /// busiest executor of every drive).
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.fold_drive();
+        self.ranks.lock().unwrap().clone()
+    }
+
+    /// Clear all buckets (e.g. between timed repetitions).
+    pub fn reset(&self) {
+        self.current.lock().unwrap().clear();
+        self.ranks.lock().unwrap().clear();
+    }
+}
+
+/// Execution options for the row-parallel push drives: scheduling policy,
+/// optional cross-call workspace pool, optional busy-time recorder.
+///
+/// `Default` is `Guided` scheduling with no pool and no stats — safe for
+/// one-shot calls; iterative callers should thread a [`WsPool`] through.
+#[derive(Clone, Copy, Default)]
+pub struct ExecOpts<'a> {
+    /// Row-distribution policy.
+    pub schedule: RowSchedule,
+    /// Cross-call accumulator cache; `None` allocates per drive.
+    pub ws_pool: Option<&'a WsPool>,
+    /// Busy-time recorder; `None` skips the timing instrumentation.
+    pub stats: Option<&'a ExecStats>,
+}
+
+impl<'a> ExecOpts<'a> {
+    /// Options with the given schedule and neither pool nor stats.
+    pub fn with_schedule(schedule: RowSchedule) -> Self {
+        Self {
+            schedule,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(chunks: &[Range<usize>], nrows: usize) {
+        let mut next = 0usize;
+        for c in chunks {
+            assert_eq!(c.start, next, "chunks must be contiguous in order");
+            assert!(c.end > c.start, "empty chunk");
+            next = c.end;
+        }
+        assert_eq!(next, nrows, "chunks must cover all rows");
+    }
+
+    #[test]
+    fn static_chunks_partition() {
+        for nrows in [1usize, 7, 100, 1000] {
+            for threads in [1usize, 2, 4, 8] {
+                let chunks = row_chunks(RowSchedule::Static, nrows, threads, None);
+                assert_partition(&chunks, nrows);
+                assert!(chunks.len() <= threads.max(1));
+            }
+        }
+        assert!(row_chunks(RowSchedule::Static, 0, 4, None).is_empty());
+    }
+
+    #[test]
+    fn guided_chunks_decrease_and_partition() {
+        let chunks = row_chunks(RowSchedule::Guided, 10_000, 4, None);
+        assert_partition(&chunks, 10_000);
+        assert!(chunks.len() > 4, "guided must oversubscribe");
+        // Sizes are non-increasing until the minimum chunk floor.
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        for w in sizes.windows(2) {
+            assert!(
+                w[1] <= w[0] || w[0] <= GUIDED_MIN_CHUNK,
+                "guided sizes must decrease: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flop_chunks_isolate_heavy_rows() {
+        // One hub row carrying ~all the flops must land in its own chunk.
+        let mut flops = vec![1u64; 1000];
+        flops[500] = 1_000_000;
+        let chunks = row_chunks(RowSchedule::FlopBalanced, 1000, 4, Some(&flops));
+        assert_partition(&chunks, 1000);
+        let hub = chunks.iter().find(|c| c.contains(&500)).unwrap();
+        assert_eq!(hub.clone().count(), 1, "hub row must be isolated: {hub:?}");
+    }
+
+    #[test]
+    fn flop_chunks_handle_all_zero() {
+        let flops = vec![0u64; 64];
+        let chunks = row_chunks(RowSchedule::FlopBalanced, 64, 4, Some(&flops));
+        assert_partition(&chunks, 64);
+        assert!(chunks.len() > 1, "zero-flop rows must still spread");
+    }
+
+    #[test]
+    fn single_thread_is_one_chunk() {
+        for sched in RowSchedule::ALL {
+            let flops = vec![3u64; 50];
+            let chunks = row_chunks(sched, 50, 1, Some(&flops));
+            assert_eq!(chunks, vec![0..50]);
+        }
+    }
+
+    #[test]
+    fn schedule_parses() {
+        assert_eq!("static".parse::<RowSchedule>(), Ok(RowSchedule::Static));
+        assert_eq!("GUIDED".parse::<RowSchedule>(), Ok(RowSchedule::Guided));
+        assert_eq!(
+            "flops".parse::<RowSchedule>(),
+            Ok(RowSchedule::FlopBalanced)
+        );
+        assert_eq!(
+            "flop-balanced".parse::<RowSchedule>(),
+            Ok(RowSchedule::FlopBalanced)
+        );
+        assert!("dynamic".parse::<RowSchedule>().is_err());
+        assert_eq!(RowSchedule::default(), RowSchedule::Guided);
+    }
+
+    #[test]
+    fn ws_pool_counts_hits_and_misses() {
+        let pool = WsPool::new();
+        let a: Vec<u32> = pool.take(0, 8, || vec![0u32; 8]);
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+        pool.put(0, 8, a);
+        assert_eq!(pool.retained(), 1);
+        let _b: Vec<u32> = pool.take(0, 8, || vec![0u32; 8]);
+        assert_eq!((pool.hits(), pool.misses()), (1, 1));
+        // Different tag or ncols is a different shelf.
+        let _c: Vec<u32> = pool.take(1, 8, || vec![0u32; 8]);
+        let _d: Vec<u32> = pool.take(0, 9, || vec![0u32; 9]);
+        assert_eq!(pool.misses(), 3);
+    }
+
+    #[test]
+    fn exec_stats_rank_fold_across_drives() {
+        let stats = ExecStats::new();
+        // Drive 1: two executor spans, imbalanced.
+        stats.record(0.5);
+        stats.record(0.25);
+        stats.fold_drive();
+        // Drive 2: spans arrive in the other order — rank folding must
+        // still pair busiest with busiest.
+        stats.record(0.1);
+        stats.record(0.4);
+        stats.fold_drive();
+        let busy = stats.busy_seconds();
+        assert_eq!(busy.len(), 2, "two executor ranks");
+        assert!((busy[0] - 0.9).abs() < 1e-12, "{busy:?}");
+        assert!((busy[1] - 0.35).abs() < 1e-12, "{busy:?}");
+        stats.reset();
+        assert!(stats.busy_seconds().is_empty());
+        // Pending spans fold implicitly on read.
+        stats.record(0.3);
+        assert_eq!(stats.busy_seconds(), vec![0.3]);
+    }
+}

@@ -14,7 +14,7 @@
 //! source's own dependency is not added to its score.
 
 use crate::scheme::Scheme;
-use masked_spgemm::MaskMode;
+use masked_spgemm::{ExecOpts, MaskMode, WsPool};
 use mspgemm_sparse::ops::ewise::{ewise_add, ewise_mult, mask_keep};
 use mspgemm_sparse::semiring::PlusTimesF64;
 use mspgemm_sparse::{transpose, Csr, Idx};
@@ -34,7 +34,27 @@ pub struct BcResult {
 }
 
 /// Batched Brandes BC from `sources` (one batch row per source).
+///
+/// A local [`WsPool`] spans the forward and backward sweeps, so each
+/// masked product after the first reuses accumulator scratch instead of
+/// reallocating it per BFS level.
 pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResult {
+    let pool = WsPool::new();
+    let opts = ExecOpts {
+        ws_pool: Some(&pool),
+        ..ExecOpts::default()
+    };
+    betweenness_with(adj, sources, scheme, &opts)
+}
+
+/// [`betweenness`] with explicit execution options applied to every
+/// forward- and backward-sweep masked product.
+pub fn betweenness_with(
+    adj: &Csr<f64>,
+    sources: &[usize],
+    scheme: Scheme,
+    opts: &ExecOpts<'_>,
+) -> BcResult {
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
     assert!(
         scheme.supports_complement(),
@@ -63,12 +83,13 @@ pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResul
     // Forward sweep.
     loop {
         let t0 = Instant::now();
-        let f_new: Csr<f64> = scheme.run::<PlusTimesF64, f64>(
+        let f_new: Csr<f64> = scheme.run_with::<PlusTimesF64, f64>(
             &num_sp,
             &frontier,
             adj,
             Some(&at),
             MaskMode::Complement,
+            opts,
         );
         mxm_seconds += t0.elapsed().as_secs_f64();
         if f_new.nnz() == 0 {
@@ -88,8 +109,14 @@ pub fn betweenness(adj: &Csr<f64>, sources: &[usize], scheme: Scheme) -> BcResul
         let w = mask_keep(&ratios, &sigmas[d]);
         // W = ⟨σ_{d-1}⟩ (W · Aᵀ)  — plain masked SpGEMM.
         let t0 = Instant::now();
-        let w2: Csr<f64> =
-            scheme.run::<PlusTimesF64, ()>(&sigmas[d - 1], &w, &at, Some(adj), MaskMode::Mask);
+        let w2: Csr<f64> = scheme.run_with::<PlusTimesF64, ()>(
+            &sigmas[d - 1],
+            &w,
+            &at,
+            Some(adj),
+            MaskMode::Mask,
+            opts,
+        );
         mxm_seconds += t0.elapsed().as_secs_f64();
         // BCU += W .* NumSP
         let update = ewise_mult(&w2, &num_sp, |w, ns| w * ns);
@@ -265,6 +292,33 @@ mod tests {
         ] {
             let r = betweenness(&g, &sources, s);
             assert_close(&r.scores, &want, &s.name());
+        }
+    }
+
+    #[test]
+    fn schedules_and_pool_leave_scores_unchanged() {
+        use masked_spgemm::RowSchedule;
+        let g = mspgemm_gen::er_symmetric(100, 7, 11);
+        let sources: Vec<usize> = (0..12).collect();
+        let want = brandes_reference(&g, &sources);
+        for sched in RowSchedule::ALL {
+            let pool = WsPool::new();
+            let opts = ExecOpts {
+                schedule: sched,
+                ws_pool: Some(&pool),
+                stats: None,
+            };
+            let r = betweenness_with(
+                &g,
+                &sources,
+                Scheme::Ours(Algorithm::Msa, Phases::One),
+                &opts,
+            );
+            assert_close(&r.scores, &want, sched.name());
+            assert!(
+                pool.hits() > 0,
+                "BFS levels after the first must reuse workspaces"
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //! pruned.
 
 use crate::scheme::Scheme;
-use masked_spgemm::MaskMode;
+use masked_spgemm::{ExecOpts, MaskMode, WsPool};
 use mspgemm_sparse::ops::select::select;
 use mspgemm_sparse::semiring::PlusPairU64;
 use mspgemm_sparse::{transpose, Csr};
@@ -30,7 +30,22 @@ pub struct KtrussResult {
 /// SpGEMM in an iterative manner"), so pull-based schemes re-transpose
 /// the pruned adjacency each iteration — that cost is charged to the
 /// scheme, mirroring how the paper's library baselines behave.
+///
+/// A local [`WsPool`] is held across the iterations, so every masked
+/// product after the first reuses the accumulator scratch instead of
+/// reallocating it (the iterative-app payoff of workspace pooling).
 pub fn k_truss(adj: &Csr<f64>, k: usize, scheme: Scheme) -> KtrussResult {
+    let pool = WsPool::new();
+    let opts = ExecOpts {
+        ws_pool: Some(&pool),
+        ..ExecOpts::default()
+    };
+    k_truss_with(adj, k, scheme, &opts)
+}
+
+/// [`k_truss`] with explicit execution options (row schedule, workspace
+/// pool, busy-time stats) applied to every iteration's masked product.
+pub fn k_truss_with(adj: &Csr<f64>, k: usize, scheme: Scheme, opts: &ExecOpts<'_>) -> KtrussResult {
     assert!(k >= 3, "k-truss needs k >= 3");
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
     let threshold = (k - 2) as u64;
@@ -47,7 +62,7 @@ pub fn k_truss(adj: &Csr<f64>, k: usize, scheme: Scheme) -> KtrussResult {
         // (the operand changes every round).
         let bt = needs_bt.then(|| transpose(&a));
         let support: Csr<u64> =
-            scheme.run::<PlusPairU64, ()>(&a, &a, &a, bt.as_ref(), MaskMode::Mask);
+            scheme.run_with::<PlusPairU64, ()>(&a, &a, &a, bt.as_ref(), MaskMode::Mask, opts);
         mxm_seconds += t0.elapsed().as_secs_f64();
         let kept = select(&support, |_, _, s| *s >= threshold);
         if kept.nnz() == a.nnz() {
@@ -146,6 +161,27 @@ mod tests {
             let r = k_truss(&g, 5, s);
             assert_eq!(r.truss, reference.truss, "{}", s.name());
             assert_eq!(r.iterations, reference.iterations, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn schedules_and_pool_leave_truss_unchanged() {
+        use masked_spgemm::RowSchedule;
+        let g = mspgemm_gen::er_symmetric(150, 14, 5);
+        let reference = k_truss(&g, 5, Scheme::Ours(Algorithm::Hash, Phases::One));
+        for sched in RowSchedule::ALL {
+            let pool = WsPool::new();
+            let opts = ExecOpts {
+                schedule: sched,
+                ws_pool: Some(&pool),
+                stats: None,
+            };
+            let r = k_truss_with(&g, 5, Scheme::Ours(Algorithm::Hash, Phases::One), &opts);
+            assert_eq!(r.truss, reference.truss, "{}", sched.name());
+            assert_eq!(r.iterations, reference.iterations, "{}", sched.name());
+            if r.iterations > 1 {
+                assert!(pool.hits() > 0, "later iterations must reuse workspaces");
+            }
         }
     }
 

@@ -1,7 +1,10 @@
 //! The evaluation "schemes" of §8: our 12 algorithm variants
 //! (6 algorithms × 1P/2P) plus the two SuiteSparse-modelled baselines.
 
-use masked_spgemm::{baseline, masked_mxm, masked_mxm_with_bt, Algorithm, MaskMode, Phases};
+use masked_spgemm::{
+    baseline, masked_mxm, masked_mxm_with_bt, masked_mxm_with_opts, Algorithm, ExecOpts, MaskMode,
+    Phases,
+};
 use mspgemm_sparse::semiring::Semiring;
 use mspgemm_sparse::Csr;
 
@@ -73,6 +76,26 @@ impl Scheme {
         S: Semiring,
         M: Send + Sync,
     {
+        self.run_with::<S, M>(mask, a, b, bt, mode, &ExecOpts::default())
+    }
+
+    /// [`Scheme::run`] with explicit execution options (row schedule,
+    /// cross-call workspace pool, busy-time stats). The options govern our
+    /// push schemes; the pull-based Inner path and the SuiteSparse-style
+    /// baselines ignore them, mirroring what the libraries expose.
+    pub fn run_with<S, M>(
+        &self,
+        mask: &Csr<M>,
+        a: &Csr<S::Left>,
+        b: &Csr<S::Right>,
+        bt: Option<&Csr<S::Right>>,
+        mode: MaskMode,
+        opts: &ExecOpts<'_>,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring,
+        M: Send + Sync,
+    {
         match *self {
             Scheme::Ours(Algorithm::Inner, phases) => match bt {
                 Some(bt) => masked_mxm_with_bt::<S, M>(mask, a, bt, mode, phases)
@@ -81,7 +104,8 @@ impl Scheme {
                     .expect("inner masked mxm failed"),
             },
             Scheme::Ours(algo, phases) => {
-                masked_mxm::<S, M>(mask, a, b, algo, mode, phases).expect("masked mxm failed")
+                masked_mxm_with_opts::<S, M>(mask, a, b, algo, mode, phases, opts)
+                    .expect("masked mxm failed")
             }
             Scheme::SsSaxpy => baseline::ss_saxpy_like::<S, M>(mask, a, b, mode),
             Scheme::SsDot => baseline::ss_dot_like::<S, M>(mask, a, b, mode),

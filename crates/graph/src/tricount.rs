@@ -4,7 +4,7 @@
 //! plus a reduction, on the `plus_pair` semiring.
 
 use crate::scheme::Scheme;
-use masked_spgemm::MaskMode;
+use masked_spgemm::{ExecOpts, MaskMode};
 use mspgemm_sparse::ops::permute::{degree_descending_permutation, permute_symmetric};
 use mspgemm_sparse::ops::reduce::reduce_all;
 use mspgemm_sparse::ops::select::tril_strict;
@@ -48,8 +48,22 @@ pub struct TcResult {
 
 /// Count triangles with the given scheme on prepared operands.
 pub fn count_prepared(ops: &TcOperands, scheme: Scheme) -> TcResult {
+    count_prepared_with(ops, scheme, &ExecOpts::default())
+}
+
+/// [`count_prepared`] with explicit execution options, so sweeps can pin a
+/// row schedule and amortize accumulator scratch across repetitions
+/// through a shared [`masked_spgemm::WsPool`].
+pub fn count_prepared_with(ops: &TcOperands, scheme: Scheme, opts: &ExecOpts<'_>) -> TcResult {
     let t0 = Instant::now();
-    let c = scheme.run::<PlusPairU64, ()>(&ops.l, &ops.l, &ops.l, Some(&ops.lt), MaskMode::Mask);
+    let c = scheme.run_with::<PlusPairU64, ()>(
+        &ops.l,
+        &ops.l,
+        &ops.l,
+        Some(&ops.lt),
+        MaskMode::Mask,
+        opts,
+    );
     let mxm_seconds = t0.elapsed().as_secs_f64();
     let triangles = reduce_all(&c, 0u64, |acc, v| acc + v, |x, y| x + y);
     TcResult {

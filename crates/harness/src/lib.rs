@@ -19,6 +19,8 @@ pub mod report;
 pub mod runner;
 pub mod threads;
 
-pub use metrics::{entries_per_s, env_usize, gflops, mb_per_s, mteps, time_best};
-pub use perfprofile::{default_taus, performance_profile, PerfProfile, SchemeRuns};
+pub use metrics::{entries_per_s, env_usize, env_usize_list, gflops, mb_per_s, mteps, time_best};
+pub use perfprofile::{
+    busy_spread, default_taus, performance_profile, BusySpread, PerfProfile, SchemeRuns,
+};
 pub use threads::{scaling_thread_counts, with_threads};

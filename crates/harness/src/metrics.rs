@@ -65,6 +65,24 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Read an environment variable as a comma-separated list of positive
+/// `usize`s with a default spec — the sweep knobs
+/// (`MSPGEMM_INGEST_THREADS`, `MSPGEMM_SCHED_SCALES`, …).
+///
+/// # Panics
+/// If the spec yields no usable entries (a silent empty sweep would look
+/// like a passing bench).
+pub fn env_usize_list(name: &str, default: &str) -> Vec<usize> {
+    let spec = std::env::var(name).unwrap_or_else(|_| default.into());
+    let list: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    assert!(!list.is_empty(), "{name} has no usable entries: {spec:?}");
+    list
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

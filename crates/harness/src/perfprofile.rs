@@ -2,6 +2,11 @@
 //! device (Figs 8, 9, 12, 13, 16). A point `(x, y)` on a scheme's curve
 //! means: on a fraction `y` of the test cases, the scheme's runtime was
 //! within a factor `x` of the best scheme for that case.
+//!
+//! Also home to the per-thread **busy-time spread** ([`BusySpread`]): the
+//! max/mean figure over per-thread busy seconds that quantifies how well a
+//! row schedule balanced the load (1.0 = perfect; the static schedule on a
+//! skewed input approaches the thread count).
 
 /// One scheme's runtimes across a common set of test cases.
 #[derive(Clone, Debug)]
@@ -64,6 +69,45 @@ pub fn performance_profile(runs: &[SchemeRuns], taus: &[f64]) -> PerfProfile {
         taus: taus.to_vec(),
         curves,
     }
+}
+
+/// Load-imbalance summary over per-thread busy seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct BusySpread {
+    /// Threads that recorded any busy time.
+    pub threads: usize,
+    /// Busiest thread's seconds.
+    pub max: f64,
+    /// Mean busy seconds across participating threads.
+    pub mean: f64,
+}
+
+impl BusySpread {
+    /// `max / mean` — 1.0 is perfectly balanced; the wall-clock cost of
+    /// imbalance, since the drive ends when the busiest thread does.
+    pub fn ratio(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max / self.mean
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Summarize per-thread busy seconds (e.g. from
+/// `masked_spgemm::ExecStats::busy_seconds`) into a [`BusySpread`].
+/// Returns `None` when nothing was recorded.
+pub fn busy_spread(busy: &[f64]) -> Option<BusySpread> {
+    if busy.is_empty() {
+        return None;
+    }
+    let max = busy.iter().copied().fold(0.0f64, f64::max);
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    Some(BusySpread {
+        threads: busy.len(),
+        max,
+        mean,
+    })
 }
 
 /// The x-axis the paper plots: 1.0 to `max` in steps of `step`.
@@ -174,5 +218,21 @@ mod tests {
         assert_eq!(t.len(), 8);
         assert!((t[0] - 1.0).abs() < 1e-12);
         assert!((t[7] - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_spread_ratio() {
+        assert!(busy_spread(&[]).is_none());
+        let s = busy_spread(&[4.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.threads, 4);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.ratio() - 2.0).abs() < 1e-12);
+        // Perfect balance.
+        let s = busy_spread(&[3.0, 3.0]).unwrap();
+        assert!((s.ratio() - 1.0).abs() < 1e-12);
+        // Degenerate all-zero recording.
+        let s = busy_spread(&[0.0]).unwrap();
+        assert!((s.ratio() - 1.0).abs() < 1e-12);
     }
 }

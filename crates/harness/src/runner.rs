@@ -4,13 +4,21 @@
 
 use crate::metrics::time_best;
 use crate::perfprofile::SchemeRuns;
+use masked_spgemm::ExecOpts;
 use mspgemm_gen::SuiteGraph;
 use mspgemm_graph::scheme::Scheme;
 use mspgemm_graph::{bc, ktruss, tricount};
 
 /// Triangle-counting runtimes (masked SpGEMM only, as in §8.2) for each
-/// scheme × suite graph.
-pub fn tc_runs(suite: &[SuiteGraph], schemes: &[Scheme], reps: usize) -> Vec<SchemeRuns> {
+/// scheme × suite graph, under the given execution options (a shared
+/// [`masked_spgemm::WsPool`] in `opts` amortizes accumulator allocation
+/// across repetitions and cases).
+pub fn tc_runs(
+    suite: &[SuiteGraph],
+    schemes: &[Scheme],
+    reps: usize,
+    opts: &ExecOpts<'_>,
+) -> Vec<SchemeRuns> {
     let prepared: Vec<_> = suite.iter().map(|g| tricount::prepare(&g.adj)).collect();
     schemes
         .iter()
@@ -19,7 +27,7 @@ pub fn tc_runs(suite: &[SuiteGraph], schemes: &[Scheme], reps: usize) -> Vec<Sch
             seconds: prepared
                 .iter()
                 .map(|ops| {
-                    let (secs, _) = time_best(reps, || tricount::count_prepared(ops, s));
+                    let (secs, _) = time_best(reps, || tricount::count_prepared_with(ops, s, opts));
                     Some(secs)
                 })
                 .collect(),
@@ -33,6 +41,7 @@ pub fn ktruss_runs(
     schemes: &[Scheme],
     k: usize,
     reps: usize,
+    opts: &ExecOpts<'_>,
 ) -> Vec<SchemeRuns> {
     schemes
         .iter()
@@ -41,7 +50,7 @@ pub fn ktruss_runs(
             seconds: suite
                 .iter()
                 .map(|g| {
-                    let (_, result) = time_best(reps, || ktruss::k_truss(&g.adj, k, s));
+                    let (_, result) = time_best(reps, || ktruss::k_truss_with(&g.adj, k, s, opts));
                     // The benchmarked quantity is the masked-SpGEMM time,
                     // not the whole loop (pruning excluded), per §8.3.
                     Some(result.mxm_seconds)
@@ -58,6 +67,7 @@ pub fn bc_runs(
     schemes: &[Scheme],
     batch: usize,
     reps: usize,
+    opts: &ExecOpts<'_>,
 ) -> Vec<SchemeRuns> {
     schemes
         .iter()
@@ -71,7 +81,8 @@ pub fn bc_runs(
                     }
                     let n = g.adj.nrows();
                     let sources: Vec<usize> = (0..batch.min(n)).collect();
-                    let (_, result) = time_best(reps, || bc::betweenness(&g.adj, &sources, s));
+                    let (_, result) =
+                        time_best(reps, || bc::betweenness_with(&g.adj, &sources, s, opts));
                     Some(result.mxm_seconds)
                 })
                 .collect(),
@@ -96,7 +107,7 @@ mod tests {
     #[test]
     fn tc_runs_shape() {
         let schemes = [Scheme::Ours(Algorithm::Msa, Phases::One), Scheme::SsSaxpy];
-        let runs = tc_runs(&tiny_suite(), &schemes, 1);
+        let runs = tc_runs(&tiny_suite(), &schemes, 1, &ExecOpts::default());
         assert_eq!(runs.len(), 2);
         assert!(runs.iter().all(|r| r.seconds.len() == 2));
         assert!(runs.iter().all(|r| r.seconds.iter().all(|s| s.is_some())));
@@ -108,12 +119,36 @@ mod tests {
             Scheme::Ours(Algorithm::Mca, Phases::One),
             Scheme::Ours(Algorithm::Msa, Phases::One),
         ];
-        let runs = bc_runs(&tiny_suite(), &schemes, 4, 1);
+        let runs = bc_runs(&tiny_suite(), &schemes, 4, 1, &ExecOpts::default());
         assert!(
             runs[0].seconds.iter().all(|s| s.is_none()),
             "MCA cannot run BC"
         );
         assert!(runs[1].seconds.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn runs_identical_across_schedules_with_pool() {
+        use masked_spgemm::{RowSchedule, WsPool};
+        let suite = tiny_suite();
+        let schemes = [Scheme::Ours(Algorithm::Hash, Phases::One)];
+        let k = 4;
+        let baseline = ktruss_runs(&suite, &schemes, k, 1, &ExecOpts::default());
+        for sched in RowSchedule::ALL {
+            let pool = WsPool::new();
+            let opts = ExecOpts {
+                schedule: sched,
+                ws_pool: Some(&pool),
+                stats: None,
+            };
+            let runs = ktruss_runs(&suite, &schemes, k, 1, &opts);
+            assert_eq!(runs.len(), baseline.len());
+            // Timing differs; shape and presence must not.
+            for (r, b) in runs.iter().zip(&baseline) {
+                assert_eq!(r.seconds.len(), b.seconds.len(), "{}", sched.name());
+            }
+            assert!(pool.hits() > 0, "iterative k-truss must reuse workspaces");
+        }
     }
 
     #[test]

@@ -64,7 +64,8 @@ fn profile_machinery_end_to_end() {
         Scheme::Ours(Algorithm::Msa, Phases::One),
         Scheme::Ours(Algorithm::Hash, Phases::One),
     ];
-    let runs: Vec<SchemeRuns> = mspgemm::harness::runner::tc_runs(&suite, &schemes, 1);
+    let runs: Vec<SchemeRuns> =
+        mspgemm::harness::runner::tc_runs(&suite, &schemes, 1, &Default::default());
     let profile = performance_profile(&runs, &mspgemm::harness::default_taus(2.4, 0.2));
     // Some scheme must be best somewhere; fractions in [0, 1].
     let sum_best: f64 = profile.curves.iter().map(|(_, fr)| fr[0]).sum();
@@ -152,7 +153,8 @@ fn dataset_source_feeds_runners() {
         Scheme::Ours(Algorithm::Msa, Phases::One),
         Scheme::Ours(Algorithm::Hash, Phases::One),
     ];
-    let runs: Vec<SchemeRuns> = mspgemm::harness::runner::tc_runs(&graphs, &schemes, 1);
+    let runs: Vec<SchemeRuns> =
+        mspgemm::harness::runner::tc_runs(&graphs, &schemes, 1, &Default::default());
     let profile = performance_profile(&runs, &mspgemm::harness::default_taus(2.0, 0.5));
     assert_eq!(profile.curves.len(), 2);
     std::fs::remove_dir_all(&dir).ok();
