@@ -24,26 +24,10 @@ use mspgemm_sparse::semiring::PlusTimesF64;
 use std::io::Write;
 
 /// Parse a scheme label (`msa-1p`, `Hash-2P`, `ss:saxpy`, ...) as the
-/// suite's `--schemes` filter spells it.
+/// suite's `--schemes` filter spells it — [`Scheme`]'s `FromStr`, which
+/// the serve protocol shares.
 pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
-    let lc = s.to_ascii_lowercase();
-    match lc.as_str() {
-        "ss:saxpy" | "saxpy" => return Ok(Scheme::SsSaxpy),
-        "ss:dot" | "ssdot" => return Ok(Scheme::SsDot),
-        _ => {}
-    }
-    // A bare algorithm name (including dashed aliases like `heap-dot`)
-    // defaults to one phase; otherwise the suffix after the last '-' is
-    // the phase spelling (`msa-2p`, `heap-dot-1p`).
-    if let Ok(algo) = lc.parse::<Algorithm>() {
-        return Ok(Scheme::Ours(algo, Phases::One));
-    }
-    let (algo_part, phase_part) = lc
-        .rsplit_once('-')
-        .ok_or_else(|| format!("unknown scheme '{s}'"))?;
-    let algo: Algorithm = algo_part.parse()?;
-    let phases: Phases = phase_part.parse()?;
-    Ok(Scheme::Ours(algo, phases))
+    s.parse()
 }
 
 fn cache_policy(p: &Parsed) -> CachePolicy {
@@ -153,7 +137,13 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         None => writeln!(out, "schedule : {} (no push drives timed)", schedule.name()),
     }
     .map_err(|e| e.to_string())?;
-    writeln!(out, "output   : nnz {}", c.nnz()).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "output   : nnz {}, fingerprint {:016x}",
+        c.nnz(),
+        mspgemm_harness::csr_fingerprint(&c)
+    )
+    .map_err(|e| e.to_string())?;
     writeln!(out, "time     : {:.6} s (best of {reps})", secs).map_err(|e| e.to_string())?;
     writeln!(
         out,

@@ -7,15 +7,18 @@
 //! * `mxm suite` — the paper's TC / k-truss / BC sweeps over synthetic or
 //!   on-disk datasets, with performance-profile and JSON output;
 //! * `mxm convert` — `.mtx` ↔ `.msb` conversion;
-//! * `mxm check` — generator/kernel self-check (CI smoke test).
+//! * `mxm check` — generator/kernel self-check (CI smoke test);
+//! * `mxm serve` / `mxm query` — the resident-dataset server and its
+//!   scripting client (see `docs/SERVE_PROTOCOL.md`).
 //!
-//! All command logic lives in [`commands`] as testable functions over
-//! parsed arguments; `main` is a thin dispatcher.
+//! All command logic lives in [`commands`] and [`servecmd`] as testable
+//! functions over parsed arguments; `main` is a thin dispatcher.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod servecmd;
 
 use std::io::Write;
 
@@ -55,6 +58,24 @@ USAGE:
     mxm check
         Generator/kernel self-check (used by CI).
 
+    mxm serve [--listen ADDR] [--schedule static|guided|flops]
+              [--parse-threads N] [--no-cache] [preload.mtx ...]
+        Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
+        Unix socket): datasets stay resident with pre-transposed
+        operands, and requests run on the warm worker pool with shared
+        accumulator scratch. Preload positional files at startup; serves
+        until a 'shutdown' request. Protocol: docs/SERVE_PROTOCOL.md.
+
+    mxm query [--connect ADDR] [--retry N] <op> [op flags]
+        One request against a running server; prints the JSON response.
+        ops: ping | list | stats | shutdown | load --path F [--name N]
+             | unload --name N
+             | mxm --dataset D [--algo A] [--mask M] [--phases P]
+                   [--schedule S] [--threads T] [--reps R]
+             | app --dataset D [--app tc|ktruss|bc] [--scheme S]
+                   [--k K] [--batch B] [--threads T]
+             | raw --json '{...}'
+
 Text matrices parse with the chunked parallel reader (--parse-threads N
 pins the fan-out; 0 = all cores) and load through the .msb sidecar
 cache: parsing big.mtx writes big.msb next to it, and later runs
@@ -87,6 +108,26 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
             "tau-max",
         ],
         "convert" => &["parse-threads"],
+        "serve" => &["listen", "schedule", "parse-threads"],
+        "query" => &[
+            "connect",
+            "retry",
+            "path",
+            "name",
+            "parse-threads",
+            "dataset",
+            "algo",
+            "mask",
+            "phases",
+            "schedule",
+            "threads",
+            "reps",
+            "app",
+            "scheme",
+            "k",
+            "batch",
+            "json",
+        ],
         _ => &[],
     }
 }
@@ -97,6 +138,7 @@ fn known_switches(cmd: &str) -> &'static [&'static str] {
     match cmd {
         "run" => &["no-cache"],
         "suite" => &["no-cache", "no-baselines"],
+        "serve" | "query" => &["no-cache"],
         _ => &[],
     }
 }
@@ -106,6 +148,8 @@ fn positional_arity(cmd: &str) -> std::ops::RangeInclusive<usize> {
     match cmd {
         "run" => 1..=1,
         "convert" => 2..=2,
+        "serve" => 0..=usize::MAX, // positionals are preload files
+        "query" => 1..=1,          // the op
         _ => 0..=0,
     }
 }
@@ -118,7 +162,10 @@ pub fn dispatch(argv: &[String], out: &mut impl Write) -> Result<(), String> {
     };
     let rest = &argv[1..];
     let parsed = args::parse(rest, value_flags(cmd))?;
-    if matches!(cmd.as_str(), "run" | "suite" | "convert" | "check") {
+    if matches!(
+        cmd.as_str(),
+        "run" | "suite" | "convert" | "check" | "serve" | "query"
+    ) {
         for s in &parsed.switches {
             if !known_switches(cmd).contains(&s.as_str()) {
                 return Err(format!(
@@ -140,6 +187,8 @@ pub fn dispatch(argv: &[String], out: &mut impl Write) -> Result<(), String> {
         "suite" => commands::cmd_suite(&parsed, out),
         "convert" => commands::cmd_convert(&parsed, out),
         "check" => commands::cmd_check(out),
+        "serve" => servecmd::cmd_serve(&parsed, out),
+        "query" => servecmd::cmd_query(&parsed, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }

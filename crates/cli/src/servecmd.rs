@@ -1,0 +1,267 @@
+//! The serving subcommands: `mxm serve` (run the resident-dataset server)
+//! and `mxm query` (script one protocol request against it).
+//!
+//! `serve` binds the address, preloads any datasets named as positional
+//! arguments, prints one `listening on <addr>` line, and parks until a
+//! `shutdown` request arrives. `query` builds the request object from
+//! flags (so shell scripts never hand-assemble JSON), sends it, prints
+//! the response as one JSON line, and exits non-zero on a protocol
+//! error — which makes it usable directly in CI smoke tests.
+
+use crate::args::Parsed;
+use masked_spgemm::RowSchedule;
+use mspgemm_io::CachePolicy;
+use mspgemm_serve::{client, Client, Json, ServeConfig, Server};
+use std::io::Write;
+
+/// `mxm serve`: start the server, preload datasets, serve until a
+/// `shutdown` request.
+pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
+    let listen = p.flag("listen").unwrap_or("127.0.0.1:7654");
+    let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
+    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
+    let cache = if p.switch("no-cache") {
+        CachePolicy::Off
+    } else {
+        CachePolicy::ReadWrite
+    };
+    let server = Server::start(
+        listen,
+        ServeConfig {
+            schedule,
+            parse_threads,
+            cache,
+        },
+    )?;
+    for (path, name) in p.positional.iter().zip(server.preload(&p.positional)?) {
+        writeln!(out, "preloaded {name} from {path}").map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "listening on {}", server.addr()).map_err(|e| e.to_string())?;
+    // The line must reach a piped/backgrounded log before we park.
+    out.flush().map_err(|e| e.to_string())?;
+    server.wait();
+    writeln!(out, "server stopped").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [op flags]\n\
+    ops: ping | list | stats | shutdown\n\
+         load --path FILE [--name N] [--parse-threads N] [--no-cache]\n\
+         unload --name N\n\
+         mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R]\n\
+         app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B]\n\
+         raw --json '{...}'";
+
+/// Copy a `--flag value` into the request under `key`, verbatim, only
+/// when given — absent flags fall back to server-side defaults.
+fn copy_str(p: &Parsed, flag: &str, key: &'static str, req: &mut Vec<(&'static str, Json)>) {
+    if let Some(v) = p.flag(flag) {
+        req.push((key, Json::str(v)));
+    }
+}
+
+/// Copy a numeric `--flag value` into the request as a JSON number.
+fn copy_num(
+    p: &Parsed,
+    flag: &str,
+    key: &'static str,
+    req: &mut Vec<(&'static str, Json)>,
+) -> Result<(), String> {
+    if let Some(v) = p.flag(flag) {
+        let n: u64 = v.parse().map_err(|e| format!("--{flag} {v}: {e}"))?;
+        req.push((key, Json::from(n)));
+    }
+    Ok(())
+}
+
+/// Build the request object for one `mxm query` invocation.
+fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
+    let mut req: Vec<(&'static str, Json)> = Vec::new();
+    match op {
+        "ping" => req.push(("op", Json::str("ping"))),
+        "list" => req.push(("op", Json::str("list"))),
+        "stats" => req.push(("op", Json::str("stats"))),
+        "shutdown" => req.push(("op", Json::str("shutdown"))),
+        "load" => {
+            req.push(("op", Json::str("load")));
+            let path = p.flag("path").ok_or("load needs --path FILE")?;
+            req.push(("path", Json::str(path)));
+            copy_str(p, "name", "name", &mut req);
+            copy_num(p, "parse-threads", "parse_threads", &mut req)?;
+            if p.switch("no-cache") {
+                req.push(("cache", Json::str("off")));
+            }
+        }
+        "unload" => {
+            req.push(("op", Json::str("unload")));
+            let name = p.flag("name").ok_or("unload needs --name N")?;
+            req.push(("name", Json::str(name)));
+        }
+        "mxm" => {
+            req.push(("op", Json::str("mxm")));
+            let ds = p.flag("dataset").ok_or("mxm needs --dataset D")?;
+            req.push(("dataset", Json::str(ds)));
+            copy_str(p, "algo", "algo", &mut req);
+            copy_str(p, "mask", "mask", &mut req);
+            copy_str(p, "phases", "phases", &mut req);
+            copy_str(p, "schedule", "schedule", &mut req);
+            copy_num(p, "threads", "threads", &mut req)?;
+            copy_num(p, "reps", "reps", &mut req)?;
+        }
+        "app" => {
+            req.push(("op", Json::str("app")));
+            let ds = p.flag("dataset").ok_or("app needs --dataset D")?;
+            req.push(("dataset", Json::str(ds)));
+            copy_str(p, "app", "app", &mut req);
+            copy_str(p, "scheme", "scheme", &mut req);
+            copy_str(p, "schedule", "schedule", &mut req);
+            copy_num(p, "threads", "threads", &mut req)?;
+            copy_num(p, "k", "k", &mut req)?;
+            copy_num(p, "batch", "batch", &mut req)?;
+        }
+        other => {
+            return Err(format!("unknown query op '{other}'\n\n{QUERY_USAGE}"));
+        }
+    }
+    Ok(Json::obj(req))
+}
+
+/// Connect, retrying `--retry N` times (half a second apart) — lets a CI
+/// script start `mxm serve` in the background and query it without
+/// guessing at startup latency.
+fn connect_with_retry(addr: &str, retries: u64) -> Result<Client, String> {
+    let mut last = String::new();
+    for attempt in 0..=retries {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e,
+        }
+        if attempt < retries {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+    }
+    Err(last)
+}
+
+/// `mxm query`: one request, one JSON response line on stdout.
+pub fn cmd_query(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
+    let op = p.positional.first().ok_or(QUERY_USAGE)?;
+    let addr = p.flag("connect").unwrap_or("127.0.0.1:7654");
+    let retries = p.flag_parse("retry", 0u64)?;
+    let mut client = connect_with_retry(addr, retries)?;
+    let resp = if op == "raw" {
+        let raw = p.flag("json").ok_or("raw needs --json '{...}'")?;
+        client.request_line(raw)?
+    } else {
+        client.request(&build_request(op, p)?)?
+    };
+    let resp = client::expect_ok(resp)?;
+    writeln!(out, "{}", resp.to_line()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parsed(args: &[&str]) -> Parsed {
+        parse(
+            &sv(args),
+            &[
+                "connect",
+                "retry",
+                "path",
+                "name",
+                "parse-threads",
+                "dataset",
+                "algo",
+                "mask",
+                "phases",
+                "schedule",
+                "threads",
+                "reps",
+                "app",
+                "scheme",
+                "k",
+                "batch",
+                "json",
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_objects_mirror_flags() {
+        let p = parsed(&[
+            "mxm",
+            "--dataset",
+            "karate",
+            "--algo",
+            "hash",
+            "--phases",
+            "2",
+            "--threads",
+            "4",
+        ]);
+        let req = build_request("mxm", &p).unwrap();
+        assert_eq!(
+            req.to_line(),
+            r#"{"op":"mxm","dataset":"karate","algo":"hash","phases":"2","threads":4}"#
+        );
+        // Absent flags are absent keys — server defaults apply.
+        let p = parsed(&["mxm", "--dataset", "karate"]);
+        assert_eq!(
+            build_request("mxm", &p).unwrap().to_line(),
+            r#"{"op":"mxm","dataset":"karate"}"#
+        );
+    }
+
+    #[test]
+    fn load_and_unload_require_their_flags() {
+        assert!(build_request("load", &parsed(&["load"])).is_err());
+        assert!(build_request("unload", &parsed(&["unload"])).is_err());
+        let p = parsed(&["load", "--path", "g.mtx", "--no-cache"]);
+        let req = build_request("load", &p).unwrap();
+        assert_eq!(
+            req.to_line(),
+            r#"{"op":"load","path":"g.mtx","cache":"off"}"#
+        );
+    }
+
+    #[test]
+    fn unknown_op_is_rejected_with_usage() {
+        let err = build_request("frobnicate", &parsed(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_query_roundtrip_in_process() {
+        let dir = std::env::temp_dir().join("mxm_cli_servecmd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        mspgemm_io::mtx::write_mtx_file(&mtx, &mspgemm_gen::er_symmetric(90, 5, 23)).unwrap();
+
+        let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        server
+            .preload(&[mtx.to_str().unwrap().to_string()])
+            .unwrap();
+        let addr = server.addr().to_string();
+
+        let p = parsed(&["mxm", "--connect", &addr, "--dataset", "g", "--algo", "msa"]);
+        let mut out = Vec::new();
+        cmd_query(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"fingerprint\""), "{text}");
+        assert!(text.contains("\"ok\":true"), "{text}");
+
+        // A protocol error surfaces as a CLI error with the code.
+        let p = parsed(&["mxm", "--connect", &addr, "--dataset", "missing"]);
+        let err = cmd_query(&p, &mut Vec::new()).unwrap_err();
+        assert!(err.starts_with("unknown_dataset:"), "{err}");
+    }
+}

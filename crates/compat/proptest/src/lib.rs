@@ -108,7 +108,7 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a length range.
     pub trait SizeRange {
         /// Draw a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -5,7 +5,8 @@
 //! be fetched by position, at most once per position. Terminal operations
 //! split `0..len` into contiguous chunks — oversubscribed a few × beyond
 //! the thread count — and publish one job to the persistent worker pool
-//! ([`crate::pool`]). Each executor claims chunks through a shared atomic
+//! (the private `pool` module). Each executor claims chunks through a
+//! shared atomic
 //! cursor (guided self-scheduling), so a slow chunk no longer pins its
 //! whole thread's share of the input; chunk results are written to
 //! index-addressed slots, preserving input order exactly as before.

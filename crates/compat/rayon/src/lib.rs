@@ -19,8 +19,8 @@
 //!
 //! Supported surface:
 //!
-//! * `prelude::*` — [`IntoParallelIterator`] for ranges,
-//!   [`ParallelSlice`] / [`ParallelSliceMut`] for `par_iter`,
+//! * `prelude::*` — [`iter::IntoParallelIterator`] for ranges,
+//!   [`slice::ParallelSlice`] / [`slice::ParallelSliceMut`] for `par_iter`,
 //!   `par_iter_mut`, `par_chunks`, `par_chunks_mut`;
 //! * combinators `map`, `map_init`, `enumerate`, `zip`, `with_min_len`;
 //! * terminals `for_each`, `for_each_init`, `collect` (into `Vec`), `sum`,

@@ -65,7 +65,8 @@ impl RowHeap {
         }
     }
 
-    /// Append without restoring the heap property (pair with [`rebuild`]).
+    /// Append without restoring the heap property (pair with
+    /// [`RowHeap::rebuild`]).
     pub fn push_raw(&mut self, c: Cursor) {
         self.heap.push(c);
     }

@@ -11,7 +11,8 @@
 //!   usually wins for Masked SpGEMM — the mask makes the bound tight enough
 //!   that the symbolic pass does not pay for itself.
 //!
-//! Rows are distributed per the [`RowSchedule`] policy (§6 distributes rows
+//! Rows are distributed per the [`crate::schedule::RowSchedule`] policy
+//! (§6 distributes rows
 //! dynamically for exactly the skewed-input reason): the chunk list built by
 //! [`crate::schedule`] is claimed by executors of the persistent worker
 //! pool, with one reusable workspace per executor — leased from a

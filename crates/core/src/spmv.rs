@@ -1,6 +1,6 @@
 //! Masked sparse vector-matrix products — the primitive where masking
-//! first appeared (§4: direction-optimized graph traversal [38], push-pull
-//! [5, 7]). `v⊺ = m⊺ ⊙ (u⊺·B)`, with the same push (scatter rows of `B`)
+//! first appeared (§4: direction-optimized graph traversal \[38\], push-pull
+//! \[5, 7\]). `v⊺ = m⊺ ⊙ (u⊺·B)`, with the same push (scatter rows of `B`)
 //! vs pull (dot products against `Bᵀ`) duality as the matrix-matrix case.
 //!
 //! These kernels are the single-row specialization of the SpGEMM kernels
@@ -111,7 +111,7 @@ where
     SparseVec::from_parts_unchecked(bt.nrows(), idx, vals)
 }
 
-/// Direction-optimized masked SpVM (§4's push-pull, after Beamer [5]):
+/// Direction-optimized masked SpVM (§4's push-pull, after Beamer \[5\]):
 /// pull when the frontier's push work exceeds the pull candidate count by
 /// `alpha`, push otherwise. `bt` must be `Bᵀ`.
 pub fn masked_spmv_auto<S, M>(

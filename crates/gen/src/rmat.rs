@@ -1,6 +1,6 @@
 //! R-MAT / Graph500 Kronecker generator (§7: "graphs generated with R-MAT
-//! generator [13], with parameters identical to those used in the Graph500
-//! benchmark [30]"): probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05),
+//! generator \[13\], with parameters identical to those used in the Graph500
+//! benchmark \[30\]"): probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05),
 //! edge factor 16, vertex count 2^scale.
 
 use crate::rng::chunk_rng;

@@ -1,6 +1,6 @@
 //! Batched multi-source Betweenness Centrality (paper §8.4): Brandes'
-//! two-stage algorithm [8] in the language of masked SpGEMM, after the
-//! GraphBLAS C API's BC batch formulation [11].
+//! two-stage algorithm \[8\] in the language of masked SpGEMM, after the
+//! GraphBLAS C API's BC batch formulation \[11\].
 //!
 //! * **Forward** (BFS wave counting shortest paths): the next frontier is
 //!   `F ← ⟨¬NumSP⟩ (F · A)` — a **complemented** masked SpGEMM where the

@@ -1,4 +1,4 @@
-//! k-truss (paper §8.3, after Davis [15]): iteratively keep only edges
+//! k-truss (paper §8.3, after Davis \[15\]): iteratively keep only edges
 //! supported by at least `k − 2` triangles. Each iteration is one masked
 //! SpGEMM — support `S = A ⊙ (A·A)` on `plus_pair` (mask = the current
 //! adjacency) — followed by a pruning select. Terminates when no edge is

@@ -113,6 +113,32 @@ impl Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parse a scheme label as the drivers spell it (case-insensitive):
+    /// `ss:saxpy`/`saxpy`, `ss:dot`/`ssdot`, a bare algorithm name
+    /// (`hash`, `heap-dot`, … — defaults to one phase), or
+    /// `<algo>-<phases>` (`msa-2p`, `heap-dot-1p`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lc = s.to_ascii_lowercase();
+        match lc.as_str() {
+            "ss:saxpy" | "saxpy" => return Ok(Scheme::SsSaxpy),
+            "ss:dot" | "ssdot" => return Ok(Scheme::SsDot),
+            _ => {}
+        }
+        if let Ok(algo) = lc.parse::<Algorithm>() {
+            return Ok(Scheme::Ours(algo, Phases::One));
+        }
+        let (algo_part, phase_part) = lc
+            .rsplit_once('-')
+            .ok_or_else(|| format!("unknown scheme '{s}'"))?;
+        let algo: Algorithm = algo_part.parse()?;
+        let phases: Phases = phase_part.parse()?;
+        Ok(Scheme::Ours(algo, phases))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +157,25 @@ mod tests {
             "HeapDot-2P"
         );
         assert_eq!(Scheme::SsSaxpy.name(), "SS:SAXPY");
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        assert_eq!(
+            "msa-1p".parse::<Scheme>().unwrap(),
+            Scheme::Ours(Algorithm::Msa, Phases::One)
+        );
+        assert_eq!(
+            "HeapDot-2P".parse::<Scheme>().unwrap(),
+            Scheme::Ours(Algorithm::HeapDot, Phases::Two)
+        );
+        assert_eq!(
+            "hash".parse::<Scheme>().unwrap(),
+            Scheme::Ours(Algorithm::Hash, Phases::One)
+        );
+        assert_eq!("ss:saxpy".parse::<Scheme>().unwrap(), Scheme::SsSaxpy);
+        assert_eq!("SS:DOT".parse::<Scheme>().unwrap(), Scheme::SsDot);
+        assert!("nope-3p".parse::<Scheme>().is_err());
     }
 
     #[test]

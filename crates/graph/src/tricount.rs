@@ -1,5 +1,5 @@
 //! Triangle counting (paper §8.2): relabel vertices in non-increasing
-//! degree order [29], take the strictly lower triangular part `L`, and
+//! degree order \[29\], take the strictly lower triangular part `L`, and
 //! compute `triangles = sum(L ⊙ (L·L))` — one masked SpGEMM (mask = `L`)
 //! plus a reduction, on the `plus_pair` semiring.
 

@@ -31,6 +31,35 @@ pub fn mb_per_s(bytes: u64, seconds: f64) -> f64 {
     bytes as f64 / seconds / 1e6
 }
 
+/// FNV-1a fingerprint over a CSR's exact in-memory content: shape, row
+/// pointers, column indices, and value bit patterns. Two matrices agree
+/// on the fingerprint iff they are byte-identical, so `mxm run` and the
+/// serve protocol both report it and parity is checkable end to end
+/// without shipping the matrix over the wire.
+pub fn csr_fingerprint(a: &mspgemm_sparse::Csr<f64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(a.nrows() as u64).to_le_bytes());
+    eat(&(a.ncols() as u64).to_le_bytes());
+    for &p in a.rowptr() {
+        eat(&(p as u64).to_le_bytes());
+    }
+    for &c in a.colidx() {
+        eat(&c.to_le_bytes());
+    }
+    for &v in a.values() {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    h
+}
+
 /// Ingest throughput in parsed entries per second (one coordinate line
 /// of a `.mtx` file = one entry, before symmetric expansion).
 pub fn entries_per_s(entries: usize, seconds: f64) -> f64 {
@@ -119,6 +148,24 @@ mod tests {
         assert_eq!(val, 42);
         assert_eq!(calls, 4, "warmup + reps");
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        use mspgemm_sparse::Csr;
+        let a = Csr::from_dense(&[vec![Some(1.0), None], vec![None, Some(2.0)]], 2);
+        let b = Csr::from_dense(&[vec![Some(1.0), None], vec![None, Some(2.0)]], 2);
+        assert_eq!(csr_fingerprint(&a), csr_fingerprint(&b));
+        // A single value-bit flip changes the fingerprint.
+        let c = Csr::from_dense(&[vec![Some(1.0), None], vec![None, Some(2.0 + 1e-15)]], 2);
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&c));
+        // Same values, different position.
+        let d = Csr::from_dense(&[vec![None, Some(1.0)], vec![Some(2.0), None]], 2);
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&d));
+        // Same nnz layout, different shape padding.
+        let e = Csr::<f64>::empty(2, 3);
+        let f = Csr::<f64>::empty(3, 2);
+        assert_ne!(csr_fingerprint(&e), csr_fingerprint(&f));
     }
 
     #[test]

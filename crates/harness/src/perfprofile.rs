@@ -1,4 +1,4 @@
-//! Dolan-Moré performance profiles [20] — the paper's primary comparison
+//! Dolan-Moré performance profiles \[20\] — the paper's primary comparison
 //! device (Figs 8, 9, 12, 13, 16). A point `(x, y)` on a scheme's curve
 //! means: on a fraction `y` of the test cases, the scheme's runtime was
 //! within a factor `x` of the best scheme for that case.

@@ -1,0 +1,57 @@
+//! # mspgemm-serve
+//!
+//! The serving subsystem of the Masked SpGEMM reproduction: a long-lived
+//! `mxm serve` process that keeps datasets **resident** — loaded once,
+//! pre-transposed, sidecar-warmed — and answers masked-product and
+//! application requests over a **line-delimited JSON protocol** on a TCP
+//! or Unix-domain socket.
+//!
+//! This is the network half of the ROADMAP's serving-mode item. The
+//! execution half landed earlier: requests run on the process-wide
+//! persistent worker pool and share one [`masked_spgemm::WsPool`], so in
+//! steady state a query against a resident dataset spawns no threads and
+//! allocates no accumulator scratch — the per-request cost is the kernel
+//! itself, which is what a service absorbing heavy traffic wants.
+//!
+//! * [`json`] — self-contained JSON value/parser/serializer (std-only;
+//!   the build environment has no crates.io access).
+//! * [`protocol`] — framing, error codes, response shapes; the schema is
+//!   documented verb by verb in `docs/SERVE_PROTOCOL.md`.
+//! * [`registry`] — [`Registry`]/[`Dataset`]: named resident matrices
+//!   with derived operands, behind a `RwLock` (reads clone an `Arc`).
+//! * [`server`] — [`Server`]: listener, per-connection threads, request
+//!   handlers, cooperative shutdown.
+//! * [`client`] — [`Client`]: the blocking client behind `mxm query`.
+//!
+//! ## In-process quick start
+//!
+//! ```no_run
+//! use mspgemm_serve::{Json, Server, ServeConfig, client};
+//!
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! server.preload(&["data/karate.mtx".to_string()]).unwrap();
+//! let resp = client::query_once(
+//!     server.addr(),
+//!     &Json::obj(vec![
+//!         ("op", Json::str("mxm")),
+//!         ("dataset", Json::str("karate")),
+//!         ("algo", Json::str("hash")),
+//!     ]),
+//! )
+//! .unwrap();
+//! assert!(resp.get("nnz").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use json::Json;
+pub use protocol::{ErrorCode, MAX_REQUEST_BYTES};
+pub use registry::{Dataset, Registry};
+pub use server::{ServeConfig, Server, ServerState};

@@ -1,0 +1,315 @@
+//! The resident dataset registry: named matrices loaded once, kept in
+//! memory with pre-transposed operands, shared read-mostly across
+//! concurrent request threads.
+//!
+//! A [`Dataset`] holds everything a request needs so that no per-request
+//! ingest, normalization, or transposition happens on the hot path:
+//!
+//! * the raw matrix as loaded (the `mxm` verb squares it, mirroring
+//!   `mxm run`), its structural pattern (the mask), and its transpose
+//!   (the pre-computed `Bᵀ` that the pull-based Inner scheme consumes);
+//! * the normalized undirected adjacency (what the TC / k-truss / BC
+//!   applications consume);
+//! * lazily, the relabeled triangle-counting operands — built on the
+//!   first `app tc` request against this dataset and reused afterwards.
+//!
+//! Loading goes through the `.msb` sidecar cache ([`mspgemm_io`]), so the
+//! first `load` of a text matrix warms the sidecar and every later server
+//! start deserializes the binary directly.
+
+use masked_spgemm::Error as MxmError;
+use mspgemm_graph::tricount::{self, TcOperands};
+use mspgemm_io::{
+    dataset_name, load_matrix_report, to_adjacency, AdjacencyStats, CachePolicy, IngestReport,
+};
+use mspgemm_sparse::{transpose, Csr};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Approximate resident bytes of one CSR: row pointers (`usize`), column
+/// indices (`u32`), and values.
+pub fn csr_mem_bytes<T>(a: &Csr<T>) -> u64 {
+    (std::mem::size_of_val(a.rowptr())
+        + std::mem::size_of_val(a.colidx())
+        + std::mem::size_of_val(a.values())) as u64
+}
+
+/// One resident dataset: the loaded matrix plus every derived operand the
+/// request handlers reuse across calls.
+pub struct Dataset {
+    /// Registry name (defaults to the file stem).
+    pub name: String,
+    /// Path the matrix was loaded from.
+    pub path: String,
+    /// The matrix as loaded from disk (square — the server rejects
+    /// rectangular inputs at `load`, like `mxm run` does).
+    pub matrix: Csr<f64>,
+    /// Structural pattern of `matrix` — the mask of the `mxm` verb.
+    pub mask: Csr<()>,
+    /// `matrixᵀ`, pre-computed once so Inner-scheme requests skip the
+    /// per-call transpose the paper charges to `SS:DOT` (§8.4).
+    pub matrix_t: Csr<f64>,
+    /// Normalized simple undirected adjacency (symmetric pattern, no
+    /// self-loops, unit weights) — the application operand.
+    pub adj: Csr<f64>,
+    /// What [`to_adjacency`] changed while normalizing.
+    pub adj_stats: AdjacencyStats,
+    /// FLOP count (2 × multiplies) of the unmasked `matrix·matrix`
+    /// product — the `mxm` verb's GFLOPS denominator, computed once here
+    /// rather than per request (it is a constant of the dataset).
+    pub mxm_flops: u64,
+    /// Ingest throughput of the original load.
+    pub ingest: IngestReport,
+    /// When the dataset was loaded (for `stats` uptime-style reporting).
+    pub loaded_at: Instant,
+    /// Relabeled triangle-counting operands, built on first use.
+    tc_ops: OnceLock<Arc<TcOperands>>,
+}
+
+impl Dataset {
+    /// Load a dataset from disk and derive the resident operands.
+    pub fn load(
+        path: &str,
+        name: Option<&str>,
+        policy: CachePolicy,
+        parse_threads: usize,
+    ) -> Result<Dataset, String> {
+        let (matrix, ingest) =
+            load_matrix_report(path, policy, parse_threads).map_err(|e| format!("{path}: {e}"))?;
+        if matrix.nrows() != matrix.ncols() {
+            return Err(format!(
+                "{path}: the server holds square matrices (graphs); got {}x{}",
+                matrix.nrows(),
+                matrix.ncols()
+            ));
+        }
+        let name = name
+            .map(str::to_string)
+            .unwrap_or_else(|| dataset_name(std::path::Path::new(path)));
+        if name.is_empty() {
+            return Err(format!("{path}: dataset name must be non-empty"));
+        }
+        let mask = matrix.pattern();
+        let matrix_t = transpose(&matrix);
+        let (adj, adj_stats) = to_adjacency(&matrix);
+        let mxm_flops = 2 * matrix.flops_with(&matrix);
+        Ok(Dataset {
+            name,
+            path: path.to_string(),
+            matrix,
+            mask,
+            matrix_t,
+            adj,
+            adj_stats,
+            mxm_flops,
+            ingest,
+            loaded_at: Instant::now(),
+            tc_ops: OnceLock::new(),
+        })
+    }
+
+    /// The triangle-counting operands (degree-relabeled `L` and `Lᵀ`),
+    /// built once on first use and shared by every later `app tc`
+    /// request.
+    pub fn tc_operands(&self) -> Arc<TcOperands> {
+        self.tc_ops
+            .get_or_init(|| Arc::new(tricount::prepare(&self.adj)))
+            .clone()
+    }
+
+    /// Approximate resident bytes across all held operands.
+    pub fn mem_bytes(&self) -> u64 {
+        let tc = self
+            .tc_ops
+            .get()
+            .map(|ops| csr_mem_bytes(&ops.l) + csr_mem_bytes(&ops.lt))
+            .unwrap_or(0);
+        csr_mem_bytes(&self.matrix)
+            + csr_mem_bytes(&self.mask)
+            + csr_mem_bytes(&self.matrix_t)
+            + csr_mem_bytes(&self.adj)
+            + tc
+    }
+}
+
+/// Reasons a registry operation can fail, mapped to protocol error codes
+/// by the server layer.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// `load` under a name that is already resident.
+    AlreadyLoaded(String),
+    /// A request named a dataset that is not resident.
+    NotFound(String),
+    /// The underlying ingest failed.
+    Load(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::AlreadyLoaded(n) => {
+                write!(f, "dataset '{n}' is already loaded (unload it first)")
+            }
+            RegistryError::NotFound(n) => write!(f, "no dataset named '{n}' is loaded"),
+            RegistryError::Load(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Convert a kernel-layer error for protocol reporting.
+pub fn mxm_error_message(e: MxmError) -> String {
+    e.to_string()
+}
+
+/// The named-dataset map behind a `RwLock`: requests (the overwhelming
+/// majority) take the read lock and clone an `Arc`, so concurrent `mxm`
+/// traffic never serializes on the registry; only `load`/`unload` write.
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<HashMap<String, Arc<Dataset>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a dataset and insert it under its name.
+    pub fn load(
+        &self,
+        path: &str,
+        name: Option<&str>,
+        policy: CachePolicy,
+        parse_threads: usize,
+    ) -> Result<Arc<Dataset>, RegistryError> {
+        // Ingest outside the write lock: a slow parse must not block
+        // concurrent readers. The name collision is re-checked on insert.
+        let key = name
+            .map(str::to_string)
+            .unwrap_or_else(|| dataset_name(std::path::Path::new(path)));
+        if self.map.read().unwrap().contains_key(&key) {
+            return Err(RegistryError::AlreadyLoaded(key));
+        }
+        let ds = Arc::new(
+            Dataset::load(path, Some(&key), policy, parse_threads).map_err(RegistryError::Load)?,
+        );
+        let mut map = self.map.write().unwrap();
+        if map.contains_key(&key) {
+            return Err(RegistryError::AlreadyLoaded(key));
+        }
+        map.insert(key, ds.clone());
+        Ok(ds)
+    }
+
+    /// Look up a resident dataset.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
+        self.map
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Remove a dataset; in-flight requests holding its `Arc` finish
+    /// normally, and the memory is released when the last one drops.
+    pub fn unload(&self, name: &str) -> Result<(), RegistryError> {
+        self.map
+            .write()
+            .unwrap()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// All resident datasets, sorted by name.
+    pub fn list(&self) -> Vec<Arc<Dataset>> {
+        let mut v: Vec<_> = self.map.read().unwrap().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Number of resident datasets.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// Whether no dataset is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("mspgemm_serve_registry");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_graph(path: &std::path::Path) {
+        let g = mspgemm_gen::er_symmetric(80, 6, 11);
+        mspgemm_io::mtx::write_mtx_file(path, &g).unwrap();
+    }
+
+    #[test]
+    fn load_get_unload_cycle() {
+        let dir = fixture_dir();
+        let mtx = dir.join("cycle.mtx");
+        write_graph(&mtx);
+        let reg = Registry::new();
+        let ds = reg
+            .load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1)
+            .unwrap();
+        assert_eq!(ds.name, "cycle");
+        assert_eq!(ds.matrix.nrows(), 80);
+        assert_eq!(ds.mask.nnz(), ds.matrix.nnz());
+        assert_eq!(ds.matrix_t.nnz(), ds.matrix.nnz());
+        assert!(ds.mem_bytes() > 0);
+
+        assert!(matches!(
+            reg.load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1),
+            Err(RegistryError::AlreadyLoaded(_))
+        ));
+        assert_eq!(reg.list().len(), 1);
+        assert!(reg.get("cycle").is_ok());
+        assert!(matches!(reg.get("nope"), Err(RegistryError::NotFound(_))));
+        reg.unload("cycle").unwrap();
+        assert!(reg.is_empty());
+        assert!(reg.unload("cycle").is_err());
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn tc_operands_are_cached() {
+        let dir = fixture_dir();
+        let mtx = dir.join("tc.mtx");
+        write_graph(&mtx);
+        let ds = Dataset::load(mtx.to_str().unwrap(), Some("tc"), CachePolicy::Off, 1).unwrap();
+        let before = ds.mem_bytes();
+        let a = ds.tc_operands();
+        let b = ds.tc_operands();
+        assert!(Arc::ptr_eq(&a, &b), "prepare must run once");
+        assert!(ds.mem_bytes() > before, "cached operands count as resident");
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn rejects_rectangular_and_bad_names() {
+        let dir = fixture_dir();
+        let mtx = dir.join("rect.mtx");
+        let rect = Csr::from_dense(&[vec![Some(1.0), None, None]], 3);
+        mspgemm_io::mtx::write_mtx_file(&mtx, &rect).unwrap();
+        let err = match Dataset::load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("rectangular matrix must be rejected"),
+        };
+        assert!(err.contains("square"), "{err}");
+        std::fs::remove_file(&mtx).ok();
+    }
+}

@@ -1,0 +1,1007 @@
+//! The server: listener setup, per-connection threads, and the request
+//! handlers that execute protocol verbs against the shared state.
+//!
+//! One [`ServerState`] is shared by every connection: the dataset
+//! [`Registry`] behind its `RwLock`, one [`WsPool`] so accumulator
+//! scratch is reused across *all* requests (the second query against a
+//! warm dataset allocates nothing), and one [`ExecStats`] recorder
+//! feeding the `stats` verb's busy-spread figure. Parallel kernels run on
+//! the process-wide persistent worker pool (the rayon layer), so steady
+//! state spawns no threads either.
+//!
+//! The accept loop runs on its own thread; each accepted connection gets
+//! a handler thread that loops over request lines until EOF, an oversized
+//! payload, or `shutdown`. Shutdown is cooperative: the flag flips, the
+//! accept loop is woken by a self-connection, and in-flight requests
+//! finish their response before the process exits.
+
+use crate::json::{self, Json};
+use crate::protocol::{
+    err_response, ok_response, opt_str, opt_u64, read_frame, req_str, ErrorCode, Frame,
+    MAX_REQUEST_BYTES,
+};
+use crate::registry::{Registry, RegistryError};
+use masked_spgemm::{
+    masked_mxm_with_bt, masked_mxm_with_opts, Algorithm, ExecOpts, ExecStats, MaskMode, Phases,
+    RowSchedule, WsPool,
+};
+use mspgemm_graph::{bc, ktruss, tricount, App, Scheme};
+use mspgemm_harness::{busy_spread, csr_fingerprint, gflops, mb_per_s, time_best, with_threads};
+use mspgemm_io::CachePolicy;
+use mspgemm_sparse::semiring::PlusTimesF64;
+use mspgemm_sparse::Csr;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Server-wide defaults a request can override per call.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Row schedule used when a request does not name one.
+    pub schedule: RowSchedule,
+    /// Parse fan-out for `load` when the request does not pin one
+    /// (`0` = all cores).
+    pub parse_threads: usize,
+    /// Sidecar cache policy for `load` (default: read/write, so the
+    /// first text load warms the `.msb` sidecar).
+    pub cache: CachePolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            schedule: RowSchedule::default(),
+            parse_threads: 0,
+            cache: CachePolicy::ReadWrite,
+        }
+    }
+}
+
+/// Everything the request handlers share across connections.
+pub struct ServerState {
+    /// The resident datasets.
+    pub registry: Registry,
+    /// Cross-request accumulator cache: the reason a warm query
+    /// allocates nothing.
+    pub ws_pool: WsPool,
+    /// Cumulative per-thread busy-time recorder behind the `stats`
+    /// verb's load-balance figure.
+    pub exec_stats: ExecStats,
+    config: ServeConfig,
+    started: Instant,
+    requests: AtomicU64,
+    /// Requests currently between line-read and response-flush; shutdown
+    /// drains this to zero before the process exits.
+    active: AtomicU64,
+    shutting_down: AtomicBool,
+    /// The resolved listen address, for the shutdown self-connection.
+    addr: OnceLock<String>,
+}
+
+impl ServerState {
+    fn new(config: ServeConfig) -> Self {
+        ServerState {
+            registry: Registry::new(),
+            ws_pool: WsPool::new(),
+            exec_stats: ExecStats::new(),
+            config,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            addr: OnceLock::new(),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests handled so far (including ones answered with an error).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// One running server: accept-loop thread plus shared state. Dropping the
+/// handle shuts the server down (tests rely on this); the CLI instead
+/// parks on [`Server::wait`] until a `shutdown` request arrives.
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+enum Binding {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+impl Server {
+    /// Bind `listen` and start accepting. `listen` is either a TCP
+    /// address (`127.0.0.1:7654`, port `0` picks a free one) or
+    /// `unix:/path/to.sock`.
+    pub fn start(listen: &str, config: ServeConfig) -> Result<Server, String> {
+        let state = Arc::new(ServerState::new(config));
+        let (binding, addr) = if let Some(path) = listen.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let l = UnixListener::bind(path).map_err(|e| format!("bind {listen}: {e}"))?;
+                (Binding::Unix(l, path.into()), listen.to_string())
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(format!(
+                    "bind {listen}: unix sockets are not supported on this platform"
+                ));
+            }
+        } else {
+            let l = TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+            let local = l.local_addr().map_err(|e| e.to_string())?;
+            (Binding::Tcp(l), local.to_string())
+        };
+        state.addr.set(addr).unwrap();
+        let st = state.clone();
+        let accept = std::thread::Builder::new()
+            .name("mxm-serve-accept".into())
+            .spawn(move || accept_loop(st, binding))
+            .map_err(|e| e.to_string())?;
+        Ok(Server {
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The resolved listen address (`host:port`, or `unix:/path`).
+    pub fn addr(&self) -> &str {
+        self.state.addr.get().expect("set at start")
+    }
+
+    /// The shared state (registries, pools) — for preloading and tests.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Load datasets into the registry before (or while) serving, using
+    /// the server's default cache policy and parse fan-out. Returns the
+    /// registry names in input order.
+    pub fn preload(&self, paths: &[String]) -> Result<Vec<String>, String> {
+        paths
+            .iter()
+            .map(|p| {
+                self.state
+                    .registry
+                    .load(
+                        p,
+                        None,
+                        self.state.config.cache,
+                        self.state.config.parse_threads,
+                    )
+                    .map(|ds| ds.name.clone())
+                    .map_err(|e| e.to_string())
+            })
+            .collect()
+    }
+
+    /// Request shutdown, join the accept thread, and drain in-flight
+    /// requests. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.begin_shutdown();
+        if let Some(addr) = self.state.addr.get() {
+            wake(addr);
+        }
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        drain_in_flight(&self.state);
+    }
+
+    /// Block until a `shutdown` request stops the server, then until
+    /// every in-flight request has flushed its response.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        drain_in_flight(&self.state);
+    }
+}
+
+/// Connection handler threads are detached (an idle connection parked on
+/// a read would block a join forever), so shutdown instead waits for the
+/// *requests* currently executing — kernels always terminate — and lets
+/// idle connections die with the process, their responses long since
+/// flushed.
+fn drain_in_flight(state: &ServerState) {
+    while state.active.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Poke the listener so a blocked `accept` observes the shutdown flag.
+fn wake(addr: &str) {
+    if let Some(_path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let _ = UnixStream::connect(_path);
+        }
+    } else {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn accept_loop(state: Arc<ServerState>, binding: Binding) {
+    match binding {
+        Binding::Tcp(listener) => loop {
+            let conn = listener.accept();
+            if state.is_shutting_down() {
+                break;
+            }
+            match conn {
+                Ok((stream, _)) => {
+                    let st = state.clone();
+                    std::thread::spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => BufReader::new(r),
+                            Err(_) => return,
+                        };
+                        let _ = serve_connection(&st, reader, stream);
+                    });
+                }
+                // Transient errors (EMFILE under fd exhaustion, ECONNABORTED)
+                // return immediately; back off instead of spinning a core.
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        },
+        #[cfg(unix)]
+        Binding::Unix(listener, path) => {
+            loop {
+                let conn = listener.accept();
+                if state.is_shutting_down() {
+                    break;
+                }
+                match conn {
+                    Ok((stream, _)) => {
+                        let st = state.clone();
+                        std::thread::spawn(move || {
+                            let reader = match stream.try_clone() {
+                                Ok(r) => BufReader::new(r),
+                                Err(_) => return,
+                            };
+                            let _ = serve_connection(&st, reader, stream);
+                        });
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Drive one connection: read request lines, write response lines, until
+/// EOF, an oversized payload, or shutdown.
+pub fn serve_connection(
+    state: &Arc<ServerState>,
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    loop {
+        match read_frame(&mut reader, MAX_REQUEST_BYTES)? {
+            Frame::Eof => return Ok(()),
+            Frame::Oversized => {
+                let resp = err_response(
+                    ErrorCode::PayloadTooLarge,
+                    format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+                );
+                writeln!(writer, "{}", resp.to_line())?;
+                writer.flush()?;
+                // Swallow the rest of the oversized line (constant
+                // memory) before closing: dropping the socket with
+                // unread bytes queued would RST the connection and race
+                // the error response out of the peer's receive buffer.
+                drain_line(&mut reader).ok();
+                return Ok(());
+            }
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // In-flight guard spans compute *and* response flush, so
+                // shutdown's drain never cuts a response mid-write.
+                let guard = ActiveGuard::new(&state.active);
+                let (resp, stop) = handle_request(state, &line);
+                writeln!(writer, "{}", resp.to_line())?;
+                writer.flush()?;
+                drop(guard);
+                if stop {
+                    state.begin_shutdown();
+                    if let Some(addr) = state.addr.get() {
+                        wake(addr);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// RAII increment of the in-flight request counter; decrements on drop
+/// (including the early-return paths when a response write fails).
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn new(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(counter)
+    }
+}
+
+/// Discard input up to and including the next newline (or EOF), in
+/// constant memory.
+fn drain_line(reader: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+type OpResult = Result<Json, (ErrorCode, String)>;
+
+fn bad(msg: String) -> (ErrorCode, String) {
+    (ErrorCode::BadRequest, msg)
+}
+
+fn reg_err(e: RegistryError) -> (ErrorCode, String) {
+    let code = match &e {
+        RegistryError::AlreadyLoaded(_) => ErrorCode::AlreadyLoaded,
+        RegistryError::NotFound(_) => ErrorCode::UnknownDataset,
+        RegistryError::Load(_) => ErrorCode::LoadFailed,
+    };
+    (code, e.to_string())
+}
+
+/// Parse an optional field into any `FromStr` type, accepting both the
+/// string spelling and (for convenience) an integral number — so
+/// `"phases": 2` and `"phases": "2"` both work.
+fn opt_parse<T: std::str::FromStr<Err = String>>(
+    req: &Json,
+    field: &str,
+    default: &str,
+) -> Result<T, (ErrorCode, String)> {
+    let spelled = match req.get(field) {
+        None | Some(Json::Null) => default.to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(v @ Json::Num(_)) => match v.as_u64() {
+            Some(n) => n.to_string(),
+            None => return Err(bad(format!("'{field}' must be a string or integer"))),
+        },
+        Some(_) => return Err(bad(format!("'{field}' must be a string or integer"))),
+    };
+    spelled.parse().map_err(|e| bad(format!("'{field}': {e}")))
+}
+
+fn mask_name(mode: MaskMode) -> &'static str {
+    match mode {
+        MaskMode::Mask => "normal",
+        MaskMode::Complement => "complement",
+    }
+}
+
+/// Dispatch one request line. Returns the response and whether the server
+/// should stop accepting (the `shutdown` verb).
+pub fn handle_request(state: &ServerState, line: &str) -> (Json, bool) {
+    if state.is_shutting_down() {
+        return (
+            err_response(ErrorCode::ShuttingDown, "server is shutting down"),
+            false,
+        );
+    }
+    let req = match json::parse(line) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => {
+            return (
+                err_response(ErrorCode::BadRequest, "request must be a JSON object"),
+                false,
+            )
+        }
+        Err(e) => {
+            return (
+                err_response(ErrorCode::BadRequest, format!("invalid JSON: {e}")),
+                false,
+            )
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let op = match req.get("op").and_then(Json::as_str) {
+        Some(s) => s.to_string(),
+        None => {
+            return (
+                err_response(ErrorCode::BadRequest, "'op' must be a string"),
+                false,
+            )
+        }
+    };
+    if op == "shutdown" {
+        return (
+            ok_response(vec![
+                ("op", Json::str("shutdown")),
+                ("stopping", true.into()),
+            ]),
+            true,
+        );
+    }
+    let result = match op.as_str() {
+        "ping" => op_ping(state),
+        "load" => op_load(state, &req),
+        "list" => op_list(state),
+        "unload" => op_unload(state, &req),
+        "mxm" => op_mxm(state, &req),
+        "app" => op_app(state, &req),
+        "stats" => op_stats(state),
+        other => Err((
+            ErrorCode::UnknownOp,
+            format!("unknown op '{other}' (expected ping|load|list|unload|mxm|app|stats|shutdown)"),
+        )),
+    };
+    match result {
+        Ok(resp) => (resp, false),
+        Err((code, msg)) => (err_response(code, msg), false),
+    }
+}
+
+fn op_ping(state: &ServerState) -> OpResult {
+    Ok(ok_response(vec![
+        ("op", Json::str("ping")),
+        ("pong", true.into()),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("datasets", state.registry.len().into()),
+    ]))
+}
+
+fn op_load(state: &ServerState, req: &Json) -> OpResult {
+    let path = req_str(req, "path").map_err(bad)?;
+    let name = opt_str(req, "name").map_err(bad)?;
+    let parse_threads =
+        opt_u64(req, "parse_threads", state.config.parse_threads as u64).map_err(bad)? as usize;
+    let cache = match opt_str(req, "cache").map_err(bad)? {
+        None => state.config.cache,
+        Some("readwrite") => CachePolicy::ReadWrite,
+        Some("readonly") => CachePolicy::ReadOnly,
+        Some("off") => CachePolicy::Off,
+        Some(other) => {
+            return Err(bad(format!(
+                "'cache' must be readwrite|readonly|off, got '{other}'"
+            )))
+        }
+    };
+    let ds = state
+        .registry
+        .load(path, name, cache, parse_threads)
+        .map_err(reg_err)?;
+    let r = &ds.ingest;
+    Ok(ok_response(vec![
+        ("op", Json::str("load")),
+        ("name", Json::str(&ds.name)),
+        ("path", Json::str(&ds.path)),
+        ("nrows", ds.matrix.nrows().into()),
+        ("ncols", ds.matrix.ncols().into()),
+        ("nnz", ds.matrix.nnz().into()),
+        ("adj_nnz", ds.adj.nnz().into()),
+        ("mem_bytes", ds.mem_bytes().into()),
+        (
+            "ingest",
+            Json::obj(vec![
+                ("outcome", Json::Str(format!("{:?}", r.outcome))),
+                ("bytes", r.bytes.into()),
+                ("entries", r.entries.into()),
+                ("seconds", r.seconds.into()),
+                ("mb_per_s", mb_per_s(r.bytes, r.seconds).into()),
+            ]),
+        ),
+    ]))
+}
+
+fn op_list(state: &ServerState) -> OpResult {
+    let datasets: Vec<Json> = state
+        .registry
+        .list()
+        .iter()
+        .map(|ds| {
+            Json::obj(vec![
+                ("name", Json::str(&ds.name)),
+                ("path", Json::str(&ds.path)),
+                ("nrows", ds.matrix.nrows().into()),
+                ("nnz", ds.matrix.nnz().into()),
+                ("adj_nnz", ds.adj.nnz().into()),
+                ("mem_bytes", ds.mem_bytes().into()),
+                ("age_seconds", ds.loaded_at.elapsed().as_secs_f64().into()),
+            ])
+        })
+        .collect();
+    Ok(ok_response(vec![
+        ("op", Json::str("list")),
+        ("count", datasets.len().into()),
+        ("datasets", Json::Arr(datasets)),
+    ]))
+}
+
+fn op_unload(state: &ServerState, req: &Json) -> OpResult {
+    let name = req_str(req, "name").map_err(bad)?;
+    state.registry.unload(name).map_err(reg_err)?;
+    Ok(ok_response(vec![
+        ("op", Json::str("unload")),
+        ("name", Json::str(name)),
+    ]))
+}
+
+fn op_mxm(state: &ServerState, req: &Json) -> OpResult {
+    let name = req_str(req, "dataset").map_err(bad)?;
+    let ds = state.registry.get(name).map_err(reg_err)?;
+    let algo: Algorithm = opt_parse(req, "algo", "auto")?;
+    let mode: MaskMode = opt_parse(req, "mask", "normal")?;
+    let phases: Phases = opt_parse(req, "phases", "1")?;
+    let schedule: RowSchedule = opt_parse(req, "schedule", state.config.schedule.name())?;
+    let threads = opt_u64(req, "threads", 0).map_err(bad)? as usize;
+    let reps = opt_u64(req, "reps", 1).map_err(bad)?.max(1) as usize;
+
+    let a = &ds.matrix;
+    let mask = &ds.mask;
+    let opts = ExecOpts {
+        schedule,
+        ws_pool: Some(&state.ws_pool),
+        stats: Some(&state.exec_stats),
+    };
+    let hits0 = state.ws_pool.hits();
+    let misses0 = state.ws_pool.misses();
+    let run_one = || -> Result<Csr<f64>, masked_spgemm::Error> {
+        if algo == Algorithm::Inner {
+            // The registry's pre-transposed operand: the pull scheme
+            // skips the per-call transpose entirely.
+            masked_mxm_with_bt::<PlusTimesF64, ()>(mask, a, &ds.matrix_t, mode, phases)
+        } else {
+            masked_mxm_with_opts::<PlusTimesF64, ()>(mask, a, a, algo, mode, phases, &opts)
+        }
+    };
+    let work = || time_best(reps, run_one);
+    let (secs, c) = if threads > 0 {
+        with_threads(threads, work)
+    } else {
+        work()
+    };
+    let c = c.map_err(|e| (ErrorCode::ExecFailed, e.to_string()))?;
+    let hits = state.ws_pool.hits() - hits0;
+    let misses = state.ws_pool.misses() - misses0;
+    // The explicit pull path has no row drive and leases no workspaces;
+    // echoing a schedule or claiming a warm pool would be fiction.
+    let is_pull = algo == Algorithm::Inner;
+    Ok(ok_response(vec![
+        ("op", Json::str("mxm")),
+        ("dataset", Json::str(&ds.name)),
+        ("algo", Json::str(algo.name())),
+        ("mask", Json::str(mask_name(mode))),
+        (
+            "phases",
+            Json::str(if phases == Phases::One { "1" } else { "2" }),
+        ),
+        (
+            "schedule",
+            if is_pull {
+                Json::Null
+            } else {
+                Json::str(schedule.name())
+            },
+        ),
+        ("threads", threads.into()),
+        ("reps", reps.into()),
+        ("seconds", secs.into()),
+        ("gflops", gflops(ds.mxm_flops, secs).into()),
+        ("nnz", c.nnz().into()),
+        (
+            "fingerprint",
+            Json::Str(format!("{:016x}", csr_fingerprint(&c))),
+        ),
+        (
+            "pool",
+            if is_pull {
+                Json::Null
+            } else {
+                Json::obj(vec![
+                    ("hits", hits.into()),
+                    ("misses", misses.into()),
+                    ("warm", (misses == 0).into()),
+                ])
+            },
+        ),
+    ]))
+}
+
+fn op_app(state: &ServerState, req: &Json) -> OpResult {
+    let name = req_str(req, "dataset").map_err(bad)?;
+    let ds = state.registry.get(name).map_err(reg_err)?;
+    let app: App = opt_parse(req, "app", "tc")?;
+    let scheme: Scheme = opt_parse(req, "scheme", "auto")?;
+    let schedule: RowSchedule = opt_parse(req, "schedule", state.config.schedule.name())?;
+    let threads = opt_u64(req, "threads", 0).map_err(bad)? as usize;
+    let k = opt_u64(req, "k", 4).map_err(bad)? as usize;
+    let batch = opt_u64(req, "batch", 16).map_err(bad)? as usize;
+    if app == App::Ktruss && k < 3 {
+        return Err(bad(format!("k-truss needs k >= 3, got {k}")));
+    }
+    if app == App::Bc && !scheme.supports_complement() {
+        return Err((
+            ErrorCode::ExecFailed,
+            format!(
+                "scheme {} cannot run BC (no complemented-mask support)",
+                scheme.name()
+            ),
+        ));
+    }
+    let opts = ExecOpts {
+        schedule,
+        ws_pool: Some(&state.ws_pool),
+        stats: Some(&state.exec_stats),
+    };
+    let hits0 = state.ws_pool.hits();
+    let misses0 = state.ws_pool.misses();
+    // The application layer asserts/expects on kernel errors rather than
+    // returning them; a panic must become a protocol error, not a dead
+    // connection with no response.
+    let run = || -> Result<Vec<(&'static str, Json)>, String> {
+        match app {
+            App::Tc => {
+                let ops = ds.tc_operands();
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    tricount::count_prepared_with(&ops, scheme, &opts)
+                }))
+                .map_err(panic_msg)?;
+                Ok(vec![
+                    ("triangles", r.triangles.into()),
+                    ("mxm_seconds", r.mxm_seconds.into()),
+                    ("gflops", gflops(r.flops, r.mxm_seconds).into()),
+                ])
+            }
+            App::Ktruss => {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    ktruss::k_truss_with(&ds.adj, k, scheme, &opts)
+                }))
+                .map_err(panic_msg)?;
+                Ok(vec![
+                    ("k", k.into()),
+                    ("iterations", r.iterations.into()),
+                    ("edges", r.truss.nnz().into()),
+                    ("mxm_seconds", r.mxm_seconds.into()),
+                ])
+            }
+            App::Bc => {
+                let n = ds.adj.nrows();
+                let sources: Vec<usize> = (0..batch.min(n)).collect();
+                let nsrc = sources.len();
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    bc::betweenness_with(&ds.adj, &sources, scheme, &opts)
+                }))
+                .map_err(panic_msg)?;
+                Ok(vec![
+                    ("batch", nsrc.into()),
+                    ("depth", r.depth.into()),
+                    ("mxm_seconds", r.mxm_seconds.into()),
+                    ("total_seconds", r.total_seconds.into()),
+                    ("scores_sum", r.scores.iter().sum::<f64>().into()),
+                ])
+            }
+        }
+    };
+    let fields = if threads > 0 {
+        with_threads(threads, run)
+    } else {
+        run()
+    }
+    .map_err(|msg| (ErrorCode::ExecFailed, msg))?;
+    let hits = state.ws_pool.hits() - hits0;
+    let misses = state.ws_pool.misses() - misses0;
+    let mut out = vec![
+        ("op", Json::str("app")),
+        ("app", Json::str(app.name())),
+        ("dataset", Json::str(&ds.name)),
+        ("scheme", Json::Str(scheme.name())),
+        ("schedule", Json::str(schedule.name())),
+    ];
+    out.extend(fields);
+    out.push((
+        "pool",
+        Json::obj(vec![
+            ("hits", hits.into()),
+            ("misses", misses.into()),
+            ("warm", (misses == 0).into()),
+        ]),
+    ));
+    Ok(ok_response(out))
+}
+
+fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel panicked".to_string()
+    }
+}
+
+fn op_stats(state: &ServerState) -> OpResult {
+    let datasets: Vec<Json> = state
+        .registry
+        .list()
+        .iter()
+        .map(|ds| {
+            Json::obj(vec![
+                ("name", Json::str(&ds.name)),
+                ("mem_bytes", ds.mem_bytes().into()),
+            ])
+        })
+        .collect();
+    let total_mem: u64 = state.registry.list().iter().map(|ds| ds.mem_bytes()).sum();
+    let hits = state.ws_pool.hits();
+    let misses = state.ws_pool.misses();
+    let takes = hits + misses;
+    let busy = match busy_spread(&state.exec_stats.busy_seconds()) {
+        Some(sp) => Json::obj(vec![
+            ("threads", sp.threads.into()),
+            ("max_over_mean", sp.ratio().into()),
+        ]),
+        None => Json::Null,
+    };
+    Ok(ok_response(vec![
+        ("op", Json::str("stats")),
+        (
+            "uptime_seconds",
+            state.started.elapsed().as_secs_f64().into(),
+        ),
+        ("requests", state.requests().into()),
+        ("datasets", Json::Arr(datasets)),
+        ("total_mem_bytes", total_mem.into()),
+        (
+            "pool",
+            Json::obj(vec![
+                ("hits", hits.into()),
+                ("misses", misses.into()),
+                ("retained", state.ws_pool.retained().into()),
+                (
+                    "hit_rate",
+                    if takes > 0 {
+                        (hits as f64 / takes as f64).into()
+                    } else {
+                        Json::Null
+                    },
+                ),
+            ]),
+        ),
+        ("busy", busy),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(dir_tag: &str, n: usize) -> (Arc<ServerState>, String) {
+        let dir = std::env::temp_dir().join(format!("mspgemm_serve_server_{dir_tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let g = mspgemm_gen::er_symmetric(n, 6, 3);
+        mspgemm_io::mtx::write_mtx_file(&mtx, &g).unwrap();
+        let state = Arc::new(ServerState::new(ServeConfig {
+            cache: CachePolicy::Off,
+            ..ServeConfig::default()
+        }));
+        (state, mtx.to_str().unwrap().to_string())
+    }
+
+    fn ok(state: &ServerState, line: &str) -> Json {
+        let (resp, stop) = handle_request(state, line);
+        assert!(!stop);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "expected success: {}",
+            resp.to_line()
+        );
+        resp
+    }
+
+    fn err_code(state: &ServerState, line: &str) -> String {
+        let (resp, _) = handle_request(state, line);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(false)),
+            "{}",
+            resp.to_line()
+        );
+        resp.get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn request_lifecycle_load_mxm_warm_unload() {
+        let (state, path) = state_with("lifecycle", 120);
+        ok(&state, r#"{"op":"ping"}"#);
+        let resp = ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        assert_eq!(resp.get("name").unwrap().as_str(), Some("g"));
+
+        let q = r#"{"op":"mxm","dataset":"g","algo":"hash","phases":2,"reps":1}"#;
+        let first = ok(&state, q);
+        let second = ok(&state, q);
+        assert_eq!(
+            first.get("fingerprint"),
+            second.get("fingerprint"),
+            "identical requests must return identical results"
+        );
+        let pool = second.get("pool").unwrap();
+        assert_eq!(pool.get("misses").unwrap().as_u64(), Some(0));
+        assert_eq!(pool.get("warm").unwrap().as_bool(), Some(true));
+
+        ok(&state, r#"{"op":"unload","name":"g"}"#);
+        assert_eq!(err_code(&state, q), "unknown_dataset");
+    }
+
+    #[test]
+    fn inner_reports_no_schedule_or_pool() {
+        let (state, path) = state_with("inner_null", 90);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        let resp = ok(&state, r#"{"op":"mxm","dataset":"g","algo":"inner"}"#);
+        assert_eq!(
+            resp.get("schedule"),
+            Some(&Json::Null),
+            "{}",
+            resp.to_line()
+        );
+        assert_eq!(resp.get("pool"), Some(&Json::Null), "{}", resp.to_line());
+    }
+
+    #[test]
+    fn error_codes_cover_the_protocol() {
+        let (state, path) = state_with("errors", 60);
+        assert_eq!(err_code(&state, "not json"), "bad_request");
+        assert_eq!(err_code(&state, "[1,2]"), "bad_request");
+        assert_eq!(err_code(&state, r#"{"op":"frobnicate"}"#), "unknown_op");
+        assert_eq!(err_code(&state, r#"{"op":"mxm"}"#), "bad_request");
+        assert_eq!(
+            err_code(&state, r#"{"op":"mxm","dataset":"nope"}"#),
+            "unknown_dataset"
+        );
+        assert_eq!(
+            err_code(&state, r#"{"op":"load","path":"/no/such/file.mtx"}"#),
+            "load_failed"
+        );
+        ok(&state, &format!(r#"{{"op":"load","path":"{path}"}}"#));
+        assert_eq!(
+            err_code(&state, &format!(r#"{{"op":"load","path":"{path}"}}"#)),
+            "already_loaded"
+        );
+        // MCA × complement is a kernel-level rejection.
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"mxm","dataset":"g","algo":"mca","mask":"complement"}"#
+            ),
+            "exec_failed"
+        );
+        // Unknown algo is a request-level rejection.
+        assert_eq!(
+            err_code(&state, r#"{"op":"mxm","dataset":"g","algo":"quantum"}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn apps_run_and_reuse_the_pool() {
+        let (state, path) = state_with("apps", 100);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        let tc = ok(
+            &state,
+            r#"{"op":"app","dataset":"g","app":"tc","scheme":"hash-1p"}"#,
+        );
+        assert!(tc.get("triangles").unwrap().as_u64().is_some());
+        let tc2 = ok(
+            &state,
+            r#"{"op":"app","dataset":"g","app":"tc","scheme":"hash-1p"}"#,
+        );
+        assert_eq!(tc.get("triangles"), tc2.get("triangles"));
+        assert_eq!(
+            tc2.get("pool").unwrap().get("misses").unwrap().as_u64(),
+            Some(0),
+            "second tc must be allocation-free"
+        );
+        let kt = ok(&state, r#"{"op":"app","dataset":"g","app":"ktruss","k":3}"#);
+        assert!(kt.get("iterations").unwrap().as_u64().unwrap() >= 1);
+        let bc = ok(
+            &state,
+            r#"{"op":"app","dataset":"g","app":"bc","batch":4,"scheme":"msa-1p"}"#,
+        );
+        assert_eq!(bc.get("batch").unwrap().as_u64(), Some(4));
+        // BC × MCA is rejected before execution.
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"app","dataset":"g","app":"bc","scheme":"mca-1p"}"#
+            ),
+            "exec_failed"
+        );
+        assert_eq!(
+            err_code(&state, r#"{"op":"app","dataset":"g","app":"ktruss","k":2}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_flow() {
+        let (state, path) = state_with("stats", 80);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"msa"}"#);
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        assert!(stats.get("requests").unwrap().as_u64().unwrap() >= 2);
+        assert!(stats.get("total_mem_bytes").unwrap().as_u64().unwrap() > 0);
+        assert!(stats.get("pool").unwrap().get("hit_rate").is_some());
+
+        let (resp, stop) = handle_request(&state, r#"{"op":"shutdown"}"#);
+        assert!(stop);
+        assert_eq!(resp.get("stopping").unwrap().as_bool(), Some(true));
+        state.begin_shutdown();
+        let (resp, stop) = handle_request(&state, r#"{"op":"ping"}"#);
+        assert!(!stop);
+        assert_eq!(
+            resp.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("shutting_down")
+        );
+    }
+}

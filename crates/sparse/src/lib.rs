@@ -11,7 +11,7 @@
 //! * [`Csr`] — compressed sparse row with sorted, duplicate-free rows;
 //!   `Csr<()>` doubles as a structural pattern/mask.
 //! * [`Coo`] — triplet assembly format with canonicalization.
-//! * [`transpose`] — parallel scan-based transpose (CSC is represented as
+//! * [`transpose()`] — parallel scan-based transpose (CSC is represented as
 //!   the transpose stored in CSR).
 //! * [`ops`] — eWiseMult/eWiseAdd, masking, reductions, selection
 //!   (tril/triu), symmetric permutation, degree relabeling.

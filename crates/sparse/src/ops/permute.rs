@@ -1,6 +1,6 @@
 //! Symmetric permutation `P·A·Pᵀ` and degree-descending relabeling.
 //! Triangle counting sorts vertices in non-increasing degree order before
-//! extracting `L` (§8.2, citing [29]); this module implements that step.
+//! extracting `L` (§8.2, citing \[29\]); this module implements that step.
 
 use crate::csr::Csr;
 use crate::util::{par_exclusive_prefix_sum, UnsafeSlice};
