@@ -1,0 +1,232 @@
+//! `.msb` load microbenchmark: the heap-copying reader vs the zero-copy
+//! mmap path, cold (first touch after open) and warm (repeat loads), on
+//! a generated R-MAT matrix plus the bundled karate fixture. This is the
+//! acceptance gauge for the mmap work: the mapped "resident load" must
+//! be near-zero-cost — it validates `rowptr` and casts, but performs no
+//! per-section heap copy of `colidx`/`values` (asserted via
+//! `storage_report`, not just timed). Emits CSV on stdout, an aligned
+//! table on stderr, and a JSON report for the CI perf artifact.
+//!
+//! mmap defers page faults to first use, so the honest comparison is
+//! load+touch (a checksum pass over every value and column index): the
+//! `total_seconds` column. "cold" is the process's first load through
+//! that backend — single-shot, untrimmed; the page cache stays warm
+//! (the file was just written; dropping the OS cache is not portable),
+//! so cold here measures first-mapping/allocator cost, not disk.
+//! "warm" is best-of-reps against the resident file.
+//!
+//! Environment knobs (defaults keep the run CI-sized):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MSPGEMM_MSB_SCALE` | R-MAT scale of the generated matrix | 13 |
+//! | `MSPGEMM_MSB_JSON` | write the JSON report to this path | (none) |
+//! | `MSPGEMM_REPS` | timing repetitions (best-of) | 3 |
+
+use mspgemm_bench::banner;
+use mspgemm_gen::RmatParams;
+use mspgemm_harness::report::{json_escape, Table};
+use mspgemm_harness::{csr_fingerprint, env_usize, mb_per_s, time_best};
+use mspgemm_io::msb::{read_msb_file_auto, write_msb, MsbBackend};
+use mspgemm_sparse::Csr;
+use std::path::PathBuf;
+
+struct Row {
+    dataset: String,
+    bytes: u64,
+    nnz: usize,
+    backend: &'static str,
+    phase: &'static str,
+    load_seconds: f64,
+    total_seconds: f64,
+    heap_bytes: usize,
+    mapped_bytes: usize,
+}
+
+/// Force every byte of the matrix through the CPU (and, for mmap, fault
+/// every page in): a checksum over the value bits and column indices.
+fn touch(a: &Csr<f64>) -> u64 {
+    let mut acc = 0u64;
+    for &v in a.values() {
+        acc = acc.wrapping_add(v.to_bits());
+    }
+    for &c in a.colidx() {
+        acc = acc.wrapping_add(c as u64);
+    }
+    acc
+}
+
+fn bench_one(rows: &mut Vec<Row>, name: &str, path: &PathBuf, reps: usize) {
+    let bytes = std::fs::metadata(path).unwrap().len();
+    let mut fingerprints = Vec::new();
+    for (backend_name, prefer_mmap) in [("heap", false), ("mmap", true)] {
+        // Cold: a SINGLE timed load+touch, the first this process makes
+        // through this backend (process-cold allocators, first mapping,
+        // every page faulted in; the page cache itself stays warm — the
+        // file was just written, and dropping the OS cache is not
+        // portable). Warm: best-of-reps against the now-resident file.
+        let t0 = std::time::Instant::now();
+        let (cold_a, backend) = read_msb_file_auto(path, prefer_mmap).unwrap();
+        let cold_load = t0.elapsed().as_secs_f64();
+        std::hint::black_box(touch(&cold_a));
+        let cold_total = t0.elapsed().as_secs_f64();
+        drop(cold_a);
+
+        let (warm_load, (a, _)) =
+            time_best(reps, || read_msb_file_auto(path, prefer_mmap).unwrap());
+        let (warm_total, sum) = time_best(reps, || {
+            let (a, _) = read_msb_file_auto(path, prefer_mmap).unwrap();
+            touch(&a)
+        });
+        std::hint::black_box(sum);
+
+        let expect =
+            if prefer_mmap && cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+                MsbBackend::Mmap
+            } else {
+                MsbBackend::Heap
+            };
+        assert_eq!(backend, expect, "{name}: unexpected backend");
+        let report = a.storage_report();
+        if backend == MsbBackend::Mmap {
+            assert_eq!(
+                report.heap_bytes, 0,
+                "{name}: mmap load performed a per-section heap copy"
+            );
+        }
+        fingerprints.push(csr_fingerprint(&a));
+        for (phase, load_seconds, total_seconds) in [
+            ("cold", cold_load, cold_total),
+            ("warm", warm_load, warm_total),
+        ] {
+            rows.push(Row {
+                dataset: name.to_string(),
+                bytes,
+                nnz: a.nnz(),
+                backend: backend_name,
+                phase,
+                load_seconds,
+                total_seconds,
+                heap_bytes: report.heap_bytes,
+                mapped_bytes: report.shared_bytes,
+            });
+        }
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "{name}: backends disagree on content"
+    );
+}
+
+fn main() {
+    banner(
+        "msb_load",
+        "heap-copy vs zero-copy mmap .msb loading, cold/warm",
+    );
+    let reps = env_usize("MSPGEMM_REPS", 3).max(1);
+    let scale = env_usize("MSPGEMM_MSB_SCALE", 13) as u32;
+    let dir = std::env::temp_dir().join("mspgemm_bench_msb_load");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cases: Vec<(String, PathBuf)> = Vec::new();
+    // The bundled fixture (tiny: measures fixed overheads).
+    let karate = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("data/karate.mtx");
+    if let Ok((_, k)) = mspgemm_io::mtx::read_mtx_file(&karate) {
+        let p = dir.join("karate.msb");
+        write_msb(std::fs::File::create(&p).unwrap(), &k).unwrap();
+        cases.push(("karate".into(), p));
+    }
+    // The R-MAT (big enough that section copies dominate).
+    let g = mspgemm_gen::rmat_symmetric(scale, RmatParams::default(), 5);
+    let p = dir.join(format!("rmat{scale}.msb"));
+    write_msb(std::fs::File::create(&p).unwrap(), &g).unwrap();
+    cases.push((format!("rmat{scale}"), p));
+
+    let mut rows = Vec::new();
+    for (name, path) in &cases {
+        bench_one(&mut rows, name, path, reps);
+    }
+
+    let headers = [
+        "dataset",
+        "bytes",
+        "nnz",
+        "backend",
+        "phase",
+        "load_seconds",
+        "load_mb_per_s",
+        "total_seconds",
+        "heap_bytes",
+        "mapped_bytes",
+    ];
+    let mut table = Table::new(&headers);
+    for r in &rows {
+        table.row(&[
+            r.dataset.clone(),
+            r.bytes.to_string(),
+            r.nnz.to_string(),
+            r.backend.to_string(),
+            r.phase.to_string(),
+            format!("{:.9}", r.load_seconds),
+            format!("{:.1}", mb_per_s(r.bytes, r.load_seconds)),
+            format!("{:.9}", r.total_seconds),
+            r.heap_bytes.to_string(),
+            r.mapped_bytes.to_string(),
+        ]);
+    }
+    print!("{}", table.to_csv());
+    eprint!("{}", table.to_text());
+
+    // Headline: how much cheaper resident (warm) loads got.
+    for (name, _) in &cases {
+        let find = |backend: &str| {
+            rows.iter()
+                .find(|r| r.dataset == *name && r.backend == backend && r.phase == "warm")
+                .map(|r| r.load_seconds)
+        };
+        if let (Some(h), Some(m)) = (find("heap"), find("mmap")) {
+            eprintln!(
+                "{name}: warm resident load {:.1}x cheaper mapped ({:.9}s -> {:.9}s)",
+                h / m.max(1e-12),
+                h,
+                m
+            );
+        }
+    }
+
+    if let Ok(json_path) = std::env::var("MSPGEMM_MSB_JSON") {
+        std::fs::write(&json_path, report_json(&rows))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        eprintln!("json report: {json_path}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The perf-trajectory artifact the CI bench-smoke lane uploads: one
+/// record per (dataset, backend, phase).
+fn report_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"msb_load\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"bytes\": {}, \"nnz\": {}, \
+             \"backend\": \"{}\", \"phase\": \"{}\", \"load_seconds\": {:.9}, \
+             \"load_mb_per_s\": {:.3}, \"total_seconds\": {:.9}, \
+             \"heap_bytes\": {}, \"mapped_bytes\": {}}}{}\n",
+            json_escape(&r.dataset),
+            r.bytes,
+            r.nnz,
+            r.backend,
+            r.phase,
+            r.load_seconds,
+            mb_per_s(r.bytes, r.load_seconds),
+            r.total_seconds,
+            r.heap_bytes,
+            r.mapped_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

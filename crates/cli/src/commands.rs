@@ -18,7 +18,8 @@ use mspgemm_harness::{
     with_threads,
 };
 use mspgemm_io::{
-    load_matrix_report, load_matrix_with, save_matrix, CachePolicy, DatasetSource, IngestReport,
+    load_matrix_opts, load_matrix_with, save_matrix, CachePolicy, DatasetSource, Format,
+    IngestReport, LoadOpts,
 };
 use mspgemm_sparse::semiring::PlusTimesF64;
 use std::io::Write;
@@ -38,16 +39,28 @@ fn cache_policy(p: &Parsed) -> CachePolicy {
     }
 }
 
-/// The ingest-throughput report line: what moved, how fast, and whether
-/// the text parse or the binary sidecar served it.
+/// The full load options one command invocation pins: cache policy,
+/// parse fan-out, and the `--mmap` zero-copy preference.
+fn load_opts(p: &Parsed) -> Result<LoadOpts, String> {
+    Ok(LoadOpts {
+        policy: cache_policy(p),
+        parse_threads: p.flag_parse("parse-threads", 0usize)?,
+        mmap: p.switch("mmap"),
+    })
+}
+
+/// The ingest-throughput report line: what moved, how fast, whether the
+/// text parse or the binary sidecar served it, and how the sections are
+/// backed (heap copies vs zero-copy mmap).
 fn ingest_line(r: &IngestReport) -> String {
     format!(
-        "ingest   : {} bytes in {:.6} s ({:.1} MB/s, {:.0} entries/s, {:?})",
+        "ingest   : {} bytes in {:.6} s ({:.1} MB/s, {:.0} entries/s, {:?}, backend {})",
         r.bytes,
         r.seconds,
         mb_per_s(r.bytes, r.seconds),
         entries_per_s(r.entries, r.seconds),
-        r.outcome
+        r.outcome,
+        r.backend.name()
     )
 }
 
@@ -57,17 +70,15 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let path = p
         .positional
         .first()
-        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--schedule static|guided|flops] [--threads N] [--parse-threads N] [--reps R] <matrix.mtx|.msb>")?;
+        .ok_or("usage: mxm run [--algo A] [--mask normal|complement] [--phases 1|2] [--schedule static|guided|flops] [--threads N] [--parse-threads N] [--reps R] [--mmap] <matrix.mtx|.msb>")?;
     let algo: Algorithm = p.flag("algo").unwrap_or("auto").parse()?;
     let mode: MaskMode = p.flag("mask").unwrap_or("normal").parse()?;
     let phases: Phases = p.flag("phases").unwrap_or("1").parse()?;
     let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
     let threads = p.flag_parse("threads", 0usize)?;
-    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let reps = p.flag_parse("reps", 3usize)?.max(1);
 
-    let (a, ingest) =
-        load_matrix_report(path, cache_policy(p), parse_threads).map_err(|e| e.to_string())?;
+    let (a, ingest) = load_matrix_opts(path, &load_opts(p)?).map_err(|e| e.to_string())?;
     if a.nrows() != a.ncols() {
         return Err(format!(
             "mxm run squares its input (C = M ⊙ A·A); {path} is {}x{}",
@@ -178,13 +189,12 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
     let reps = p.flag_parse("reps", 1usize)?.max(1);
     let threads = p.flag_parse("threads", 0usize)?;
-    let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let k = p.flag_parse("k", 4usize)?;
     let batch = p.flag_parse("batch", 16usize)?;
     let tau_max = p.flag_parse("tau-max", 2.4f64)?;
 
     let graphs = source
-        .load_with(cache_policy(p), parse_threads)
+        .load_opts(&load_opts(p)?)
         .map_err(|e| e.to_string())?;
     let schemes = scheme_list(p, app)?;
     writeln!(
@@ -320,7 +330,9 @@ fn suite_report(
 /// `mxm convert`: read one matrix, write it in the format the output
 /// extension names (`.mtx` ↔ `.msb`). The write goes through a temp
 /// file + atomic rename, so an interrupted convert never leaves a
-/// truncated output behind for the sidecar cache to trust.
+/// truncated output behind for the sidecar cache to trust. Prints a
+/// one-line summary: dims, nnz, bytes written, and the output format
+/// (`.msb` includes the version — v2, the mmap-able aligned layout).
 pub fn cmd_convert(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let [src, dst] = p.positional.as_slice() else {
         return Err("usage: mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>".into());
@@ -328,9 +340,14 @@ pub fn cmd_convert(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let parse_threads = p.flag_parse("parse-threads", 0usize)?;
     let a = load_matrix_with(src, parse_threads).map_err(|e| format!("{src}: {e}"))?;
     save_matrix(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
+    let bytes = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
+    let format = match Format::from_path(std::path::Path::new(dst)) {
+        Ok(Format::Msb) => format!("msb v{}", mspgemm_io::msb::MSB_VERSION),
+        _ => "mtx text".to_string(),
+    };
     writeln!(
         out,
-        "{src} -> {dst}: {}x{}, nnz {}",
+        "{src} -> {dst}: {}x{}, nnz {}, {bytes} bytes written ({format})",
         a.nrows(),
         a.ncols(),
         a.nnz()

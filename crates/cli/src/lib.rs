@@ -31,10 +31,12 @@ USAGE:
             [--mask normal|complement] [--phases 1|2]
             [--schedule static|guided|flops]
             [--threads N] [--parse-threads N] [--reps R] [--no-cache]
-            <matrix.mtx|.msb>
+            [--mmap] <matrix.mtx|.msb>
         One masked product C = M (.*) A*A with M = pattern(A). The run
-        report includes the ingest throughput (MB/s, entries/s), the row
-        schedule, and the per-thread busy-time spread (max/mean).
+        report includes the ingest throughput (MB/s, entries/s), the
+        load backend (heap vs zero-copy mmap), the row schedule, and the
+        per-thread busy-time spread (max/mean). --mmap memory-maps a v2
+        .msb input (or fresh sidecar) instead of heap-copying it.
 
     mxm suite [--app tc|ktruss|bc] [--source synthetic|synthetic-full|DIR|FILE]
               [--schemes msa-1p,hash-2p,...] [--no-baselines]
@@ -52,19 +54,23 @@ USAGE:
     (best for power-law graphs). Output is identical across schedules.
 
     mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>
-        Convert between Matrix Market text and the .msb binary cache.
-        The output is written to a temp file and renamed atomically.
+        Convert between Matrix Market text and the .msb binary cache
+        (v2: 8-byte-aligned sections, mmap-able; see docs/MSB_FORMAT.md).
+        The output is written to a temp file and renamed atomically; a
+        one-line summary reports dims, nnz, bytes, and format version.
 
     mxm check
         Generator/kernel self-check (used by CI).
 
     mxm serve [--listen ADDR] [--schedule static|guided|flops]
-              [--parse-threads N] [--no-cache] [preload.mtx ...]
+              [--parse-threads N] [--no-cache] [--mmap] [preload.mtx ...]
         Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
         Unix socket): datasets stay resident with pre-transposed
         operands, and requests run on the warm worker pool with shared
         accumulator scratch. Preload positional files at startup; serves
-        until a 'shutdown' request. Protocol: docs/SERVE_PROTOCOL.md.
+        until a 'shutdown' request. --mmap keeps v2 .msb datasets
+        resident zero-copy (stats reports each dataset's backend and
+        mapped bytes). Protocol: docs/SERVE_PROTOCOL.md.
 
     mxm query [--connect ADDR] [--retry N] <op> [op flags]
         One request against a running server; prints the JSON response.
@@ -136,9 +142,9 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
 /// it rather than silently running without the intended option.
 fn known_switches(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "run" => &["no-cache"],
-        "suite" => &["no-cache", "no-baselines"],
-        "serve" | "query" => &["no-cache"],
+        "run" => &["no-cache", "mmap"],
+        "suite" => &["no-cache", "no-baselines", "mmap"],
+        "serve" | "query" => &["no-cache", "mmap"],
         _ => &[],
     }
 }

@@ -31,6 +31,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             schedule,
             parse_threads,
             cache,
+            mmap: p.switch("mmap"),
         },
     )?;
     for (path, name) in p.positional.iter().zip(server.preload(&p.positional)?) {
@@ -46,7 +47,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
 
 const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [op flags]\n\
     ops: ping | list | stats | shutdown\n\
-         load --path FILE [--name N] [--parse-threads N] [--no-cache]\n\
+         load --path FILE [--name N] [--parse-threads N] [--no-cache] [--mmap]\n\
          unload --name N\n\
          mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R]\n\
          app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B]\n\
@@ -90,6 +91,9 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
             copy_num(p, "parse-threads", "parse_threads", &mut req)?;
             if p.switch("no-cache") {
                 req.push(("cache", Json::str("off")));
+            }
+            if p.switch("mmap") {
+                req.push(("mmap", Json::from(true)));
             }
         }
         "unload" => {

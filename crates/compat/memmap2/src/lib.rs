@@ -1,0 +1,239 @@
+//! Offline stand-in for the `memmap2` crate: the subset this workspace
+//! uses — read-only, whole-file, shared mappings.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! [`Mmap::map`] with the same signature and semantics as `memmap2`'s
+//! (the CI `real-deps` lane swaps in the real crate). On unix it calls
+//! the platform's `mmap`/`munmap` through their C ABI — every Rust `std`
+//! binary on those targets already links the C library, so no external
+//! crate is needed. On non-unix targets it degrades to reading the file
+//! into an anonymous heap buffer: correct, not zero-copy.
+//!
+//! Mappings are page-aligned by the kernel, so section alignment within
+//! a mapped file equals section alignment within the file itself — the
+//! property the `.msb` v2 layout is built around.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    // MAP_SHARED is 1 on every unix this builds for (Linux, macOS, BSDs).
+    const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A live kernel mapping (never zero-length).
+    pub struct RawMap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned uniquely by this value.
+    unsafe impl Send for RawMap {}
+    unsafe impl Sync for RawMap {}
+
+    impl RawMap {
+        pub fn new(file: &File, len: usize) -> io::Result<RawMap> {
+            // SAFETY: a fresh PROT_READ/MAP_SHARED mapping of `len` bytes
+            // backed by `file`; the fd may close afterwards (the mapping
+            // keeps its own reference to the file).
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(RawMap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr..ptr+len` is a live PROT_READ mapping.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for RawMap {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly what `new` mapped.
+            unsafe { munmap(self.ptr as *mut std::ffi::c_void, self.len) };
+        }
+    }
+}
+
+enum Backing {
+    /// Zero bytes: `mmap` rejects empty ranges, so no mapping exists.
+    Empty,
+    #[cfg(unix)]
+    Mapped(sys::RawMap),
+    /// Non-unix fallback: the file copied to the heap.
+    #[cfg(not(unix))]
+    Heap(Vec<u8>),
+}
+
+/// A read-only memory map of an entire file (API-compatible subset of
+/// `memmap2::Mmap`).
+pub struct Mmap {
+    backing: Backing,
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    /// As with the real `memmap2`: the caller must ensure the underlying
+    /// file is not truncated or written while the map is alive — the
+    /// kernel surfaces such external writes through the mapping (and
+    /// truncation can fault). Callers that validate the mapped bytes
+    /// once and require them stable must enforce that themselves.
+    ///
+    /// # Errors
+    /// Any metadata or mapping failure from the OS.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to address",
+            ));
+        }
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Empty,
+            });
+        }
+        #[cfg(unix)]
+        {
+            Ok(Mmap {
+                backing: Backing::Mapped(sys::RawMap::new(file, len as usize)?),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len as usize);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(Mmap {
+                backing: Backing::Heap(buf),
+            })
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Empty => &[],
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.as_slice(),
+            #[cfg(not(unix))]
+            Backing::Heap(v) => v,
+        }
+    }
+
+    /// Byte count.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` iff the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mmap(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap2_shim_{name}"));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        f.sync_all().unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("basic", b"hello mapping");
+        let f = File::open(&p).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], b"hello mapping");
+        assert_eq!(m.len(), 13);
+        assert!(!m.is_empty());
+        drop(f); // The mapping outlives the fd.
+        assert_eq!(&m[..5], b"hello");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let p = tmp("empty", b"");
+        let m = unsafe { Mmap::map(&File::open(&p).unwrap()) }.unwrap();
+        assert!(m.is_empty());
+        assert_eq!(&m[..], b"");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mapping_is_sync_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+        let p = tmp("threads", &vec![7u8; 1 << 16]);
+        let m = std::sync::Arc::new(unsafe { Mmap::map(&File::open(&p).unwrap()) }.unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * (1 << 16));
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -152,7 +152,7 @@ mod tests {
             mask_cols,
             a_cols: &a_cols,
             a_vals: &a_vals,
-            b: &b,
+            b: b.view(),
         };
         let k = AdaptiveKernel::new();
         assert_eq!(k.pick(&ctx), Pick::Mca);
@@ -169,7 +169,7 @@ mod tests {
             mask_cols: mask.row_cols(0),
             a_cols: &a_cols,
             a_vals: &a_vals,
-            b: &b,
+            b: b.view(),
         };
         let k = AdaptiveKernel::new();
         assert_eq!(k.pick(&ctx), Pick::Msa);
@@ -187,7 +187,7 @@ mod tests {
             mask_cols: &mask_cols,
             a_cols: &a_cols,
             a_vals: &a_vals,
-            b: &b,
+            b: b.view(),
         };
         let k = AdaptiveKernel::new();
         assert_eq!(k.pick(&ctx), Pick::Heap);

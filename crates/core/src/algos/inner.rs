@@ -12,7 +12,7 @@
 
 use crate::phases::Phases;
 use mspgemm_sparse::semiring::Semiring;
-use mspgemm_sparse::{Csr, Idx};
+use mspgemm_sparse::{Csr, CsrRef, Idx};
 
 /// Sparse dot product of two sorted index/value lists. Returns `None` when
 /// the patterns do not intersect (no output entry — GraphBLAS structural
@@ -59,13 +59,14 @@ pub fn patterns_intersect(ac: &[Idx], bc: &[Idx]) -> bool {
 }
 
 /// Masked SpGEMM via dot products. `bt` is `Bᵀ` in CSR (i.e. `B` in CSC).
+/// Operands are [`CsrRef`] views — the read path is storage-agnostic.
 ///
 /// One-phase allocates `nnz(m_i)` per row (the exact mask bound) and
 /// compacts; two-phase runs the early-exit symbolic dots first.
 pub fn inner_masked_mxm<S, M>(
-    mask: &Csr<M>,
-    a: &Csr<S::Left>,
-    bt: &Csr<S::Right>,
+    mask: CsrRef<'_, M>,
+    a: CsrRef<'_, S::Left>,
+    bt: CsrRef<'_, S::Right>,
     phases: Phases,
 ) -> Csr<S::Out>
 where
@@ -109,9 +110,9 @@ where
 /// nonempty `Bᵀ` row whose column is *not* in the mask row. Always sizes
 /// exactly (internal symbolic pass) — see module docs.
 pub fn inner_masked_mxm_complement<S, M>(
-    mask: &Csr<M>,
-    a: &Csr<S::Left>,
-    bt: &Csr<S::Right>,
+    mask: CsrRef<'_, M>,
+    a: CsrRef<'_, S::Left>,
+    bt: CsrRef<'_, S::Right>,
 ) -> Csr<S::Out>
 where
     S: Semiring,

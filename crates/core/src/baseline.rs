@@ -190,10 +190,12 @@ where
     assert_eq!(a.ncols(), b.nrows(), "ss_dot_like: inner dimensions differ");
     let bt = transpose(b);
     match mode {
-        MaskMode::Mask => inner_masked_mxm::<S, M>(mask, a, &bt, Phases::Two),
-        MaskMode::Complement => {
-            crate::algos::inner::inner_masked_mxm_complement::<S, M>(mask, a, &bt)
-        }
+        MaskMode::Mask => inner_masked_mxm::<S, M>(mask.view(), a.view(), bt.view(), Phases::Two),
+        MaskMode::Complement => crate::algos::inner::inner_masked_mxm_complement::<S, M>(
+            mask.view(),
+            a.view(),
+            bt.view(),
+        ),
     }
 }
 

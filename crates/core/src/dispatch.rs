@@ -271,9 +271,9 @@ where
         Algorithm::Inner => {
             let bt = transpose(b);
             if complement {
-                inner_masked_mxm_complement::<S, M>(mask, a, &bt)
+                inner_masked_mxm_complement::<S, M>(mask.view(), a.view(), bt.view())
             } else {
-                inner_masked_mxm::<S, M>(mask, a, &bt, phases)
+                inner_masked_mxm::<S, M>(mask.view(), a.view(), bt.view(), phases)
             }
         }
         Algorithm::Hybrid => run_push_with::<S, _, M>(
@@ -324,8 +324,10 @@ where
         )));
     }
     Ok(match mode {
-        MaskMode::Mask => inner_masked_mxm::<S, M>(mask, a, bt, phases),
-        MaskMode::Complement => inner_masked_mxm_complement::<S, M>(mask, a, bt),
+        MaskMode::Mask => inner_masked_mxm::<S, M>(mask.view(), a.view(), bt.view(), phases),
+        MaskMode::Complement => {
+            inner_masked_mxm_complement::<S, M>(mask.view(), a.view(), bt.view())
+        }
     })
 }
 

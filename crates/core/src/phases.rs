@@ -24,7 +24,7 @@
 use crate::schedule::{row_chunks, ExecOpts, WsPool};
 use mspgemm_sparse::semiring::Semiring;
 use mspgemm_sparse::util::{par_exclusive_prefix_sum, UnsafeSlice};
-use mspgemm_sparse::{Csr, Idx};
+use mspgemm_sparse::{Csr, CsrRef, Idx};
 use rayon::prelude::*;
 use std::any::Any;
 use std::ops::Range;
@@ -62,8 +62,10 @@ pub struct RowCtx<'a, S: Semiring> {
     pub a_cols: &'a [Idx],
     /// Values of the `A` row.
     pub a_vals: &'a [S::Left],
-    /// The full `B` matrix (kernels fetch rows `B_k*` for `A_ik ≠ 0`).
-    pub b: &'a Csr<S::Right>,
+    /// The full `B` matrix as a borrowed view (kernels fetch rows `B_k*`
+    /// for `A_ik ≠ 0`) — storage-agnostic, so mmap-backed operands flow
+    /// through the kernels with no copies.
+    pub b: CsrRef<'a, S::Right>,
 }
 
 /// A push-based Masked SpGEVM kernel: computes one output row given one
@@ -316,6 +318,7 @@ where
 {
     let nrows = mask.nrows();
     let ncols = b.ncols();
+    let bv = b.view();
     let bounds = one_phase_bounds(mask, ncols, complement, flops);
     let offsets = par_exclusive_prefix_sum(&bounds);
     let cap = offsets[nrows];
@@ -331,7 +334,7 @@ where
                 mask_cols: mask.row_cols(i),
                 a_cols: a.row_cols(i),
                 a_vals: a.row_vals(i),
-                b,
+                b: bv,
             };
             // SAFETY: prefix-sum offsets make row ranges disjoint, and
             // each row index is claimed by exactly one chunk.
@@ -368,6 +371,7 @@ where
 {
     let nrows = mask.nrows();
     let ncols = b.ncols();
+    let bv = b.view();
     // Symbolic phase: exact per-row sizes.
     let mut sizes = vec![0usize; nrows];
     {
@@ -377,7 +381,7 @@ where
                 mask_cols: mask.row_cols(i),
                 a_cols: a.row_cols(i),
                 a_vals: a.row_vals(i),
-                b,
+                b: bv,
             };
             let n = kernel.row_symbolic(ws, ctx);
             // SAFETY: each row index is claimed by exactly one chunk.
@@ -397,7 +401,7 @@ where
                 mask_cols: mask.row_cols(i),
                 a_cols: a.row_cols(i),
                 a_vals: a.row_vals(i),
-                b,
+                b: bv,
             };
             let len = sizes[i];
             // SAFETY: rowptr ranges are disjoint.

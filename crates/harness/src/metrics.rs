@@ -33,10 +33,14 @@ pub fn mb_per_s(bytes: u64, seconds: f64) -> f64 {
 
 /// FNV-1a fingerprint over a CSR's exact in-memory content: shape, row
 /// pointers, column indices, and value bit patterns. Two matrices agree
-/// on the fingerprint iff they are byte-identical, so `mxm run` and the
+/// on the fingerprint iff they are content-identical — independent of
+/// how their sections are backed, so a heap-loaded and an mmap-backed
+/// copy of the same matrix fingerprint identically. `mxm run` and the
 /// serve protocol both report it and parity is checkable end to end
-/// without shipping the matrix over the wire.
-pub fn csr_fingerprint(a: &mspgemm_sparse::Csr<f64>) -> u64 {
+/// without shipping the matrix over the wire. Accepts `&Csr<f64>` or a
+/// [`CsrRef`](mspgemm_sparse::CsrRef) view.
+pub fn csr_fingerprint<'a>(a: impl Into<mspgemm_sparse::CsrRef<'a, f64>>) -> u64 {
+    let a = a.into();
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;

@@ -3,7 +3,7 @@
 //! undirected adjacency the TC / k-truss / BC applications consume.
 
 use crate::error::IoError;
-use crate::msb::{read_msb_file, write_msb_file};
+use crate::msb::{read_msb_file_auto, write_msb_file, MsbBackend};
 use crate::mtx::{read_mtx_file_parallel, write_mtx_file};
 use mspgemm_sparse::ops::ewise::ewise_add;
 use mspgemm_sparse::ops::select::{remove_diagonal, tril_strict, triu_strict};
@@ -47,7 +47,7 @@ pub fn load_matrix_with(path: impl AsRef<Path>, parse_threads: usize) -> Result<
     let path = path.as_ref();
     match Format::from_path(path)? {
         Format::Mtx => Ok(read_mtx_file_parallel(path, parse_threads)?.1),
-        Format::Msb => read_msb_file(path),
+        Format::Msb => Ok(read_msb_file_auto(path, false)?.0),
     }
 }
 
@@ -131,12 +131,30 @@ fn is_fresh(original: &Path, sidecar: &Path) -> bool {
 pub struct IngestReport {
     /// How the matrix was obtained.
     pub outcome: CacheOutcome,
+    /// How the resident sections are backed (heap copies, or zero-copy
+    /// `Arc`-shared views into an mmap'd v2 `.msb`).
+    pub backend: MsbBackend,
     /// Size of the file that was actually read.
     pub bytes: u64,
     /// Entries parsed (text: declared stored entries; binary: nnz).
     pub entries: usize,
     /// Seconds spent reading + parsing.
     pub seconds: f64,
+}
+
+/// Everything [`load_matrix_opts`] lets a caller pin: the sidecar cache
+/// policy, the text-parse fan-out, and whether `.msb` inputs/sidecars
+/// should be memory-mapped zero-copy instead of heap-copied.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadOpts {
+    /// Sidecar cache behaviour (default [`CachePolicy::ReadWrite`]).
+    pub policy: CachePolicy,
+    /// Text parse fan-out (`0` = rayon default).
+    pub parse_threads: usize,
+    /// Prefer the zero-copy mmap path for v2 `.msb` files. v1 files,
+    /// non-`mmap` builds, and unsupported targets fall back to heap
+    /// copies — the report's `backend` field says what happened.
+    pub mmap: bool,
 }
 
 fn file_len(path: &Path) -> u64 {
@@ -158,33 +176,67 @@ pub fn load_matrix_report(
     policy: CachePolicy,
     parse_threads: usize,
 ) -> Result<(Csr<f64>, IngestReport), IoError> {
+    load_matrix_opts(
+        path,
+        &LoadOpts {
+            policy,
+            parse_threads,
+            mmap: false,
+        },
+    )
+}
+
+/// [`load_matrix_report`] with full [`LoadOpts`] — in particular the
+/// zero-copy mmap preference: with `opts.mmap` set, a v2 `.msb` input
+/// (or fresh sidecar) backs the matrix directly by the mapped file, so
+/// residency costs no per-section heap copy of `colidx`/`values`.
+pub fn load_matrix_opts(
+    path: impl AsRef<Path>,
+    opts: &LoadOpts,
+) -> Result<(Csr<f64>, IngestReport), IoError> {
     let path = path.as_ref();
     let start = Instant::now();
-    let report = |outcome, bytes, entries| IngestReport {
+    let report = |outcome, backend, bytes, entries| IngestReport {
         outcome,
+        backend,
         bytes,
         entries,
         seconds: start.elapsed().as_secs_f64(),
     };
     if Format::from_path(path)? == Format::Msb {
-        let a = read_msb_file(path)?;
-        let r = report(CacheOutcome::Hit, file_len(path), a.nnz());
+        let (a, backend) = read_msb_file_auto(path, opts.mmap)?;
+        let r = report(CacheOutcome::Hit, backend, file_len(path), a.nnz());
         return Ok((a, r));
     }
     let sidecar = sidecar_path(path);
-    if policy != CachePolicy::Off && is_fresh(path, &sidecar) {
-        if let Ok(a) = read_msb_file(&sidecar) {
-            let r = report(CacheOutcome::Hit, file_len(&sidecar), a.nnz());
+    if opts.policy != CachePolicy::Off && is_fresh(path, &sidecar) {
+        if let Ok((a, backend)) = read_msb_file_auto(&sidecar, opts.mmap) {
+            let r = report(CacheOutcome::Hit, backend, file_len(&sidecar), a.nnz());
             return Ok((a, r));
         }
         // Corrupt sidecar: fall through to the text parse.
     }
-    let (h, a) = read_mtx_file_parallel(path, parse_threads)?;
-    let mut r = report(CacheOutcome::Parsed, file_len(path), h.stored_entries);
-    if policy == CachePolicy::ReadWrite
+    let (h, a) = read_mtx_file_parallel(path, opts.parse_threads)?;
+    let mut r = report(
+        CacheOutcome::Parsed,
+        MsbBackend::Heap,
+        file_len(path),
+        h.stored_entries,
+    );
+    if opts.policy == CachePolicy::ReadWrite
         && persist_atomically(&sidecar, |tmp| write_msb_file(tmp, &a)).is_ok()
     {
         r.outcome = CacheOutcome::Written;
+        // With mmap preferred, swap the fresh parse for a mapping of the
+        // sidecar just written: first runs then match repeat runs in
+        // backend, and the server's residency is zero-copy from load one.
+        if opts.mmap {
+            if let Ok((mapped, MsbBackend::Mmap)) = read_msb_file_auto(&sidecar, true) {
+                debug_assert_eq!(mapped, a, "sidecar must round-trip the parse");
+                r.backend = MsbBackend::Mmap;
+                return Ok((mapped, r));
+            }
+        }
         return Ok((a, r));
     }
     // Read-only filesystems are fine; the parse still succeeded.
@@ -247,7 +299,24 @@ pub fn load_graph_with(
     policy: CachePolicy,
     parse_threads: usize,
 ) -> Result<(Csr<f64>, AdjacencyStats), IoError> {
-    let (a, _) = load_matrix_report(path, policy, parse_threads)?;
+    load_graph_opts(
+        path,
+        &LoadOpts {
+            policy,
+            parse_threads,
+            mmap: false,
+        },
+    )
+}
+
+/// [`load_graph`] with full [`LoadOpts`]. The normalized adjacency is a
+/// derived (owned) matrix either way; the mmap preference still saves
+/// the intermediate heap copy of the raw operand while normalizing.
+pub fn load_graph_opts(
+    path: impl AsRef<Path>,
+    opts: &LoadOpts,
+) -> Result<(Csr<f64>, AdjacencyStats), IoError> {
+    let (a, _) = load_matrix_opts(path, opts)?;
     if a.nrows() != a.ncols() {
         return Err(IoError::Format(format!(
             "graph loading needs a square matrix, got {}x{}",

@@ -2,13 +2,14 @@
 //!
 //! Text `.mtx` parsing dominates experiment start-up on large inputs
 //! (float parsing is serial and branchy); `.msb` stores the canonical CSR
-//! directly so repeat runs deserialize at memcpy speed. Layout (all
+//! directly so repeat runs deserialize at memcpy speed — or, for v2
+//! files on the mmap path, at **no copy at all**. Layout (all
 //! little-endian):
 //!
 //! ```text
 //! offset  size            field
 //! 0       4               magic  b"MSB\x01"
-//! 4       4               version (u32, currently 1)
+//! 4       4               version (u32; 1 or 2)
 //! 8       4               flags   (u32; bit 0 = pattern, no values section)
 //! 12      4               reserved (u32, zero)
 //! 16      8               nrows (u64)
@@ -16,13 +17,27 @@
 //! 32      8               nnz   (u64)
 //! 40      8*(nrows+1)     rowptr (u64 each)
 //! ...     4*nnz           colidx (u32 each)
+//! ...     0 or 4          v2 only: zero padding to an 8-byte boundary
 //! ...     8*nnz           values (f64 each; absent when pattern flag set)
 //! ```
 //!
+//! **v2 = v1 + the alignment contract.** The 40-byte header and the
+//! 8-byte rowptr entries already place every v1 section at an 8-aligned
+//! offset except `values`, which drifts by 4 whenever `nnz` is odd; v2
+//! zero-pads after `colidx` so that *every* section starts 8-aligned.
+//! Because an mmap is page-aligned, in-file alignment equals in-memory
+//! alignment — a mapped v2 file can back a [`Csr`] directly via
+//! `Arc`-shared sections
+//! ([`map_msb_file`]), making dataset residency ~free at any scale.
+//! Writers emit v2; readers accept both versions (v1 via the copying
+//! path only).
+//!
 //! Readers fully validate the header, section lengths, and the CSR
 //! invariants (monotone rowptr, strictly sorted in-bounds rows) before
-//! constructing the matrix, so a truncated or corrupted cache fails
-//! loudly rather than producing garbage timings.
+//! constructing the matrix — on the zero-copy path too, where nothing is
+//! trusted until the mapped sections pass the same validation. A
+//! truncated, corrupted, or misaligned cache fails loudly rather than
+//! producing garbage timings (or UB).
 
 use crate::error::IoError;
 use mspgemm_sparse::{Csr, Idx};
@@ -31,10 +46,14 @@ use std::path::Path;
 
 /// First 4 bytes of every `.msb` stream.
 pub const MSB_MAGIC: [u8; 4] = *b"MSB\x01";
-/// Current format version.
-pub const MSB_VERSION: u32 = 1;
+/// Version written by this build: the 8-byte-aligned, mmap-able layout.
+pub const MSB_VERSION: u32 = 2;
+/// Oldest version this build still reads (unaligned; copying path only).
+pub const MSB_VERSION_V1: u32 = 1;
 /// Flag bit: the stream stores no values section (structural pattern).
 pub const MSB_FLAG_PATTERN: u32 = 1;
+/// Fixed header size; also the (8-aligned) offset of the rowptr section.
+pub const MSB_HEADER_LEN: usize = 40;
 
 /// Parsed fixed-size header of an `.msb` stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,17 +75,28 @@ impl MsbHeader {
     pub fn is_pattern(&self) -> bool {
         self.flags & MSB_FLAG_PATTERN != 0
     }
+
+    /// Bytes of zero padding between `colidx` and `values` (v2 keeps
+    /// every section 8-aligned; v1 has none).
+    pub fn colidx_pad(&self) -> usize {
+        if self.version >= MSB_VERSION {
+            (8 - (4 * self.nnz) % 8) % 8
+        } else {
+            0
+        }
+    }
 }
 
 fn write_header<W: Write>(
     w: &mut W,
+    version: u32,
     flags: u32,
     nrows: usize,
     ncols: usize,
     nnz: usize,
 ) -> Result<(), IoError> {
     w.write_all(&MSB_MAGIC)?;
-    w.write_all(&MSB_VERSION.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
     w.write_all(&flags.to_le_bytes())?;
     w.write_all(&0u32.to_le_bytes())?;
     w.write_all(&(nrows as u64).to_le_bytes())?;
@@ -95,9 +125,9 @@ pub fn read_msb_header<R: Read>(r: &mut R) -> Result<MsbHeader, IoError> {
     let u32_at = |o: usize| u32::from_le_bytes(fixed[o..o + 4].try_into().unwrap());
     let u64_at = |o: usize| u64::from_le_bytes(fixed[o..o + 8].try_into().unwrap());
     let version = u32_at(4);
-    if version != MSB_VERSION {
+    if version != MSB_VERSION && version != MSB_VERSION_V1 {
         return Err(IoError::Format(format!(
-            "unsupported version {version} (this build reads {MSB_VERSION})"
+            "unsupported version {version} (this build reads {MSB_VERSION_V1} and {MSB_VERSION})"
         )));
     }
     let flags = u32_at(8);
@@ -180,6 +210,14 @@ fn read_sections<R: Read>(r: &mut R, h: &MsbHeader) -> Result<Sections, IoError>
         .map(|c| Idx::from_le_bytes(c.try_into().unwrap()))
         .collect();
 
+    // v2: zero padding keeps the values section 8-aligned.
+    let pad = read_bytes_checked(r, h.colidx_pad(), "alignment padding")?;
+    if pad.iter().any(|&b| b != 0) {
+        return Err(IoError::Format(
+            "nonzero alignment padding after colidx".into(),
+        ));
+    }
+
     let values = if h.is_pattern() {
         None
     } else {
@@ -201,16 +239,34 @@ fn read_sections<R: Read>(r: &mut R, h: &MsbHeader) -> Result<Sections, IoError>
     }
 }
 
-/// Write `a` (values included) as an `.msb` stream.
+/// The colidx→values padding a writer of `version` must emit for `nnz`
+/// stored entries.
+fn write_pad(version: u32, nnz: usize) -> &'static [u8] {
+    if version >= MSB_VERSION && !(4 * nnz).is_multiple_of(8) {
+        &[0u8; 4]
+    } else {
+        &[]
+    }
+}
+
+/// Write `a` (values included) as an `.msb` stream in the current
+/// (v2, 8-byte-aligned) layout.
 pub fn write_msb<W: Write>(w: W, a: &Csr<f64>) -> Result<(), IoError> {
+    write_msb_version(w, a, MSB_VERSION)
+}
+
+/// [`write_msb`] pinned to a specific format version (v1 emits the
+/// legacy unaligned layout — for round-trip tests and old consumers).
+pub fn write_msb_version<W: Write>(w: W, a: &Csr<f64>, version: u32) -> Result<(), IoError> {
     let mut w = BufWriter::new(w);
-    write_header(&mut w, 0, a.nrows(), a.ncols(), a.nnz())?;
+    write_header(&mut w, version, 0, a.nrows(), a.ncols(), a.nnz())?;
     for &p in a.rowptr() {
         w.write_all(&(p as u64).to_le_bytes())?;
     }
     for &j in a.colidx() {
         w.write_all(&j.to_le_bytes())?;
     }
+    w.write_all(write_pad(version, a.nnz()))?;
     for &v in a.values() {
         w.write_all(&v.to_le_bytes())?;
     }
@@ -218,16 +274,24 @@ pub fn write_msb<W: Write>(w: W, a: &Csr<f64>) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Write the pattern of `a` (no values section).
+/// Write the pattern of `a` (no values section), current version.
 pub fn write_msb_pattern<W: Write, T>(w: W, a: &Csr<T>) -> Result<(), IoError> {
     let mut w = BufWriter::new(w);
-    write_header(&mut w, MSB_FLAG_PATTERN, a.nrows(), a.ncols(), a.nnz())?;
+    write_header(
+        &mut w,
+        MSB_VERSION,
+        MSB_FLAG_PATTERN,
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+    )?;
     for &p in a.rowptr() {
         w.write_all(&(p as u64).to_le_bytes())?;
     }
     for &j in a.colidx() {
         w.write_all(&j.to_le_bytes())?;
     }
+    w.write_all(write_pad(MSB_VERSION, a.nnz()))?;
     w.flush()?;
     Ok(())
 }
@@ -260,6 +324,187 @@ pub fn write_msb_file(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoErro
 /// Read an `.msb` file from disk.
 pub fn read_msb_file(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
     read_msb(std::fs::File::open(path)?)
+}
+
+/// How a loaded `.msb` matrix is resident in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsbBackend {
+    /// Sections copied into heap-owned vectors (the only option for v1
+    /// files, non-`mmap` builds, and targets that cannot reinterpret the
+    /// little-endian sections in place).
+    Heap,
+    /// Sections are `Arc`-shared views into a read-only file mapping —
+    /// no on-disk section was copied to the heap. For value streams that
+    /// is all of `rowptr`/`colidx`/`values`; a pattern stream has no
+    /// values section on disk, so its unit values are synthesized on the
+    /// heap while `rowptr`/`colidx` stay mapped
+    /// ([`Csr::storage_report`](mspgemm_sparse::Csr::storage_report)
+    /// breaks the split down).
+    Mmap,
+}
+
+impl MsbBackend {
+    /// The name reports and the serve protocol print.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsbBackend::Heap => "heap",
+            MsbBackend::Mmap => "mmap",
+        }
+    }
+}
+
+#[cfg(all(
+    feature = "mmap",
+    target_endian = "little",
+    target_pointer_width = "64"
+))]
+mod zero_copy {
+    use super::*;
+    use memmap2::Mmap;
+    use mspgemm_sparse::{SectionOwner, SharedSlice, Storage};
+    use std::sync::Arc;
+
+    /// Cast `elems` `T`s at byte offset `off` of the mapping into a
+    /// [`SharedSlice`] holding the mapping alive — after checking bounds
+    /// (with overflow-safe arithmetic) and alignment.
+    fn shared_section<T: Send + Sync + 'static>(
+        map: &Arc<Mmap>,
+        off: usize,
+        elems: usize,
+        what: &str,
+    ) -> Result<SharedSlice<T>, IoError> {
+        let bytes = section_len(elems, std::mem::size_of::<T>(), what)?;
+        let end = off
+            .checked_add(bytes)
+            .ok_or_else(|| IoError::Format(format!("{what} section offset overflows")))?;
+        if end > map.len() {
+            return Err(IoError::Format(format!("truncated {what} section")));
+        }
+        let ptr = map.as_slice()[off..].as_ptr();
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(IoError::Format(format!(
+                "{what} section at offset {off} is misaligned for zero-copy loading"
+            )));
+        }
+        // SAFETY: bounds and alignment checked above; u64/u32/f64/usize
+        // accept any bit pattern; the Arc'd mapping owns the bytes and is
+        // read-only for its whole lifetime.
+        Ok(unsafe {
+            SharedSlice::from_raw_parts(ptr.cast::<T>(), elems, map.clone() as SectionOwner)
+        })
+    }
+
+    /// Map a v2 `.msb` file and back a [`Csr`] directly by its sections —
+    /// **zero-copy**: `rowptr`/`colidx`/`values` are never duplicated on
+    /// the heap; the mapping lives as long as any section (or clone of
+    /// one, e.g. a derived pattern mask) does.
+    ///
+    /// Everything is validated before the matrix exists: header fields,
+    /// section bounds, alignment, padding bytes, and the full CSR
+    /// structural invariants (monotone rowptr, sorted in-bounds rows).
+    ///
+    /// # Errors
+    /// [`IoError::Format`] for v1 files (unaligned — use the copying
+    /// reader or rewrite with `mxm convert`), for any validation failure,
+    /// and [`IoError::Io`] for mapping failures.
+    pub fn map_msb_file(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
+        let file = std::fs::File::open(path)?;
+        // SAFETY (Mmap::map contract): the mapping is read-only and every
+        // byte is validated below before use. `.msb` files are written via
+        // temp-file + atomic rename (load.rs / `mxm convert`), so the
+        // mapped inode is never rewritten in place by this toolchain;
+        // external truncation while mapped is outside the contract, as
+        // with any mmap consumer.
+        let map = Arc::new(unsafe { Mmap::map(&file) }.map_err(IoError::Io)?);
+        let bytes: &[u8] = map.as_slice();
+        let h = read_msb_header(&mut &bytes[..])?;
+        if h.version < MSB_VERSION {
+            return Err(IoError::Format(format!(
+                "v{} .msb is unaligned and cannot back a zero-copy load; \
+                 rewrite it with `mxm convert` for the v2 layout",
+                h.version
+            )));
+        }
+        let add = |a: usize, b: usize| {
+            a.checked_add(b)
+                .ok_or_else(|| IoError::Format("section offset overflows".into()))
+        };
+        let rowptr_elems = add(h.nrows, 1)?;
+        let colidx_off = add(MSB_HEADER_LEN, section_len(rowptr_elems, 8, "rowptr")?)?;
+        let pad_off = add(colidx_off, section_len(h.nnz, 4, "colidx")?)?;
+        let values_off = add(pad_off, h.colidx_pad())?;
+        let total = if h.is_pattern() {
+            values_off
+        } else {
+            add(values_off, section_len(h.nnz, 8, "values")?)?
+        };
+        if total > bytes.len() {
+            return Err(IoError::Format("truncated .msb file".into()));
+        }
+        if total < bytes.len() {
+            return Err(IoError::Format(
+                "trailing bytes after the last section".into(),
+            ));
+        }
+        if bytes[pad_off..values_off].iter().any(|&b| b != 0) {
+            return Err(IoError::Format(
+                "nonzero alignment padding after colidx".into(),
+            ));
+        }
+        // On this target usize is exactly the on-disk u64 (little-endian,
+        // 64-bit) — rowptr reinterprets in place.
+        let rowptr = shared_section::<usize>(&map, MSB_HEADER_LEN, rowptr_elems, "rowptr")?;
+        let colidx = shared_section::<Idx>(&map, colidx_off, h.nnz, "colidx")?;
+        let values: Storage<f64> = if h.is_pattern() {
+            vec![1.0; h.nnz].into()
+        } else {
+            shared_section::<f64>(&map, values_off, h.nnz, "values")?.into()
+        };
+        Csr::try_from_storage(h.nrows, h.ncols, rowptr.into(), colidx.into(), values)
+            .map_err(|e| IoError::Format(format!("invalid CSR in mapped stream: {e}")))
+    }
+}
+
+#[cfg(all(
+    feature = "mmap",
+    not(all(target_endian = "little", target_pointer_width = "64"))
+))]
+mod zero_copy {
+    use super::*;
+
+    /// Zero-copy loading needs a little-endian 64-bit target (the on-disk
+    /// sections are reinterpreted in place); this build always falls back
+    /// to the copying reader.
+    pub fn map_msb_file(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
+        let _ = path.as_ref();
+        Err(IoError::Format(
+            "zero-copy .msb mapping requires a little-endian 64-bit target".into(),
+        ))
+    }
+}
+
+#[cfg(feature = "mmap")]
+pub use zero_copy::map_msb_file;
+
+/// Read an `.msb` file, preferring the zero-copy mmap path when asked
+/// (and built with the `mmap` feature): v2 files come back
+/// [`MsbBackend::Mmap`] with `Arc`-shared sections; v1 files, non-mmap
+/// builds, and unsupported targets silently fall back to the copying
+/// reader. A corrupt file errors through whichever path reports it.
+pub fn read_msb_file_auto(
+    path: impl AsRef<Path>,
+    prefer_mmap: bool,
+) -> Result<(Csr<f64>, MsbBackend), IoError> {
+    #[cfg(feature = "mmap")]
+    if prefer_mmap {
+        if let Ok(a) = map_msb_file(&path) {
+            return Ok((a, MsbBackend::Mmap));
+        }
+        // Fall through: the heap reader either loads the file (v1 /
+        // platform limits) or produces the canonical error for it.
+    }
+    let _ = prefer_mmap;
+    Ok((read_msb_file(path)?, MsbBackend::Heap))
 }
 
 #[cfg(test)]
@@ -402,6 +647,199 @@ mod tests {
         let mut bad = buf.clone();
         bad[colidx_off..colidx_off + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert!(read_msb(bad.as_slice()).is_err());
+    }
+
+    /// A sample with odd nnz, so the v2 alignment pad is actually present.
+    fn sample_odd() -> Csr<f64> {
+        Csr::from_dense(
+            &[
+                vec![Some(1.5), None, Some(-2.0)],
+                vec![None, Some(7.25), None],
+                vec![Some(0.0), Some(4.25), None],
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn v1_streams_still_read() {
+        for a in [sample(), sample_odd(), Csr::empty(4, 4)] {
+            let mut buf = Vec::new();
+            write_msb_version(&mut buf, &a, MSB_VERSION_V1).unwrap();
+            assert_eq!(buf[4], 1, "version byte");
+            let h = read_msb_header(&mut buf.as_slice()).unwrap();
+            assert_eq!(h.version, MSB_VERSION_V1);
+            assert_eq!(h.colidx_pad(), 0, "v1 has no alignment pad");
+            assert_eq!(read_msb(buf.as_slice()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn v2_pad_is_present_iff_nnz_odd() {
+        let (even, odd) = (sample(), sample_odd());
+        assert_eq!(even.nnz() % 2, 0);
+        assert_eq!(odd.nnz() % 2, 1);
+        for (a, pad) in [(&even, 0usize), (&odd, 4)] {
+            let mut buf = Vec::new();
+            write_msb(&mut buf, a).unwrap();
+            let h = read_msb_header(&mut buf.as_slice()).unwrap();
+            assert_eq!(h.version, MSB_VERSION);
+            assert_eq!(h.colidx_pad(), pad);
+            assert_eq!(
+                buf.len(),
+                MSB_HEADER_LEN + 8 * (a.nrows() + 1) + 4 * a.nnz() + pad + 8 * a.nnz()
+            );
+            // The values section starts 8-aligned within the file.
+            assert_eq!((buf.len() - 8 * a.nnz()) % 8, 0);
+            assert_eq!(read_msb(buf.as_slice()).unwrap(), *a);
+        }
+    }
+
+    #[test]
+    fn v2_rejects_nonzero_padding() {
+        let a = sample_odd();
+        let mut buf = Vec::new();
+        write_msb(&mut buf, &a).unwrap();
+        let pad_off = MSB_HEADER_LEN + 8 * (a.nrows() + 1) + 4 * a.nnz();
+        buf[pad_off] = 0xab;
+        assert!(matches!(read_msb(buf.as_slice()), Err(IoError::Format(_))));
+    }
+
+    #[cfg(feature = "mmap")]
+    mod mmap {
+        use super::*;
+
+        fn msb_file(tag: &str, write: impl FnOnce(&mut Vec<u8>)) -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join("mspgemm_io_msb_mmap");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("{tag}.msb"));
+            let mut buf = Vec::new();
+            write(&mut buf);
+            std::fs::write(&path, &buf).unwrap();
+            path
+        }
+
+        #[test]
+        fn mapped_load_is_zero_copy_and_equal() {
+            for (tag, a) in [("even", sample()), ("odd", sample_odd())] {
+                let path = msb_file(tag, |buf| write_msb(&mut *buf, &a).unwrap());
+                let (m, backend) = read_msb_file_auto(&path, true).unwrap();
+                assert_eq!(backend, MsbBackend::Mmap, "{tag}");
+                assert_eq!(m, a, "{tag}");
+                assert!(m.has_shared_storage());
+                let r = m.storage_report();
+                assert_eq!(r.heap_bytes, 0, "no per-section heap copy");
+                assert_eq!(
+                    r.shared_bytes,
+                    8 * (a.nrows() + 1) + 4 * a.nnz() + 8 * a.nnz()
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+
+        #[test]
+        fn matrix_outlives_everything_but_its_mapping() {
+            let a = sample_odd();
+            let path = msb_file("alive", |buf| write_msb(&mut *buf, &a).unwrap());
+            let m = map_msb_file(&path).unwrap();
+            // Derive a pattern (shares rowptr/colidx with the mapping),
+            // drop the original, and read through the clone.
+            let p = m.pattern();
+            drop(m);
+            assert_eq!(p.nnz(), a.nnz());
+            assert_eq!(p.row_cols(2), a.row_cols(2));
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn v1_files_fall_back_to_heap() {
+            let a = sample();
+            let path = msb_file("v1", |buf| {
+                write_msb_version(&mut *buf, &a, MSB_VERSION_V1).unwrap()
+            });
+            assert!(matches!(map_msb_file(&path), Err(IoError::Format(_))));
+            let (m, backend) = read_msb_file_auto(&path, true).unwrap();
+            assert_eq!(backend, MsbBackend::Heap);
+            assert_eq!(m, a);
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn not_preferring_mmap_stays_on_heap() {
+            let a = sample();
+            let path = msb_file("heap", |buf| write_msb(&mut *buf, &a).unwrap());
+            let (m, backend) = read_msb_file_auto(&path, false).unwrap();
+            assert_eq!(backend, MsbBackend::Heap);
+            assert!(!m.has_shared_storage());
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn mapped_load_rejects_corruption_without_ub() {
+            let a = sample_odd();
+            let mut good = Vec::new();
+            write_msb(&mut good, &a).unwrap();
+            // Truncations at every section boundary and interior points.
+            for cut in [0, 10, 39, 40, 72, good.len() - 5, good.len() - 1] {
+                let path = msb_file("trunc", |buf| buf.extend_from_slice(&good[..cut]));
+                assert!(map_msb_file(&path).is_err(), "accepted truncation at {cut}");
+            }
+            // Trailing garbage.
+            let path = msb_file("trail", |buf| {
+                buf.extend_from_slice(&good);
+                buf.push(0);
+            });
+            assert!(map_msb_file(&path).is_err());
+            // Corrupt interior rowptr (would be an OOB slice if trusted).
+            let path = msb_file("rowptr", |buf| {
+                buf.extend_from_slice(&good);
+                buf[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+            });
+            assert!(map_msb_file(&path).is_err());
+            // Absurd header dims must fail without huge allocations.
+            let path = msb_file("dims", |buf| {
+                buf.extend_from_slice(&good);
+                buf[32..40].copy_from_slice(&(1u64 << 60).to_le_bytes());
+            });
+            assert!(map_msb_file(&path).is_err());
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn kernels_run_on_mapped_operands() {
+            // End-to-end: an mmap-backed operand flows through the push
+            // kernels and fingerprints identically to its heap twin.
+            let g = mspgemm_gen::er_symmetric(60, 6, 13);
+            let path = msb_file("kernel", |buf| write_msb(&mut *buf, &g).unwrap());
+            let mapped = map_msb_file(&path).unwrap();
+            assert!(mapped.has_shared_storage());
+            use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+            use mspgemm_sparse::semiring::PlusTimesF64;
+            let heap_c = masked_mxm::<PlusTimesF64, ()>(
+                &g.pattern(),
+                &g,
+                &g,
+                Algorithm::Hash,
+                MaskMode::Mask,
+                Phases::One,
+            )
+            .unwrap();
+            let map_c = masked_mxm::<PlusTimesF64, ()>(
+                &mapped.pattern(),
+                &mapped,
+                &mapped,
+                Algorithm::Hash,
+                MaskMode::Mask,
+                Phases::One,
+            )
+            .unwrap();
+            assert_eq!(heap_c, map_c);
+            assert_eq!(
+                mspgemm_harness::csr_fingerprint(&heap_c),
+                mspgemm_harness::csr_fingerprint(&map_c)
+            );
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

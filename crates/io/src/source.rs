@@ -7,7 +7,7 @@
 //! stand-ins" identically.
 
 use crate::error::IoError;
-use crate::load::{load_graph_with, CachePolicy, Format};
+use crate::load::{load_graph_opts, CachePolicy, Format, LoadOpts};
 use mspgemm_gen::{build_suite, SuiteGraph, SuiteSize};
 use std::path::{Path, PathBuf};
 
@@ -53,6 +53,16 @@ impl DatasetSource {
         policy: CachePolicy,
         parse_threads: usize,
     ) -> Result<Vec<SuiteGraph>, IoError> {
+        self.load_opts(&LoadOpts {
+            policy,
+            parse_threads,
+            mmap: false,
+        })
+    }
+
+    /// [`DatasetSource::load`] with full [`LoadOpts`] (cache policy,
+    /// parse fan-out, zero-copy mmap preference for `.msb` datasets).
+    pub fn load_opts(&self, opts: &LoadOpts) -> Result<Vec<SuiteGraph>, IoError> {
         match self {
             DatasetSource::Synthetic(size) => Ok(build_suite(*size)),
             DatasetSource::Dir(dir) => {
@@ -63,9 +73,9 @@ impl DatasetSource {
                         format!("no .mtx/.mm/.msb files in {}", dir.display()),
                     )));
                 }
-                load_files(&files, policy, parse_threads)
+                load_files(&files, opts)
             }
-            DatasetSource::Files(files) => load_files(files, policy, parse_threads),
+            DatasetSource::Files(files) => load_files(files, opts),
         }
     }
 }
@@ -98,15 +108,11 @@ pub fn matrix_files_in(dir: &Path) -> Result<Vec<PathBuf>, IoError> {
     Ok(files)
 }
 
-fn load_files(
-    files: &[PathBuf],
-    policy: CachePolicy,
-    parse_threads: usize,
-) -> Result<Vec<SuiteGraph>, IoError> {
+fn load_files(files: &[PathBuf], opts: &LoadOpts) -> Result<Vec<SuiteGraph>, IoError> {
     files
         .iter()
         .map(|p| {
-            let (adj, _) = load_graph_with(p, policy, parse_threads).map_err(|e| match e {
+            let (adj, _) = load_graph_opts(p, opts).map_err(|e| match e {
                 IoError::Parse { line, msg } => IoError::Parse {
                     line,
                     msg: format!("{}: {msg}", p.display()),

@@ -29,8 +29,10 @@ proptest! {
         let b = read_msb(buf.as_slice()).unwrap();
         // f64 bits survive exactly: PartialEq on Csr compares values.
         prop_assert_eq!(&a, &b);
-        // And the declared size is exact: header + sections, no slack.
-        prop_assert_eq!(buf.len(), 40 + 8 * (a.nrows() + 1) + 4 * a.nnz() + 8 * a.nnz());
+        // And the declared size is exact: header + sections + the v2
+        // alignment pad (4 bytes iff nnz is odd), no slack.
+        let pad = (8 - (4 * a.nnz()) % 8) % 8;
+        prop_assert_eq!(buf.len(), 40 + 8 * (a.nrows() + 1) + 4 * a.nnz() + pad + 8 * a.nnz());
     }
 
     #[test]

@@ -145,6 +145,17 @@ pub fn opt_str<'a>(req: &'a Json, field: &str) -> Result<Option<&'a str>, String
     }
 }
 
+/// Optional boolean field with a default; `Err` when present with the
+/// wrong type.
+pub fn opt_bool(req: &Json, field: &str, default: bool) -> Result<bool, String> {
+    match req.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("'{field}' must be a boolean")),
+    }
+}
+
 /// Optional non-negative integer field with a default.
 pub fn opt_u64(req: &Json, field: &str, default: u64) -> Result<u64, String> {
     match req.get(field) {

@@ -20,7 +20,8 @@
 use masked_spgemm::Error as MxmError;
 use mspgemm_graph::tricount::{self, TcOperands};
 use mspgemm_io::{
-    dataset_name, load_matrix_report, to_adjacency, AdjacencyStats, CachePolicy, IngestReport,
+    dataset_name, load_matrix_opts, to_adjacency, AdjacencyStats, IngestReport, LoadOpts,
+    MsbBackend,
 };
 use mspgemm_sparse::{transpose, Csr};
 use std::collections::HashMap;
@@ -68,15 +69,12 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Load a dataset from disk and derive the resident operands.
-    pub fn load(
-        path: &str,
-        name: Option<&str>,
-        policy: CachePolicy,
-        parse_threads: usize,
-    ) -> Result<Dataset, String> {
-        let (matrix, ingest) =
-            load_matrix_report(path, policy, parse_threads).map_err(|e| format!("{path}: {e}"))?;
+    /// Load a dataset from disk and derive the resident operands. With
+    /// `opts.mmap`, a v2 `.msb` input or fresh sidecar backs the raw
+    /// matrix (and its pattern mask, which shares `rowptr`/`colidx`)
+    /// zero-copy by the mapped file.
+    pub fn load(path: &str, name: Option<&str>, opts: &LoadOpts) -> Result<Dataset, String> {
+        let (matrix, ingest) = load_matrix_opts(path, opts).map_err(|e| format!("{path}: {e}"))?;
         if matrix.nrows() != matrix.ncols() {
             return Err(format!(
                 "{path}: the server holds square matrices (graphs); got {}x{}",
@@ -131,6 +129,30 @@ impl Dataset {
             + csr_mem_bytes(&self.adj)
             + tc
     }
+
+    /// How the raw matrix got resident (`heap` or zero-copy `mmap`).
+    pub fn backend(&self) -> MsbBackend {
+        self.ingest.backend
+    }
+
+    /// Bytes of resident sections that are mmap-shared rather than
+    /// heap-owned, across every held operand (the raw matrix, its mask —
+    /// which shares the mapping — and the derived operands, which are
+    /// heap-built and contribute 0).
+    pub fn mapped_bytes(&self) -> u64 {
+        let tc = self
+            .tc_ops
+            .get()
+            .map(|ops| {
+                (ops.l.storage_report().shared_bytes + ops.lt.storage_report().shared_bytes) as u64
+            })
+            .unwrap_or(0);
+        (self.matrix.storage_report().shared_bytes
+            + self.mask.storage_report().shared_bytes
+            + self.matrix_t.storage_report().shared_bytes
+            + self.adj.storage_report().shared_bytes) as u64
+            + tc
+    }
 }
 
 /// Reasons a registry operation can fail, mapped to protocol error codes
@@ -181,8 +203,7 @@ impl Registry {
         &self,
         path: &str,
         name: Option<&str>,
-        policy: CachePolicy,
-        parse_threads: usize,
+        opts: &LoadOpts,
     ) -> Result<Arc<Dataset>, RegistryError> {
         // Ingest outside the write lock: a slow parse must not block
         // concurrent readers. The name collision is re-checked on insert.
@@ -192,9 +213,7 @@ impl Registry {
         if self.map.read().unwrap().contains_key(&key) {
             return Err(RegistryError::AlreadyLoaded(key));
         }
-        let ds = Arc::new(
-            Dataset::load(path, Some(&key), policy, parse_threads).map_err(RegistryError::Load)?,
-        );
+        let ds = Arc::new(Dataset::load(path, Some(&key), opts).map_err(RegistryError::Load)?);
         let mut map = self.map.write().unwrap();
         if map.contains_key(&key) {
             return Err(RegistryError::AlreadyLoaded(key));
@@ -245,6 +264,15 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mspgemm_io::CachePolicy;
+
+    fn off_opts() -> LoadOpts {
+        LoadOpts {
+            policy: CachePolicy::Off,
+            parse_threads: 1,
+            mmap: false,
+        }
+    }
 
     fn fixture_dir() -> std::path::PathBuf {
         let d = std::env::temp_dir().join("mspgemm_serve_registry");
@@ -263,9 +291,7 @@ mod tests {
         let mtx = dir.join("cycle.mtx");
         write_graph(&mtx);
         let reg = Registry::new();
-        let ds = reg
-            .load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1)
-            .unwrap();
+        let ds = reg.load(mtx.to_str().unwrap(), None, &off_opts()).unwrap();
         assert_eq!(ds.name, "cycle");
         assert_eq!(ds.matrix.nrows(), 80);
         assert_eq!(ds.mask.nnz(), ds.matrix.nnz());
@@ -273,7 +299,7 @@ mod tests {
         assert!(ds.mem_bytes() > 0);
 
         assert!(matches!(
-            reg.load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1),
+            reg.load(mtx.to_str().unwrap(), None, &off_opts()),
             Err(RegistryError::AlreadyLoaded(_))
         ));
         assert_eq!(reg.list().len(), 1);
@@ -290,7 +316,7 @@ mod tests {
         let dir = fixture_dir();
         let mtx = dir.join("tc.mtx");
         write_graph(&mtx);
-        let ds = Dataset::load(mtx.to_str().unwrap(), Some("tc"), CachePolicy::Off, 1).unwrap();
+        let ds = Dataset::load(mtx.to_str().unwrap(), Some("tc"), &off_opts()).unwrap();
         let before = ds.mem_bytes();
         let a = ds.tc_operands();
         let b = ds.tc_operands();
@@ -305,7 +331,7 @@ mod tests {
         let mtx = dir.join("rect.mtx");
         let rect = Csr::from_dense(&[vec![Some(1.0), None, None]], 3);
         mspgemm_io::mtx::write_mtx_file(&mtx, &rect).unwrap();
-        let err = match Dataset::load(mtx.to_str().unwrap(), None, CachePolicy::Off, 1) {
+        let err = match Dataset::load(mtx.to_str().unwrap(), None, &off_opts()) {
             Err(e) => e,
             Ok(_) => panic!("rectangular matrix must be rejected"),
         };

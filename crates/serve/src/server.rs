@@ -17,7 +17,7 @@
 
 use crate::json::{self, Json};
 use crate::protocol::{
-    err_response, ok_response, opt_str, opt_u64, read_frame, req_str, ErrorCode, Frame,
+    err_response, ok_response, opt_bool, opt_str, opt_u64, read_frame, req_str, ErrorCode, Frame,
     MAX_REQUEST_BYTES,
 };
 use crate::registry::{Registry, RegistryError};
@@ -27,7 +27,7 @@ use masked_spgemm::{
 };
 use mspgemm_graph::{bc, ktruss, tricount, App, Scheme};
 use mspgemm_harness::{busy_spread, csr_fingerprint, gflops, mb_per_s, time_best, with_threads};
-use mspgemm_io::CachePolicy;
+use mspgemm_io::{CachePolicy, LoadOpts};
 use mspgemm_sparse::semiring::PlusTimesF64;
 use mspgemm_sparse::Csr;
 use std::io::{BufRead, BufReader, Write};
@@ -50,6 +50,9 @@ pub struct ServeConfig {
     /// Sidecar cache policy for `load` (default: read/write, so the
     /// first text load warms the `.msb` sidecar).
     pub cache: CachePolicy,
+    /// Prefer zero-copy mmap residency for v2 `.msb` inputs/sidecars
+    /// (`mxm serve --mmap`); requests can override per `load`.
+    pub mmap: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +61,7 @@ impl Default for ServeConfig {
             schedule: RowSchedule::default(),
             parse_threads: 0,
             cache: CachePolicy::ReadWrite,
+            mmap: false,
         }
     }
 }
@@ -184,8 +188,11 @@ impl Server {
                     .load(
                         p,
                         None,
-                        self.state.config.cache,
-                        self.state.config.parse_threads,
+                        &LoadOpts {
+                            policy: self.state.config.cache,
+                            parse_threads: self.state.config.parse_threads,
+                            mmap: self.state.config.mmap,
+                        },
                     )
                     .map(|ds| ds.name.clone())
                     .map_err(|e| e.to_string())
@@ -508,9 +515,18 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
             )))
         }
     };
+    let mmap = opt_bool(req, "mmap", state.config.mmap).map_err(bad)?;
     let ds = state
         .registry
-        .load(path, name, cache, parse_threads)
+        .load(
+            path,
+            name,
+            &LoadOpts {
+                policy: cache,
+                parse_threads,
+                mmap,
+            },
+        )
         .map_err(reg_err)?;
     let r = &ds.ingest;
     Ok(ok_response(vec![
@@ -522,6 +538,8 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         ("nnz", ds.matrix.nnz().into()),
         ("adj_nnz", ds.adj.nnz().into()),
         ("mem_bytes", ds.mem_bytes().into()),
+        ("backend", Json::str(ds.backend().name())),
+        ("mapped_bytes", ds.mapped_bytes().into()),
         (
             "ingest",
             Json::obj(vec![
@@ -548,6 +566,8 @@ fn op_list(state: &ServerState) -> OpResult {
                 ("nnz", ds.matrix.nnz().into()),
                 ("adj_nnz", ds.adj.nnz().into()),
                 ("mem_bytes", ds.mem_bytes().into()),
+                ("backend", Json::str(ds.backend().name())),
+                ("mapped_bytes", ds.mapped_bytes().into()),
                 ("age_seconds", ds.loaded_at.elapsed().as_secs_f64().into()),
             ])
         })
@@ -762,18 +782,22 @@ fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn op_stats(state: &ServerState) -> OpResult {
-    let datasets: Vec<Json> = state
-        .registry
-        .list()
+    // One registry snapshot for the array AND the totals, so they always
+    // agree even when loads/unloads race this request.
+    let resident = state.registry.list();
+    let datasets: Vec<Json> = resident
         .iter()
         .map(|ds| {
             Json::obj(vec![
                 ("name", Json::str(&ds.name)),
                 ("mem_bytes", ds.mem_bytes().into()),
+                ("backend", Json::str(ds.backend().name())),
+                ("mapped_bytes", ds.mapped_bytes().into()),
             ])
         })
         .collect();
-    let total_mem: u64 = state.registry.list().iter().map(|ds| ds.mem_bytes()).sum();
+    let total_mem: u64 = resident.iter().map(|ds| ds.mem_bytes()).sum();
+    let total_mapped: u64 = resident.iter().map(|ds| ds.mapped_bytes()).sum();
     let hits = state.ws_pool.hits();
     let misses = state.ws_pool.misses();
     let takes = hits + misses;
@@ -793,6 +817,7 @@ fn op_stats(state: &ServerState) -> OpResult {
         ("requests", state.requests().into()),
         ("datasets", Json::Arr(datasets)),
         ("total_mem_bytes", total_mem.into()),
+        ("total_mapped_bytes", total_mapped.into()),
         (
             "pool",
             Json::obj(vec![
@@ -978,6 +1003,50 @@ mod tests {
             err_code(&state, r#"{"op":"app","dataset":"g","app":"ktruss","k":2}"#),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn load_and_stats_report_backend_and_mapped_bytes() {
+        // Heap-loaded text dataset: backend "heap", zero mapped bytes.
+        let (state, path) = state_with("backend_heap", 60);
+        let resp = ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        assert_eq!(resp.get("backend").unwrap().as_str(), Some("heap"));
+        assert_eq!(resp.get("mapped_bytes").unwrap().as_u64(), Some(0));
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        let ds = &stats.get("datasets").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ds.get("backend").unwrap().as_str(), Some("heap"));
+        assert_eq!(stats.get("total_mapped_bytes").unwrap().as_u64(), Some(0));
+
+        // A v2 .msb loaded with "mmap": true comes back mapped (on
+        // targets that support zero-copy; elsewhere it stays heap).
+        let dir = std::env::temp_dir().join("mspgemm_serve_server_backend_mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let msb = dir.join("m.msb");
+        let g = mspgemm_gen::er_symmetric(60, 6, 3);
+        let mut buf = Vec::new();
+        mspgemm_io::msb::write_msb(&mut buf, &g).unwrap();
+        std::fs::write(&msb, &buf).unwrap();
+        let resp = ok(
+            &state,
+            &format!(
+                r#"{{"op":"load","path":"{}","name":"m","mmap":true}}"#,
+                msb.to_str().unwrap()
+            ),
+        );
+        if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+            assert_eq!(resp.get("backend").unwrap().as_str(), Some("mmap"));
+            assert!(resp.get("mapped_bytes").unwrap().as_u64().unwrap() > 0);
+            let stats = ok(&state, r#"{"op":"stats"}"#);
+            assert!(stats.get("total_mapped_bytes").unwrap().as_u64().unwrap() > 0);
+        }
+        // Results off a mapped operand agree with the heap-loaded twin.
+        let m1 = ok(&state, r#"{"op":"mxm","dataset":"m","algo":"hash"}"#);
+        assert!(m1.get("fingerprint").unwrap().as_str().is_some());
+        ok(&state, r#"{"op":"unload","name":"m"}"#);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Heap and Inner kernels rely on this invariant and every kernel in this
 //! workspace preserves it.
 
+use crate::storage::Storage;
 use crate::util::UnsafeSlice;
+use crate::view::CsrRef;
 use crate::Idx;
 use rayon::prelude::*;
 
@@ -14,13 +16,42 @@ use rayon::prelude::*;
 /// * Column indices are strictly increasing within each row (no duplicates).
 /// * `T = ()` gives a pattern-only matrix (e.g. a structural mask; §2 notes
 ///   masked SpGEMM never reads mask values).
-#[derive(Clone, PartialEq)]
+///
+/// Each section is a [`Storage`] — owned heap vectors on every
+/// construction path, or `Arc`-shared views (e.g. into an mmap'd `.msb`
+/// file) via [`Csr::try_from_storage`]. Backing is invisible to readers:
+/// accessors return plain slices, equality and fingerprints compare
+/// content, and the mutation entry points copy shared sections to the
+/// heap first. Read-only consumers borrow the whole matrix as a
+/// [`CsrRef`] via [`Csr::view`].
+#[derive(Clone)]
 pub struct Csr<T> {
     nrows: usize,
     ncols: usize,
-    rowptr: Vec<usize>,
-    colidx: Vec<Idx>,
-    values: Vec<T>,
+    rowptr: Storage<usize>,
+    colidx: Storage<Idx>,
+    values: Storage<T>,
+}
+
+/// Content equality — backing (heap vs shared/mmap) is invisible.
+impl<T: PartialEq> PartialEq for Csr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr.as_slice() == other.rowptr.as_slice()
+            && self.colidx.as_slice() == other.colidx.as_slice()
+            && self.values.as_slice() == other.values.as_slice()
+    }
+}
+
+/// Byte totals of a matrix's sections split by backing — the raw material
+/// of the serving layer's resident-memory stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Bytes in heap-owned sections.
+    pub heap_bytes: usize,
+    /// Bytes in shared (e.g. mmap-backed) sections.
+    pub shared_bytes: usize,
 }
 
 impl<T> Csr<T> {
@@ -29,9 +60,9 @@ impl<T> Csr<T> {
         Self {
             nrows,
             ncols,
-            rowptr: vec![0; nrows + 1],
-            colidx: Vec::new(),
-            values: Vec::new(),
+            rowptr: vec![0; nrows + 1].into(),
+            colidx: Vec::new().into(),
+            values: Vec::new().into(),
         }
     }
 
@@ -58,10 +89,84 @@ impl<T> Csr<T> {
         Ok(Self {
             nrows,
             ncols,
+            rowptr: rowptr.into(),
+            colidx: colidx.into(),
+            values: values.into(),
+        })
+    }
+
+    /// Build from already-backed sections ([`Storage::Owned`] or
+    /// [`Storage::Shared`]), validating every invariant — the entry point
+    /// of the zero-copy `.msb` loader, which passes `Shared` sections
+    /// viewing an mmap kept alive by their owner `Arc`.
+    ///
+    /// # Errors
+    /// Returns a message describing the first violated invariant.
+    pub fn try_from_storage(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Storage<usize>,
+        colidx: Storage<Idx>,
+        values: Storage<T>,
+    ) -> Result<Self, String> {
+        if colidx.len() != values.len() {
+            return Err(format!(
+                "colidx.len() {} != values.len() {}",
+                colidx.len(),
+                values.len()
+            ));
+        }
+        validate_pattern(nrows, ncols, &rowptr, &colidx)?;
+        Ok(Self {
+            nrows,
+            ncols,
             rowptr,
             colidx,
             values,
         })
+    }
+
+    /// Borrow the whole matrix as a [`CsrRef`] — the view type every
+    /// read-only kernel path consumes.
+    #[inline]
+    pub fn view(&self) -> CsrRef<'_, T> {
+        CsrRef::new_trusted(
+            self.nrows,
+            self.ncols,
+            self.rowptr.as_slice(),
+            self.colidx.as_slice(),
+            self.values.as_slice(),
+        )
+    }
+
+    /// Whether any section is [`Storage::Shared`] (e.g. mmap-backed).
+    pub fn has_shared_storage(&self) -> bool {
+        self.rowptr.is_shared() || self.colidx.is_shared() || self.values.is_shared()
+    }
+
+    /// Per-backing byte totals of the three sections.
+    pub fn storage_report(&self) -> StorageReport {
+        let mut r = StorageReport::default();
+        let mut add = |shared: bool, bytes: usize| {
+            if shared {
+                r.shared_bytes += bytes;
+            } else {
+                r.heap_bytes += bytes;
+            }
+        };
+        add(
+            self.rowptr.is_shared(),
+            std::mem::size_of_val(self.rowptr.as_slice()),
+        );
+        add(
+            self.colidx.is_shared(),
+            std::mem::size_of_val(self.colidx.as_slice()),
+        );
+        add(
+            self.values.is_shared(),
+            std::mem::size_of_val(self.values.as_slice()),
+        );
+        r
     }
 
     /// Build from raw parts without validation (debug builds still assert).
@@ -83,9 +188,9 @@ impl<T> Csr<T> {
         Self {
             nrows,
             ncols,
-            rowptr,
-            colidx,
-            values,
+            rowptr: rowptr.into(),
+            colidx: colidx.into(),
+            values: values.into(),
         }
     }
 
@@ -126,9 +231,14 @@ impl<T> Csr<T> {
     }
 
     /// Mutable access to values (pattern is fixed, values may be edited).
+    /// A shared-backed values section is copied to the heap first
+    /// (copy-on-write — mapped backings are immutable).
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [T] {
-        &mut self.values
+    pub fn values_mut(&mut self) -> &mut [T]
+    where
+        T: Clone,
+    {
+        self.values.make_mut()
     }
 
     /// Number of stored entries in row `i`.
@@ -175,14 +285,16 @@ impl<T> Csr<T> {
         self.colidx.is_empty()
     }
 
-    /// Map values (pattern preserved).
+    /// Map values (pattern preserved). The `rowptr`/`colidx` sections are
+    /// cloned as storage — for a shared-backed matrix the result shares
+    /// them (an mmap-backed matrix's pattern mask copies nothing).
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Csr<U> {
         Csr {
             nrows: self.nrows,
             ncols: self.ncols,
             rowptr: self.rowptr.clone(),
             colidx: self.colidx.clone(),
-            values: self.values.iter().map(f).collect(),
+            values: self.values.iter().map(f).collect::<Vec<U>>().into(),
         }
     }
 
@@ -204,16 +316,7 @@ impl<T> Csr<T> {
         T: Sync,
         U: Sync,
     {
-        assert_eq!(self.ncols, b.nrows, "flops_with: inner dimensions differ");
-        (0..self.nrows)
-            .into_par_iter()
-            .map(|i| {
-                self.row_cols(i)
-                    .iter()
-                    .map(|&k| b.row_nnz(k as usize) as u64)
-                    .sum::<u64>()
-            })
-            .sum()
+        self.view().flops_with(b.view())
     }
 
     /// Per-row multiply counts of the push product `self·b` (no 2× factor).
@@ -222,19 +325,7 @@ impl<T> Csr<T> {
         T: Sync,
         U: Sync,
     {
-        assert_eq!(
-            self.ncols, b.nrows,
-            "row_flops_with: inner dimensions differ"
-        );
-        (0..self.nrows)
-            .into_par_iter()
-            .map(|i| {
-                self.row_cols(i)
-                    .iter()
-                    .map(|&k| b.row_nnz(k as usize) as u64)
-                    .sum::<u64>()
-            })
-            .collect()
+        self.view().row_flops_with(b.view())
     }
 }
 
@@ -269,9 +360,9 @@ impl<T: Copy + Send + Sync> Csr<T> {
         Self {
             nrows,
             ncols,
-            rowptr,
-            colidx,
-            values,
+            rowptr: rowptr.into(),
+            colidx: colidx.into(),
+            values: values.into(),
         }
     }
 
@@ -280,9 +371,9 @@ impl<T: Copy + Send + Sync> Csr<T> {
         Self {
             nrows: n,
             ncols: n,
-            rowptr: (0..=n).collect(),
-            colidx: (0..n as Idx).collect(),
-            values: vec![value; n],
+            rowptr: (0..=n).collect::<Vec<_>>().into(),
+            colidx: (0..n as Idx).collect::<Vec<_>>().into(),
+            values: vec![value; n].into(),
         }
     }
 
@@ -344,9 +435,9 @@ impl<T: Copy + Send + Sync> Csr<T> {
             return Self {
                 nrows,
                 ncols,
-                rowptr,
-                colidx: tmp_cols,
-                values: tmp_vals,
+                rowptr: rowptr.into(),
+                colidx: tmp_cols.into(),
+                values: tmp_vals.into(),
             };
         }
         let mut colidx = vec![0 as Idx; nnz];
@@ -368,15 +459,16 @@ impl<T: Copy + Send + Sync> Csr<T> {
         Self {
             nrows,
             ncols,
-            rowptr,
-            colidx,
-            values,
+            rowptr: rowptr.into(),
+            colidx: colidx.into(),
+            values: values.into(),
         }
     }
 }
 
-/// Validate the structural (pattern) invariants of a CSR triple.
-fn validate_pattern(
+/// Validate the structural (pattern) invariants of a CSR triple (shared
+/// with [`CsrRef`]'s view validation).
+pub(crate) fn validate_pattern(
     nrows: usize,
     ncols: usize,
     rowptr: &[usize],
@@ -588,6 +680,69 @@ mod tests {
         assert_eq!(p.nnz(), a.nnz());
         let doubled = a.map(|v| v * 2.0);
         assert_eq!(doubled.get(2, 1), Some(&8.0));
+    }
+
+    #[test]
+    fn shared_storage_is_invisible_to_readers() {
+        use crate::storage::SharedSlice;
+        let owned = small();
+        let shared = Csr::try_from_storage(
+            3,
+            3,
+            SharedSlice::from_vec(vec![0usize, 2, 2, 4]).into(),
+            SharedSlice::from_vec(vec![0 as Idx, 2, 0, 1]).into(),
+            SharedSlice::from_vec(vec![1.0, 2.0, 3.0, 4.0]).into(),
+        )
+        .unwrap();
+        assert_eq!(owned, shared);
+        assert!(shared.has_shared_storage());
+        assert!(!owned.has_shared_storage());
+        let r = shared.storage_report();
+        assert_eq!(r.heap_bytes, 0);
+        assert_eq!(r.shared_bytes, 4 * 8 + 4 * 4 + 4 * 8);
+        let r = owned.storage_report();
+        assert_eq!(r.shared_bytes, 0);
+        assert_eq!(r.heap_bytes, 4 * 8 + 4 * 4 + 4 * 8);
+        // Accessors read through the shared backing.
+        assert_eq!(shared.row_cols(0), &[0, 2]);
+        assert_eq!(shared.get(2, 1), Some(&4.0));
+        // Derived matrices share the pattern sections instead of copying.
+        let p = shared.pattern();
+        assert!(p.has_shared_storage());
+        assert_eq!(p.storage_report().heap_bytes, 0, "pattern values are ()");
+        // A clone is cheap and still equal.
+        assert_eq!(shared.clone(), owned);
+    }
+
+    #[test]
+    fn shared_storage_validation_rejects_corrupt_sections() {
+        use crate::storage::SharedSlice;
+        let r = Csr::try_from_storage(
+            2,
+            2,
+            SharedSlice::from_vec(vec![0usize, 3, 1]).into(),
+            SharedSlice::from_vec(vec![0 as Idx]).into(),
+            SharedSlice::from_vec(vec![1.0]).into(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn values_mut_copies_shared_sections_on_write() {
+        use crate::storage::SharedSlice;
+        let mut shared = Csr::try_from_storage(
+            1,
+            2,
+            SharedSlice::from_vec(vec![0usize, 2]).into(),
+            SharedSlice::from_vec(vec![0 as Idx, 1]).into(),
+            SharedSlice::from_vec(vec![1.0, 2.0]).into(),
+        )
+        .unwrap();
+        shared.values_mut()[0] = 9.0;
+        assert_eq!(shared.values(), &[9.0, 2.0]);
+        // rowptr/colidx stay shared; only values detached.
+        assert!(shared.has_shared_storage());
+        assert_eq!(shared.storage_report().heap_bytes, 2 * 8);
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //! the workspace builds on:
 //!
 //! * [`Csr`] — compressed sparse row with sorted, duplicate-free rows;
-//!   `Csr<()>` doubles as a structural pattern/mask.
+//!   `Csr<()>` doubles as a structural pattern/mask. Sections are
+//!   [`storage::Storage`]-backed: owned heap vectors, or `Arc`-shared
+//!   views into externally owned memory (the zero-copy mmap'd `.msb`
+//!   path in `mspgemm-io`).
+//! * [`CsrRef`] — the borrowed CSR view read-only consumers (kernels,
+//!   flop prefix sums, fingerprinting) take; `Csr::view()` produces it
+//!   whatever the backing.
 //! * [`Coo`] — triplet assembly format with canonicalization.
 //! * [`transpose()`] — parallel scan-based transpose (CSC is represented as
 //!   the transpose stored in CSR).
@@ -29,9 +35,11 @@ pub mod coo;
 pub mod csr;
 pub mod ops;
 pub mod semiring;
+pub mod storage;
 pub mod transpose;
 pub mod util;
 pub mod vec;
+pub mod view;
 
 /// Column/row index type. 32 bits halves the memory traffic of the index
 /// streams relative to `usize` — the paper's algorithms are memory-bound
@@ -39,7 +47,9 @@ pub mod vec;
 pub type Idx = u32;
 
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, StorageReport};
 pub use semiring::Semiring;
+pub use storage::{SectionOwner, SharedSlice, Storage};
 pub use transpose::transpose;
 pub use vec::SparseVec;
+pub use view::CsrRef;

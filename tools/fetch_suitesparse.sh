@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# fetch_suitesparse.sh — download the paper's SuiteSparse matrix set into
+# a directory that `mxm suite --source DIR` (and `mxm serve` preloads)
+# consume directly.
+#
+# OPERATOR-RUN ONLY: this script needs outbound network access, which CI
+# does not have (the CI suite runs on synthetic generators and the
+# bundled fixture instead). Run it once on a workstation; afterwards
+# everything is local:
+#
+#   tools/fetch_suitesparse.sh ~/datasets/suitesparse
+#   mxm suite --app tc --source ~/datasets/suitesparse --json tc.json
+#
+# Matrices arrive as Matrix Market text. The first `mxm` load of each
+# writes a v2 `.msb` sidecar next to it (8-byte-aligned binary CSR), so
+# every later run — and `mxm run/serve --mmap` — skips text parsing and
+# can map the dataset zero-copy. To pre-warm the sidecars in one pass:
+#
+#   for f in ~/datasets/suitesparse/*.mtx; do mxm convert "$f" "${f%.mtx}.msb"; done
+#
+# Usage:
+#   tools/fetch_suitesparse.sh [-n] [-o GROUP/NAME] DEST_DIR
+#     -n            dry run: print what would be fetched
+#     -o G/N        fetch only the named matrix (repeatable)
+#     DEST_DIR      created if absent; existing .mtx files are skipped
+
+set -euo pipefail
+
+# The evaluation set: Group/Name pairs in the SuiteSparse collection
+# (https://sparse.tamu.edu). These are the real-world graphs the paper's
+# TC / k-truss / BC experiments sweep — SNAP social/web/road networks,
+# LAW web crawls, and DIMACS10 meshes spanning ~1e5..1e9 nonzeros. Trim
+# or extend the list freely; the suite treats whatever lands in DEST_DIR
+# as the dataset sweep.
+MATRICES=(
+  SNAP/ca-HepTh
+  SNAP/ca-AstroPh
+  SNAP/email-Enron
+  SNAP/loc-Gowalla
+  SNAP/com-Youtube
+  SNAP/com-DBLP
+  SNAP/com-Amazon
+  SNAP/com-LiveJournal
+  SNAP/com-Orkut
+  SNAP/cit-Patents
+  SNAP/soc-Epinions1
+  SNAP/soc-Slashdot0902
+  SNAP/soc-Pokec
+  SNAP/soc-LiveJournal1
+  SNAP/web-Google
+  SNAP/web-Stanford
+  SNAP/web-BerkStan
+  SNAP/web-NotreDame
+  SNAP/wiki-Talk
+  SNAP/as-Skitter
+  SNAP/roadNet-CA
+  LAW/in-2004
+  LAW/indochina-2004
+  DIMACS10/belgium_osm
+  DIMACS10/coPapersDBLP
+  DIMACS10/kron_g500-logn18
+)
+
+BASE_URL="https://suitesparse-collection-website.herokuapp.com/MM"
+
+dry_run=0
+only=()
+while getopts "no:h" opt; do
+  case "$opt" in
+    n) dry_run=1 ;;
+    o) only+=("$OPTARG") ;;
+    h)
+      sed -n '2,30p' "$0"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ $# -ne 1 ]; then
+  echo "usage: $0 [-n] [-o GROUP/NAME] DEST_DIR" >&2
+  exit 2
+fi
+dest="$1"
+mkdir -p "$dest"
+
+if [ ${#only[@]} -gt 0 ]; then
+  MATRICES=("${only[@]}")
+fi
+
+fetch() {
+  # curl where available, wget otherwise — whichever the workstation has.
+  local url="$1" out="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsSL --retry 3 -o "$out" "$url"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -q -O "$out" "$url"
+  else
+    echo "error: need curl or wget on PATH" >&2
+    exit 1
+  fi
+}
+
+fetched=0 skipped=0 failed=0
+for gm in "${MATRICES[@]}"; do
+  group="${gm%%/*}"
+  name="${gm##*/}"
+  final="$dest/$name.mtx"
+  if [ -e "$final" ]; then
+    echo "skip  $gm (already have $final)"
+    skipped=$((skipped + 1))
+    continue
+  fi
+  if [ "$dry_run" = 1 ]; then
+    echo "would fetch $BASE_URL/$group/$name.tar.gz -> $final"
+    continue
+  fi
+  echo "fetch $gm ..."
+  tmp="$(mktemp -d "$dest/.fetch.$name.XXXXXX")"
+  if fetch "$BASE_URL/$group/$name.tar.gz" "$tmp/$name.tar.gz" \
+    && tar -xzf "$tmp/$name.tar.gz" -C "$tmp"; then
+    # Archives unpack to NAME/NAME.mtx plus optional metadata files the
+    # suite does not use. Move the matrix out; land it atomically so an
+    # interrupted fetch never leaves a truncated .mtx for a sweep to eat.
+    if [ -f "$tmp/$name/$name.mtx" ]; then
+      mv "$tmp/$name/$name.mtx" "$final.part" && mv "$final.part" "$final"
+      echo "  ok  $final ($(du -h "$final" | cut -f1))"
+      fetched=$((fetched + 1))
+    else
+      echo "  error: $name.tar.gz did not contain $name/$name.mtx" >&2
+      failed=$((failed + 1))
+    fi
+  else
+    echo "  error: download/extract failed for $gm" >&2
+    failed=$((failed + 1))
+  fi
+  rm -rf "$tmp"
+done
+
+echo "done: $fetched fetched, $skipped skipped, $failed failed -> $dest"
+[ "$failed" -eq 0 ]
