@@ -11,7 +11,7 @@ use masked_spgemm::{
 use mspgemm_gen::SuiteGraph;
 use mspgemm_graph::scheme::Scheme;
 use mspgemm_graph::{tricount, App};
-use mspgemm_harness::report::{DatasetInfo, SuiteReport, Table};
+use mspgemm_harness::report::{DatasetInfo, ExecSummary, SuiteReport, Table};
 use mspgemm_harness::runner::{bc_runs, ktruss_runs, tc_runs};
 use mspgemm_harness::{
     busy_spread, default_taus, entries_per_s, gflops, mb_per_s, performance_profile, time_best,
@@ -77,6 +77,18 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let schedule: RowSchedule = p.flag("schedule").unwrap_or("guided").parse()?;
     let threads = p.flag_parse("threads", 0usize)?;
     let reps = p.flag_parse("reps", 3usize)?.max(1);
+
+    // --trace flips the process-global tracer on before the load, so the
+    // ingest span is captured alongside the kernel phases. Stale events
+    // from an earlier traced run in the same process are dropped first,
+    // and the guard turns tracing back off even on an error return.
+    let trace_path = p.flag("trace");
+    let _trace_guard = trace_path.map(|_| {
+        let tracer = mspgemm_obs::trace::global();
+        tracer.drain();
+        tracer.set_enabled(true);
+        TracerOff
+    });
 
     let (a, ingest) = load_matrix_opts(path, &load_opts(p)?).map_err(|e| e.to_string())?;
     if a.nrows() != a.ncols() {
@@ -162,6 +174,47 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         gflops(flops, secs)
     )
     .map_err(|e| e.to_string())?;
+    if let Some(path) = trace_path {
+        write_trace_report(path, out)?;
+    }
+    Ok(())
+}
+
+/// Drop guard: disables the global tracer when a traced `cmd_run` exits,
+/// successfully or not, so spans never leak into untraced work.
+struct TracerOff;
+
+impl Drop for TracerOff {
+    fn drop(&mut self) {
+        mspgemm_obs::trace::global().set_enabled(false);
+    }
+}
+
+/// Flush the global tracer to a chrome://tracing JSON file and append
+/// the per-phase breakdown table to the run report.
+fn write_trace_report(path: &str, out: &mut impl Write) -> Result<(), String> {
+    let tracer = mspgemm_obs::trace::global();
+    tracer.set_enabled(false);
+    let events = tracer.drain();
+    std::fs::write(path, mspgemm_obs::trace::chrome_trace_json(&events))
+        .map_err(|e| format!("writing trace {path}: {e}"))?;
+    let mut table = Table::new(&["phase", "spans", "total_ms", "max_ms"]);
+    for ph in mspgemm_obs::trace::phase_totals(&events) {
+        table.row(&[
+            ph.name.to_string(),
+            ph.count.to_string(),
+            format!("{:.3}", ph.total_us as f64 / 1e3),
+            format!("{:.3}", ph.max_us as f64 / 1e3),
+        ]);
+    }
+    writeln!(out, "\nphase breakdown (all reps):\n{}", table.to_text())
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "trace    : {path} ({} spans, open via chrome://tracing or ui.perfetto.dev)",
+        events.len()
+    )
+    .map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -226,14 +279,22 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     } else {
         sweep()
     };
-    if let Some(sp) = busy_spread(&stats.busy_seconds()) {
+    // The same balance/pool summary feeds both the console line and the
+    // JSON report's `exec` block.
+    let exec = busy_spread(&stats.busy_seconds()).map(|sp| ExecSummary {
+        busy_max_over_mean: sp.ratio(),
+        busy_threads: sp.threads,
+        pool_hits: pool.hits(),
+        pool_misses: pool.misses(),
+    });
+    if let Some(e) = &exec {
         writeln!(
             out,
             "balance: busy max/mean {:.2} over {} threads; pool hits {}/{} takes",
-            sp.ratio(),
-            sp.threads,
-            pool.hits(),
-            pool.hits() + pool.misses(),
+            e.busy_max_over_mean,
+            e.busy_threads,
+            e.pool_hits,
+            e.pool_hits + e.pool_misses,
         )
         .map_err(|e| e.to_string())?;
     }
@@ -281,7 +342,7 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     if let Some(json_path) = p.flag("json") {
-        let report = suite_report(app, &graphs, &runs, reps, threads, k, batch, schedule);
+        let report = suite_report(app, &graphs, &runs, exec, reps, threads, k, batch, schedule);
         std::fs::write(json_path, report.to_json())
             .map_err(|e| format!("writing {json_path}: {e}"))?;
         writeln!(out, "json report: {json_path}").map_err(|e| e.to_string())?;
@@ -294,6 +355,7 @@ fn suite_report(
     app: App,
     graphs: &[SuiteGraph],
     runs: &[mspgemm_harness::SchemeRuns],
+    exec: Option<ExecSummary>,
     reps: usize,
     threads: usize,
     k: usize,
@@ -315,6 +377,7 @@ fn suite_report(
     SuiteReport {
         app: app.name().to_string(),
         params,
+        exec,
         datasets: graphs
             .iter()
             .map(|g| DatasetInfo {
@@ -510,6 +573,73 @@ mod tests {
         .unwrap();
         let err = cmd_run(&p, &mut Vec::new()).unwrap_err();
         assert!(err.contains("unknown schedule"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_trace_writes_chrome_json_and_phase_table() {
+        let dir = tempdir("run_trace");
+        let mtx = dir.join("g.mtx");
+        write_small_graph(&mtx);
+        let trace = dir.join("trace.json");
+        let p = parse(
+            &sv(&[
+                "--algo",
+                "hash",
+                "--phases",
+                "2",
+                "--reps",
+                "1",
+                "--no-cache",
+                "--trace",
+                trace.to_str().unwrap(),
+                mtx.to_str().unwrap(),
+            ]),
+            &["algo", "mask", "phases", "threads", "reps", "trace"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_run(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("symbolic"), "{text}");
+        assert!(text.contains("numeric"), "{text}");
+        assert!(text.contains("trace    :"), "{text}");
+
+        let j = std::fs::read_to_string(&trace).unwrap();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.contains("\"ingest\""), "ingest span must be covered: {j}");
+        assert!(j.contains("\"numeric\""), "{j}");
+        assert!(j.contains("\"ph\":\"X\""), "{j}");
+        // Tracing is off again after the traced run.
+        assert!(!mspgemm_obs::trace::global().is_enabled());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_json_carries_exec_summary() {
+        let dir = tempdir("suite_exec");
+        write_small_graph(&dir.join("g.mtx"));
+        let json = dir.join("report.json");
+        let p = parse(
+            &sv(&[
+                "--app",
+                "tc",
+                "--source",
+                dir.to_str().unwrap(),
+                "--schemes",
+                "hash-1p",
+                "--json",
+                json.to_str().unwrap(),
+            ]),
+            &["app", "source", "schemes", "json"],
+        )
+        .unwrap();
+        cmd_suite(&p, &mut Vec::new()).unwrap();
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.contains("\"exec\""), "{j}");
+        assert!(j.contains("\"busy_max_over_mean\""), "{j}");
+        assert!(j.contains("\"hit_rate\""), "{j}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,12 +31,16 @@ USAGE:
             [--mask normal|complement] [--phases 1|2]
             [--schedule static|guided|flops]
             [--threads N] [--parse-threads N] [--reps R] [--no-cache]
-            [--mmap] <matrix.mtx|.msb>
+            [--mmap] [--trace out.json] <matrix.mtx|.msb>
         One masked product C = M (.*) A*A with M = pattern(A). The run
         report includes the ingest throughput (MB/s, entries/s), the
         load backend (heap vs zero-copy mmap), the row schedule, and the
         per-thread busy-time spread (max/mean). --mmap memory-maps a v2
         .msb input (or fresh sidecar) instead of heap-copying it.
+        --trace records phase-scoped spans (ingest, flop-prefix,
+        symbolic, numeric, compaction, ...) to a chrome://tracing JSON
+        file and appends a per-phase breakdown table to the report
+        (see docs/OBSERVABILITY.md).
 
     mxm suite [--app tc|ktruss|bc] [--source synthetic|synthetic-full|DIR|FILE]
               [--schemes msa-1p,hash-2p,...] [--no-baselines]
@@ -73,14 +77,19 @@ USAGE:
         mapped bytes). Protocol: docs/SERVE_PROTOCOL.md.
 
     mxm query [--connect ADDR] [--retry N] <op> [op flags]
-        One request against a running server; prints the JSON response.
+        One request against a running server. `stats`, `metrics` and
+        `list` render human-readable tables by default; pass --json for
+        the raw one-line JSON response (other ops always print JSON).
         ops: ping | list | stats | shutdown | load --path F [--name N]
              | unload --name N
+             | metrics [--format json|prometheus]
              | mxm --dataset D [--algo A] [--mask M] [--phases P]
                    [--schedule S] [--threads T] [--reps R]
              | app --dataset D [--app tc|ktruss|bc] [--scheme S]
                    [--k K] [--batch B] [--threads T]
              | raw --json '{...}'
+        `metrics --format prometheus` prints the text exposition
+        verbatim (pipe it to a scrape file; see docs/OBSERVABILITY.md).
 
 Text matrices parse with the chunked parallel reader (--parse-threads N
 pins the fan-out; 0 = all cores) and load through the .msb sidecar
@@ -99,6 +108,7 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
             "threads",
             "parse-threads",
             "reps",
+            "trace",
         ],
         "suite" => &[
             "app",
@@ -115,28 +125,57 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
         ],
         "convert" => &["parse-threads"],
         "serve" => &["listen", "schedule", "parse-threads"],
-        "query" => &[
-            "connect",
-            "retry",
-            "path",
-            "name",
-            "parse-threads",
-            "dataset",
-            "algo",
-            "mask",
-            "phases",
-            "schedule",
-            "threads",
-            "reps",
-            "app",
-            "scheme",
-            "k",
-            "batch",
-            "json",
-        ],
+        "query" => QUERY_VALUE_FLAGS,
         _ => &[],
     }
 }
+
+/// Value flags shared by every `mxm query` op. `--json` is NOT here: for
+/// every op but `raw` it is a bare switch (print the raw response line);
+/// only `raw` takes `--json '{...}'` as a value, which [`dispatch`]
+/// special-cases by op name before parsing.
+const QUERY_VALUE_FLAGS: &[&str] = &[
+    "connect",
+    "retry",
+    "path",
+    "name",
+    "parse-threads",
+    "dataset",
+    "algo",
+    "mask",
+    "phases",
+    "schedule",
+    "threads",
+    "reps",
+    "app",
+    "scheme",
+    "k",
+    "batch",
+    "format",
+];
+
+/// [`QUERY_VALUE_FLAGS`] plus `json` — the flag set for `mxm query raw`,
+/// where `--json` carries the request body.
+const QUERY_RAW_VALUE_FLAGS: &[&str] = &[
+    "connect",
+    "retry",
+    "path",
+    "name",
+    "parse-threads",
+    "dataset",
+    "algo",
+    "mask",
+    "phases",
+    "schedule",
+    "threads",
+    "reps",
+    "app",
+    "scheme",
+    "k",
+    "batch",
+    "format",
+    "json",
+];
 
 /// Bare switches per subcommand. Anything else is a typo'd flag — reject
 /// it rather than silently running without the intended option.
@@ -144,7 +183,8 @@ fn known_switches(cmd: &str) -> &'static [&'static str] {
     match cmd {
         "run" => &["no-cache", "mmap"],
         "suite" => &["no-cache", "no-baselines", "mmap"],
-        "serve" | "query" => &["no-cache", "mmap"],
+        "serve" => &["no-cache", "mmap"],
+        "query" => &["no-cache", "mmap", "json"],
         _ => &[],
     }
 }
@@ -167,7 +207,14 @@ pub fn dispatch(argv: &[String], out: &mut impl Write) -> Result<(), String> {
         return Err(USAGE.to_string());
     };
     let rest = &argv[1..];
-    let parsed = args::parse(rest, value_flags(cmd))?;
+    // `query raw` is the one spot where --json takes a value (the request
+    // body); everywhere else in `query` it is the raw-output switch.
+    let vflags = if cmd == "query" && rest.iter().any(|a| a == "raw") {
+        QUERY_RAW_VALUE_FLAGS
+    } else {
+        value_flags(cmd)
+    };
+    let parsed = args::parse(rest, vflags)?;
     if matches!(
         cmd.as_str(),
         "run" | "suite" | "convert" | "check" | "serve" | "query"

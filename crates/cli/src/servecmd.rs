@@ -10,6 +10,7 @@
 
 use crate::args::Parsed;
 use masked_spgemm::RowSchedule;
+use mspgemm_harness::report::Table;
 use mspgemm_io::CachePolicy;
 use mspgemm_serve::{client, Client, Json, ServeConfig, Server};
 use std::io::Write;
@@ -47,11 +48,13 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
 
 const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [op flags]\n\
     ops: ping | list | stats | shutdown\n\
+         metrics [--format json|prometheus]\n\
          load --path FILE [--name N] [--parse-threads N] [--no-cache] [--mmap]\n\
          unload --name N\n\
          mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R]\n\
          app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B]\n\
-         raw --json '{...}'";
+         raw --json '{...}'\n\
+    stats/metrics/list print tables; --json prints the raw response line";
 
 /// Copy a `--flag value` into the request under `key`, verbatim, only
 /// when given — absent flags fall back to server-side defaults.
@@ -82,6 +85,10 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
         "ping" => req.push(("op", Json::str("ping"))),
         "list" => req.push(("op", Json::str("list"))),
         "stats" => req.push(("op", Json::str("stats"))),
+        "metrics" => {
+            req.push(("op", Json::str("metrics")));
+            copy_str(p, "format", "format", &mut req);
+        }
         "shutdown" => req.push(("op", Json::str("shutdown"))),
         "load" => {
             req.push(("op", Json::str("load")));
@@ -147,7 +154,148 @@ fn connect_with_retry(addr: &str, retries: u64) -> Result<Client, String> {
     Err(last)
 }
 
-/// `mxm query`: one request, one JSON response line on stdout.
+/// Render one JSON scalar for a report line or table cell.
+fn cell(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_line(),
+    }
+}
+
+/// Render a `labels` object as `k=v,k=v` (`-` when absent or empty).
+fn labels_cell(v: Option<&Json>) -> String {
+    match v {
+        Some(Json::Obj(pairs)) if !pairs.is_empty() => pairs
+            .iter()
+            .map(|(k, val)| format!("{k}={}", cell(val)))
+            .collect::<Vec<_>>()
+            .join(","),
+        _ => "-".into(),
+    }
+}
+
+/// Split a response into aligned-report ingredients: nested objects
+/// flatten into dotted scalar keys, arrays of objects become tables.
+fn flatten<'a>(
+    prefix: String,
+    v: &'a Json,
+    scalars: &mut Vec<(String, String)>,
+    arrays: &mut Vec<(String, &'a [Json])>,
+) {
+    match v {
+        Json::Obj(pairs) => {
+            for (k, val) in pairs {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(key, val, scalars, arrays);
+            }
+        }
+        Json::Arr(items)
+            if !items.is_empty() && items.iter().all(|i| matches!(i, Json::Obj(_))) =>
+        {
+            arrays.push((prefix, items));
+        }
+        other => scalars.push((prefix, cell(other))),
+    }
+}
+
+/// Human-readable rendering of a response object: `key : value` lines
+/// for scalars, one aligned table per array-of-objects field (column
+/// order = first-seen key order across the rows).
+fn render_report(resp: &Json, out: &mut impl Write) -> Result<(), String> {
+    let mut scalars = Vec::new();
+    let mut arrays = Vec::new();
+    flatten(String::new(), resp, &mut scalars, &mut arrays);
+    // `expect_ok` already enforced ok:true — no need to echo it.
+    scalars.retain(|(k, _)| k != "ok");
+    let width = scalars.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in &scalars {
+        writeln!(out, "{k:<width$} : {v}").map_err(|e| e.to_string())?;
+    }
+    for (name, items) in arrays {
+        let mut cols: Vec<&str> = Vec::new();
+        for it in items {
+            if let Json::Obj(pairs) = it {
+                for (k, _) in pairs {
+                    if !cols.iter().any(|c| c == k) {
+                        cols.push(k);
+                    }
+                }
+            }
+        }
+        let mut table = Table::new(&cols);
+        for it in items {
+            let row: Vec<String> = cols
+                .iter()
+                .map(|c| it.get(c).map(cell).unwrap_or_else(|| "-".into()))
+                .collect();
+            table.row(&row);
+        }
+        writeln!(out, "{name} ({} rows):\n{}", items.len(), table.to_text())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Table rendering for the `metrics` verb's JSON form: one table per
+/// metric family, histograms summarized to their quantiles (the full
+/// bucket vectors stay behind `--json`).
+fn render_metrics(resp: &Json, out: &mut impl Write) -> Result<(), String> {
+    let arr = |key: &str| resp.get(key).and_then(Json::as_arr).unwrap_or(&[]);
+    let field = |it: &Json, key: &str| it.get(key).map(cell).unwrap_or_else(|| "-".into());
+
+    for (title, key) in [("counters", "counters"), ("gauges", "gauges")] {
+        let items = arr(key);
+        let mut table = Table::new(&["name", "labels", "value"]);
+        for it in items {
+            table.row(&[
+                field(it, "name"),
+                labels_cell(it.get("labels")),
+                field(it, "value"),
+            ]);
+        }
+        writeln!(
+            out,
+            "{title} ({} series):\n{}",
+            items.len(),
+            table.to_text()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    let items = arr("histograms");
+    let mut table = Table::new(&[
+        "name", "labels", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+    ]);
+    for it in items {
+        table.row(&[
+            field(it, "name"),
+            labels_cell(it.get("labels")),
+            field(it, "count"),
+            field(it, "mean"),
+            field(it, "p50"),
+            field(it, "p95"),
+            field(it, "p99"),
+            field(it, "max"),
+        ]);
+    }
+    writeln!(
+        out,
+        "histograms ({} series):\n{}",
+        items.len(),
+        table.to_text()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `mxm query`: one request; `stats`/`metrics`/`list` print tables by
+/// default (`--json` restores the raw line), `metrics --format
+/// prometheus` prints the exposition text verbatim, every other op
+/// prints the one-line JSON response.
 pub fn cmd_query(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let op = p.positional.first().ok_or(QUERY_USAGE)?;
     let addr = p.flag("connect").unwrap_or("127.0.0.1:7654");
@@ -160,7 +308,19 @@ pub fn cmd_query(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         client.request(&build_request(op, p)?)?
     };
     let resp = client::expect_ok(resp)?;
-    writeln!(out, "{}", resp.to_line()).map_err(|e| e.to_string())?;
+    if op == "raw" || p.switch("json") {
+        writeln!(out, "{}", resp.to_line()).map_err(|e| e.to_string())?;
+    } else if resp.get("format").and_then(Json::as_str) == Some("prometheus") {
+        // The payload IS the exposition text; print it scrape-ready.
+        let text = resp.get("text").and_then(Json::as_str).unwrap_or("");
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+    } else if op == "metrics" {
+        render_metrics(&resp, out)?;
+    } else if matches!(op.as_str(), "stats" | "list") {
+        render_report(&resp, out)?;
+    } else {
+        writeln!(out, "{}", resp.to_line()).map_err(|e| e.to_string())?;
+    }
     Ok(())
 }
 
@@ -193,6 +353,7 @@ mod tests {
                 "scheme",
                 "k",
                 "batch",
+                "format",
                 "json",
             ],
         )
@@ -241,6 +402,91 @@ mod tests {
     fn unknown_op_is_rejected_with_usage() {
         let err = build_request("frobnicate", &parsed(&["frobnicate"])).unwrap_err();
         assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn metrics_request_carries_format() {
+        let req = build_request("metrics", &parsed(&["metrics"])).unwrap();
+        assert_eq!(req.to_line(), r#"{"op":"metrics"}"#);
+        let p = parsed(&["metrics", "--format", "prometheus"]);
+        assert_eq!(
+            build_request("metrics", &p).unwrap().to_line(),
+            r#"{"op":"metrics","format":"prometheus"}"#
+        );
+    }
+
+    #[test]
+    fn query_renders_tables_by_default_and_raw_json_on_demand() {
+        let dir = std::env::temp_dir().join("mxm_cli_querytbl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        mspgemm_io::mtx::write_mtx_file(&mtx, &mspgemm_gen::er_symmetric(80, 5, 11)).unwrap();
+        let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        server
+            .preload(&[mtx.to_str().unwrap().to_string()])
+            .unwrap();
+        let addr = server.addr().to_string();
+
+        // Traffic so the histograms have something to show.
+        let p = parsed(&["mxm", "--connect", &addr, "--dataset", "g"]);
+        cmd_query(&p, &mut Vec::new()).unwrap();
+
+        // stats: aligned key/value report, not a JSON line.
+        let mut out = Vec::new();
+        crate::dispatch(
+            &["query", "stats", "--connect", &addr]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.starts_with('{'), "{text}");
+        assert!(text.contains("requests_total"), "{text}");
+        assert!(text.contains(" : "), "{text}");
+
+        // stats --json: the raw response line (the escape hatch).
+        let mut out = Vec::new();
+        crate::dispatch(
+            &["query", "stats", "--connect", &addr, "--json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with('{'), "{text}");
+        assert!(text.contains("\"ok\":true"), "{text}");
+
+        // metrics: one table per family, quantile columns for histograms.
+        let mut out = Vec::new();
+        cmd_query(&parsed(&["metrics", "--connect", &addr]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("counters ("), "{text}");
+        assert!(text.contains("gauges ("), "{text}");
+        assert!(text.contains("p99_us"), "{text}");
+        assert!(text.contains("verb=mxm"), "{text}");
+
+        // metrics --format prometheus: exposition text, verbatim.
+        let mut out = Vec::new();
+        cmd_query(
+            &parsed(&["metrics", "--connect", &addr, "--format", "prometheus"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("request_latency_us_bucket"), "{text}");
+
+        // list: a table whose rows are the resident datasets.
+        let mut out = Vec::new();
+        cmd_query(&parsed(&["list", "--connect", &addr]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("datasets (1 rows):"), "{text}");
+        assert!(text.contains("name"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

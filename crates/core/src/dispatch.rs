@@ -269,7 +269,10 @@ where
             opts,
         ),
         Algorithm::Inner => {
-            let bt = transpose(b);
+            let bt = {
+                let _span = mspgemm_obs::span("transpose");
+                transpose(b)
+            };
             if complement {
                 inner_masked_mxm_complement::<S, M>(mask.view(), a.view(), bt.view())
             } else {

@@ -283,7 +283,10 @@ where
     let threads = rayon::current_num_threads().max(1);
     let need_flops = opts.schedule == crate::schedule::RowSchedule::FlopBalanced
         || (phases == Phases::One && complement);
-    let flops = need_flops.then(|| a.row_flops_with(b));
+    let flops = need_flops.then(|| {
+        let _span = mspgemm_obs::span("flop-prefix");
+        a.row_flops_with(b)
+    });
     let chunks = row_chunks(opts.schedule, mask.nrows(), threads, flops.as_deref());
     match phases {
         Phases::One => run_one_phase(
@@ -326,6 +329,7 @@ where
     let mut tmp_vals = vec![S::Out::default(); cap];
     let mut sizes = vec![0usize; nrows];
     {
+        let _span = mspgemm_obs::span("numeric");
         let cw = UnsafeSlice::new(&mut tmp_cols);
         let vw = UnsafeSlice::new(&mut tmp_vals);
         let sw = UnsafeSlice::new(&mut sizes);
@@ -345,6 +349,7 @@ where
             unsafe { sw.write(i, n) };
         });
     }
+    let _span = mspgemm_obs::span("compaction");
     Csr::compact(
         nrows,
         ncols,
@@ -375,6 +380,7 @@ where
     // Symbolic phase: exact per-row sizes.
     let mut sizes = vec![0usize; nrows];
     {
+        let _span = mspgemm_obs::span("symbolic");
         let sw = UnsafeSlice::new(&mut sizes);
         run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {
             let ctx = RowCtx::<S> {
@@ -394,6 +400,7 @@ where
     let mut colidx = vec![0 as Idx; nnz];
     let mut values = vec![S::Out::default(); nnz];
     {
+        let _span = mspgemm_obs::span("numeric");
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);
         run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {

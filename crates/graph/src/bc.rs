@@ -82,6 +82,7 @@ pub fn betweenness_with(
 
     // Forward sweep.
     loop {
+        let _span = mspgemm_obs::span("bc-forward-level");
         let t0 = Instant::now();
         let f_new: Csr<f64> = scheme.run_with::<PlusTimesF64, f64>(
             &num_sp,
@@ -104,6 +105,7 @@ pub fn betweenness_with(
     // Backward sweep: BCU = 1 + delta on the visited pattern.
     let mut bcu: Csr<f64> = num_sp.map(|_| 1.0);
     for d in (1..depth).rev() {
+        let _span = mspgemm_obs::span("bc-backward-level");
         // W = ⟨σ_d⟩ (BCU ./ NumSP)
         let ratios = ewise_mult(&bcu, &num_sp, |b, ns| b / ns);
         let w = mask_keep(&ratios, &sigmas[d]);

@@ -54,6 +54,7 @@ pub fn k_truss_with(adj: &Csr<f64>, k: usize, scheme: Scheme, opts: &ExecOpts<'_
     let mut mxm_seconds = 0.0f64;
     let mut flops = 0u64;
     loop {
+        let _span = mspgemm_obs::span("ktruss-iter");
         iterations += 1;
         flops += 2 * a.flops_with(&a);
         let needs_bt = matches!(scheme, Scheme::Ours(masked_spgemm::Algorithm::Inner, _));

@@ -27,6 +27,7 @@ pub struct TcOperands {
 /// "we only report the Masked SpGEMM execution time").
 pub fn prepare(adj: &Csr<f64>) -> TcOperands {
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+    let _span = mspgemm_obs::span("tc-relabel");
     let perm = degree_descending_permutation(adj);
     let relabeled = permute_symmetric(adj, &perm);
     let l = tril_strict(&relabeled).pattern();

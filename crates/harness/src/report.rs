@@ -112,6 +112,34 @@ pub struct DatasetInfo {
     pub nnz: usize,
 }
 
+/// Execution-layer summary across a whole suite sweep: row-schedule
+/// balance (busy-time spread over the worker threads) and workspace-pool
+/// effectiveness. `None` busy fields never occur here — a sweep that
+/// recorded no busy time simply omits the summary.
+#[derive(Clone, Debug)]
+pub struct ExecSummary {
+    /// Busy-time max/mean across threads (1.0 = perfectly even).
+    pub busy_max_over_mean: f64,
+    /// Number of threads that recorded busy time.
+    pub busy_threads: usize,
+    /// Workspace-pool takes served from retained scratch.
+    pub pool_hits: u64,
+    /// Workspace-pool takes that had to allocate fresh.
+    pub pool_misses: u64,
+}
+
+impl ExecSummary {
+    /// Fraction of pool takes served warm (`0.0` when nothing was taken).
+    pub fn hit_rate(&self) -> f64 {
+        let takes = self.pool_hits + self.pool_misses;
+        if takes == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / takes as f64
+        }
+    }
+}
+
 /// A machine-readable experiment report: which application ran, over
 /// which datasets, with per-scheme per-dataset runtimes. Serializes to
 /// JSON without external dependencies (the build environment is offline).
@@ -121,6 +149,8 @@ pub struct SuiteReport {
     pub app: String,
     /// Free-form run parameters (`reps`, `threads`, `k`, `batch`, ...).
     pub params: Vec<(String, String)>,
+    /// Scheduling/pool summary for the sweep, when busy time was recorded.
+    pub exec: Option<ExecSummary>,
     /// The datasets swept, in run order.
     pub datasets: Vec<DatasetInfo>,
     /// Per-scheme runtimes; `seconds[i]` aligns with `datasets[i]`,
@@ -140,7 +170,19 @@ impl SuiteReport {
             }
             out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
         }
-        out.push_str("},\n  \"datasets\": [\n");
+        out.push_str("},\n");
+        if let Some(e) = &self.exec {
+            out.push_str(&format!(
+                "  \"exec\": {{\"busy_max_over_mean\": {:.4}, \"busy_threads\": {}, \
+                 \"pool_hits\": {}, \"pool_misses\": {}, \"hit_rate\": {:.4}}},\n",
+                e.busy_max_over_mean,
+                e.busy_threads,
+                e.pool_hits,
+                e.pool_misses,
+                e.hit_rate()
+            ));
+        }
+        out.push_str("  \"datasets\": [\n");
         for (i, d) in self.datasets.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"nrows\": {}, \"nnz\": {}}}{}\n",
@@ -217,6 +259,12 @@ mod tests {
         let rep = SuiteReport {
             app: "tc".into(),
             params: vec![("reps".into(), "2".into())],
+            exec: Some(ExecSummary {
+                busy_max_over_mean: 1.25,
+                busy_threads: 8,
+                pool_hits: 30,
+                pool_misses: 10,
+            }),
             datasets: vec![
                 DatasetInfo {
                     name: "er".into(),
@@ -237,11 +285,29 @@ mod tests {
         let j = rep.to_json();
         assert!(j.contains("\"app\": \"tc\""));
         assert!(j.contains("\"reps\": \"2\""));
+        assert!(j.contains("\"busy_max_over_mean\": 1.2500"));
+        assert!(j.contains("\"hit_rate\": 0.7500"));
         assert!(j.contains("rm\\\"at"));
         assert!(j.contains("null"));
         assert!(j.contains("0.500000000"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        // No busy time recorded -> the exec block is simply absent.
+        let mut quiet = rep.clone();
+        quiet.exec = None;
+        assert!(!quiet.to_json().contains("\"exec\""));
+    }
+
+    #[test]
+    fn exec_summary_hit_rate() {
+        let e = ExecSummary {
+            busy_max_over_mean: 1.0,
+            busy_threads: 1,
+            pool_hits: 0,
+            pool_misses: 0,
+        };
+        assert_eq!(e.hit_rate(), 0.0, "no takes: defined as zero");
     }
 }

@@ -195,6 +195,7 @@ pub fn load_matrix_opts(
     opts: &LoadOpts,
 ) -> Result<(Csr<f64>, IngestReport), IoError> {
     let path = path.as_ref();
+    let _span = mspgemm_obs::span("ingest");
     let start = Instant::now();
     let report = |outcome, backend, bytes, entries| IngestReport {
         outcome,

@@ -1,0 +1,268 @@
+//! A fixed-bucket log-scale histogram for latency-shaped values.
+//!
+//! The value domain is `u64` (the stack records **microseconds**, but
+//! nothing here assumes a unit). Bucketing is logarithmic with linear
+//! sub-buckets, HDR-histogram style: values below 8 land in exact
+//! buckets, and every power-of-two octave above that is split into 8
+//! linear sub-buckets, so any recorded value is off by at most 1/8 of
+//! its octave (≤ 12.5 % relative error — plenty for p50/p95/p99 over
+//! request latencies). The layout is *fixed*: every histogram has the
+//! same 304 buckets, which is what makes shard merging ([`merge`]) a
+//! plain bucket-wise add with no re-binning.
+//!
+//! Recording is lock-free (`fetch_add` on the target bucket plus the
+//! count/sum/max aggregates) and safe from any number of threads.
+//!
+//! [`merge`]: Histogram::merge
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves covered: values clamp to `2^40 − 1` (≈ 12.7 days in µs).
+const OCTAVES: u32 = 40;
+/// Total bucket count: the exact low range plus 8 per octave.
+pub const NBUCKETS: usize = SUB + (OCTAVES as usize - SUB_BITS as usize) * SUB;
+
+/// Largest representable value; anything above clamps into the top
+/// bucket rather than panicking or wrapping.
+pub const CLAMP_MAX: u64 = (1u64 << OCTAVES) - 1;
+
+/// Bucket index for a value. Total order preserving: `a <= b` implies
+/// `index(a) <= index(b)`.
+fn index(v: u64) -> usize {
+    let v = v.min(CLAMP_MAX);
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (msb - SUB_BITS) as usize * SUB + sub
+}
+
+/// Inclusive upper bound of a bucket — the value [`HistSnapshot::quantile`]
+/// reports for ranks that land in it (conservative: never understates).
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let oct = ((idx - SUB) / SUB) as u32 + SUB_BITS;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let width = 1u64 << (oct - SUB_BITS);
+    (SUB as u64 + sub) * width + width - 1
+}
+
+/// A mergeable, lock-free, log-scale histogram. See the module docs for
+/// the bucket layout.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Lock-free; callable concurrently.
+    pub fn record(&self, v: u64) {
+        self.buckets[index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v.min(CLAMP_MAX), Ordering::Relaxed);
+        self.max.fetch_max(v.min(CLAMP_MAX), Ordering::Relaxed);
+    }
+
+    /// Fold `other` into `self`, bucket-wise. The fixed layout makes
+    /// this exact: merging per-shard histograms yields the same buckets
+    /// as recording every value into one histogram.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state, for quantile extraction
+    /// and export. Concurrent recorders may land between field reads;
+    /// the snapshot is internally near-consistent, not a seqcst cut.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand: `snapshot().quantile(q)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, in the fixed layout of the module docs.
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (each clamped to [`CLAMP_MAX`]).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the rank-`⌈q·count⌉` value (0 when empty). Conservative —
+    /// the true value is never larger than what is reported — and
+    /// monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(upper_bound, count)` pairs, ascending — the
+    /// sparse form used by JSON export and Prometheus `le` buckets.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_high(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        for v in 0..16u64 {
+            let h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "value {v} must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < CLAMP_MAX / 2 {
+            let i = index(v);
+            assert!(i >= prev, "index must be monotone at {v}");
+            assert!(i < NBUCKETS);
+            assert!(bucket_high(i) >= v, "upper bound covers the value");
+            prev = i;
+            v = v * 2 + 3;
+        }
+        assert_eq!(index(u64::MAX), NBUCKETS - 1, "clamped into top bucket");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[100u64, 999, 12_345, 7_000_000, 123_456_789] {
+            let h = Histogram::new();
+            h.record(v);
+            let got = h.quantile(0.99);
+            assert!(got >= v);
+            assert!(
+                (got - v) as f64 <= v as f64 * 0.125 + 1.0,
+                "bucket for {v} reported {got}, over 12.5% off"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let (p50, p99) = (s.quantile(0.50), s.quantile(0.99));
+        assert!((450..=600).contains(&p50), "p50 = {p50}");
+        assert!((950..=1100).contains(&p99), "p99 = {p99}");
+        assert!(s.quantile(0.0) >= 1);
+        assert_eq!(s.quantile(1.0), s.quantile(0.999999));
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..500u64 {
+            let shard = if v % 2 == 0 { &a } else { &b };
+            shard.record(v * 17);
+            all.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.nonzero().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Observability substrate for the Masked SpGEMM stack (std-only, no
+//! dependencies, like `mspgemm-formats`).
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`trace`] — a phase-scoped span timer ([`Tracer`] / [`Span`]) with a
+//!   near-zero disabled path (one relaxed atomic load per span site).
+//!   Spans record a static phase name, thread id, nesting depth, and
+//!   wall-clock interval; a drained event list exports as
+//!   chrome://tracing JSON ([`trace::chrome_trace_json`]) or folds into
+//!   a per-phase breakdown ([`trace::phase_totals`]).
+//! * [`hist`] — a fixed-bucket log-scale [`Histogram`]: 8 sub-buckets
+//!   per power of two (≤ 12.5 % relative error), lock-free recording,
+//!   bucket-wise mergeable, with p50/p95/p99 extraction.
+//! * [`metrics`] — sharded lock-free [`Counter`]s, [`Gauge`]s, and a
+//!   named-series [`MetricsRegistry`] whose snapshot renders as
+//!   Prometheus text exposition.
+//!
+//! The crate sits below every other layer: kernels (`masked-spgemm`),
+//! ingest (`mspgemm-io`), applications (`mspgemm-graph`), and the serve
+//! frontend all emit through this one interface, replacing the scattered
+//! ad-hoc telemetry (`ExecStats` busy times, `WsPool` hit counters,
+//! `IngestReport`) with something a fleet can scrape.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, Series};
+pub use trace::{span, PhaseTotal, Span, TraceEvent, Tracer};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static NEXT_THREAD_INDEX: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_INDEX: u32 = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread id (1, 2, 3, … in first-use order), shared
+/// by the span tracer (trace `tid`s) and the sharded counters. Distinct
+/// from `std::thread::ThreadId`, which is neither small nor dense.
+pub fn thread_index() -> u32 {
+    THREAD_INDEX.with(|v| *v)
+}
+
+/// Escape a string for embedding inside a JSON or Prometheus
+/// double-quoted literal (backslash, quote, and control characters).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_indices_are_distinct_and_stable() {
+        let here = thread_index();
+        assert_eq!(here, thread_index(), "stable within a thread");
+        let other = std::thread::spawn(thread_index).join().unwrap();
+        assert_ne!(here, other, "distinct across threads");
+    }
+
+    #[test]
+    fn escaping_covers_json_specials() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\n\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\n\\u0001");
+    }
+}

@@ -1,0 +1,364 @@
+//! Sharded counters, gauges, and the named-series metrics registry.
+//!
+//! A *series* is a metric name plus a sorted label set, Prometheus
+//! style: `request_latency_us{verb="mxm"}`. The [`MetricsRegistry`]
+//! hands out `Arc` handles to [`Counter`]s, [`Gauge`]s, and
+//! [`Histogram`]s keyed by series; handles record lock-free (the
+//! registry mutex guards only registration and snapshotting, never the
+//! hot path — cache the handle if a lookup per event is too much).
+//!
+//! [`MetricsRegistry::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`], which renders as Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]); callers wanting JSON walk the
+//! snapshot and serialize with their own writer (the serve frontend
+//! uses its std-only `Json` type).
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count for [`Counter`]; power of two, sized so a handful of
+/// worker threads rarely collide on one cache line.
+const SHARDS: usize = 16;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, sharded across cache-line-padded
+/// atomics by [`crate::thread_index`] so concurrent increments from the
+/// worker pool don't serialize on one line.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter {
+            shards: Default::default(),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        let shard = crate::thread_index() as usize % SHARDS;
+        self.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in one atomic).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading 0.0.
+    pub fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Read the value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A metric identity: name plus sorted `(label, value)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Series {
+    /// Metric name (`snake_case`, unit-suffixed: `request_latency_us`).
+    pub name: String,
+    /// Label pairs, sorted by label name at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl Series {
+    /// Build a series; labels are sorted so `[("a","1"),("b","2")]` and
+    /// `[("b","2"),("a","1")]` are the same series.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Series {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Series {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Prometheus-style rendering: `name` or `name{k="v",…}`.
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        self.render_labels_into(&mut out, None);
+        out
+    }
+
+    /// Append `{k="v",…}` (plus an optional extra pair, used for the
+    /// histogram `le` label) to `out`. Appends nothing when empty.
+    fn render_labels_into(&self, out: &mut String, extra: Option<(&str, &str)>) {
+        if self.labels.is_empty() && extra.is_none() {
+            return;
+        }
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            crate::escape_into(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Series, Arc<Counter>>,
+    gauges: BTreeMap<Series, Arc<Gauge>>,
+    histograms: BTreeMap<Series, Arc<Histogram>>,
+}
+
+/// A registry of named metric series. Cheap to create; the serve
+/// frontend holds one per server, `mxm run` one per invocation.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter for `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .entry(Series::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge for `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .gauges
+            .entry(Series::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram for `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(Series::new(name, labels))
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Freeze every series into a [`MetricsSnapshot`] (sorted by series,
+    /// so output order is stable across scrapes).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(s, c)| (s.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(s, g)| (s.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(s, h)| (s.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Counter series and their totals.
+    pub counters: Vec<(Series, u64)>,
+    /// Gauge series and their values.
+    pub gauges: Vec<(Series, f64)>,
+    /// Histogram series and their frozen state.
+    pub histograms: Vec<(Series, crate::hist::HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Render as Prometheus text exposition (format version 0.0.4):
+    /// one `# TYPE` line per metric name, histograms expanded into
+    /// cumulative `_bucket{le=…}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (series, value) in &self.counters {
+            type_line(&mut out, &series.name, "counter");
+            out.push_str(&series.render());
+            out.push_str(&format!(" {value}\n"));
+        }
+        for (series, value) in &self.gauges {
+            type_line(&mut out, &series.name, "gauge");
+            out.push_str(&series.render());
+            out.push_str(&format!(" {value}\n"));
+        }
+        for (series, hist) in &self.histograms {
+            type_line(&mut out, &series.name, "histogram");
+            let mut cumulative = 0u64;
+            for (le, n) in hist.nonzero() {
+                cumulative += n;
+                out.push_str(&series.name);
+                out.push_str("_bucket");
+                series.render_labels_into(&mut out, Some(("le", &le.to_string())));
+                out.push_str(&format!(" {cumulative}\n"));
+            }
+            out.push_str(&series.name);
+            out.push_str("_bucket");
+            series.render_labels_into(&mut out, Some(("le", "+Inf")));
+            out.push_str(&format!(" {}\n", hist.count));
+            out.push_str(&series.name);
+            out.push_str("_sum");
+            series.render_labels_into(&mut out, None);
+            out.push_str(&format!(" {}\n", hist.sum));
+            out.push_str(&series.name);
+            out.push_str("_count");
+            series.render_labels_into(&mut out, None);
+            out.push_str(&format!(" {}\n", hist.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauges_hold_floats() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.75);
+        assert_eq!(g.get(), 1.75);
+        g.set(-0.5);
+        assert_eq!(g.get(), -0.5);
+    }
+
+    #[test]
+    fn series_identity_ignores_label_order() {
+        let a = Series::new("m", &[("verb", "mxm"), ("dataset", "g")]);
+        let b = Series::new("m", &[("dataset", "g"), ("verb", "mxm")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "m{dataset=\"g\",verb=\"mxm\"}");
+        assert_eq!(Series::new("bare", &[]).render(), "bare");
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let r = MetricsRegistry::new();
+        r.counter("hits_total", &[]).add(2);
+        r.counter("hits_total", &[]).inc();
+        assert_eq!(r.counter("hits_total", &[]).get(), 3);
+        r.histogram("lat_us", &[("verb", "ping")]).record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].1, 3);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("requests_total", &[("verb", "ping")]).add(4);
+        r.counter("requests_total", &[("verb", "mxm")]).add(2);
+        r.gauge("resident_bytes", &[]).set(123.0);
+        let h = r.histogram("request_latency_us", &[("verb", "mxm")]);
+        h.record(5);
+        h.record(700);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE requests_total counter\n"));
+        assert_eq!(
+            text.matches("# TYPE requests_total counter").count(),
+            1,
+            "one TYPE line per metric name, not per series"
+        );
+        assert!(text.contains("requests_total{verb=\"ping\"} 4\n"));
+        assert!(text.contains("# TYPE resident_bytes gauge\n"));
+        assert!(text.contains("resident_bytes 123\n"));
+        assert!(text.contains("request_latency_us_bucket{verb=\"mxm\",le=\"5\"} 1\n"));
+        assert!(text.contains("request_latency_us_bucket{verb=\"mxm\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("request_latency_us_sum{verb=\"mxm\"} 705\n"));
+        assert!(text.contains("request_latency_us_count{verb=\"mxm\"} 2\n"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Phase-scoped span tracing with a near-zero disabled path.
+//!
+//! A [`Span`] is an RAII timer over a named phase: created at the top of
+//! the phase, it records one [`TraceEvent`] (name, thread id, nesting
+//! depth, start, duration) into its [`Tracer`] when dropped. The span
+//! taxonomy used across the stack — `ingest`, `transpose`,
+//! `flop-prefix`, `symbolic`, `numeric`, `compaction`, `tc-relabel`,
+//! per-iteration app phases — is catalogued in `docs/OBSERVABILITY.md`.
+//!
+//! Instrumentation sites call [`span`] unconditionally; when the global
+//! tracer is disabled (the default) that is one relaxed atomic load and
+//! no allocation, no clock read, no lock. Enabled spans take a mutex
+//! only on drop, and spans mark *phases* (milliseconds to seconds), not
+//! per-row work, so the lock is uncontended in practice.
+//!
+//! Drained events export as chrome://tracing JSON
+//! ([`chrome_trace_json`] — load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>) or fold into per-phase totals
+//! ([`phase_totals`]) for the run report.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Static phase name (the span taxonomy).
+    pub name: &'static str,
+    /// Dense per-thread id from [`crate::thread_index`].
+    pub tid: u32,
+    /// Nesting depth on that thread (0 = top level).
+    pub depth: u16,
+    /// Microseconds from the tracer's epoch to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A sink for spans. One global instance ([`global`]) serves the whole
+/// process; independent instances exist only in tests.
+pub struct Tracer {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+    epoch: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+impl Tracer {
+    /// A disabled tracer whose epoch is now.
+    pub fn new() -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Turn recording on or off. Spans check once at creation; a span
+    /// alive across the flip records iff it started while enabled.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans currently record. This relaxed load is the entire
+    /// disabled-path cost of an instrumentation site.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span; it records when dropped (if the tracer was enabled
+    /// at creation).
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { rec: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            rec: Some(SpanRec {
+                tracer: self,
+                name,
+                depth,
+                tid: crate::thread_index(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Take all recorded events, leaving the tracer empty (and still in
+    /// whatever enabled state it was).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+}
+
+struct SpanRec<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    depth: u16,
+    tid: u32,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Tracer::span`] / [`span`]. Hold it for the
+/// duration of the phase (`let _span = obs::span("numeric");`).
+#[must_use = "a span records the interval until it is dropped"]
+pub struct Span<'a> {
+    rec: Option<SpanRec<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        let dur_us = rec.start.elapsed().as_micros() as u64;
+        let start_us = rec
+            .start
+            .saturating_duration_since(rec.tracer.epoch)
+            .as_micros() as u64;
+        DEPTH.with(|d| d.set(rec.depth));
+        rec.tracer.events.lock().unwrap().push(TraceEvent {
+            name: rec.name,
+            tid: rec.tid,
+            depth: rec.depth,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer every instrumentation site reports to.
+/// Disabled until something (e.g. `mxm run --trace`) enables it.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Open a span on the [`global`] tracer — the one-liner used at every
+/// instrumentation site.
+pub fn span(name: &'static str) -> Span<'static> {
+    global().span(name)
+}
+
+/// Render events as a chrome://tracing JSON document (an object with a
+/// `traceEvents` array of complete `"ph":"X"` events, timestamps in
+/// microseconds). Loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        crate::escape_into(&mut out, e.name);
+        out.push_str(&format!(
+            "\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+            e.tid, e.start_us, e.dur_us, e.depth
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Aggregate totals for one phase name across a drained event list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTotal {
+    /// Phase name.
+    pub name: &'static str,
+    /// Number of spans with that name.
+    pub count: u64,
+    /// Summed duration, microseconds. Nested phases (e.g. `numeric`
+    /// inside an app iteration span) each count their own full
+    /// interval, so totals across *different* names may overlap.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// Fold events into per-phase totals, ordered by first appearance (the
+/// pipeline order: ingest before kernels before compaction).
+pub fn phase_totals(events: &[TraceEvent]) -> Vec<PhaseTotal> {
+    let mut totals: Vec<PhaseTotal> = Vec::new();
+    for e in events {
+        match totals.iter_mut().find(|t| t.name == e.name) {
+            Some(t) => {
+                t.count += 1;
+                t.total_us += e.dur_us;
+                t.max_us = t.max_us.max(e.dur_us);
+            }
+            None => totals.push(PhaseTotal {
+                name: e.name,
+                count: 1,
+                total_us: e.dur_us,
+                max_us: e.dur_us,
+            }),
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("quiet");
+        }
+        assert!(t.drain().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_spans_record_with_nesting() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _outer = t.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let mut events = t.drain();
+        events.sort_by_key(|e| e.start_us);
+        assert_eq!(events.len(), 2);
+        let (outer, inner) = (&events[0], &events[1]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(inner.start_us >= outer.start_us);
+        assert_eq!(outer.tid, inner.tid);
+    }
+
+    #[test]
+    fn depth_unwinds_after_drop() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _a = t.span("a");
+        }
+        {
+            let _b = t.span("b");
+        }
+        let events = t.drain();
+        assert!(events.iter().all(|e| e.depth == 0), "siblings, not nested");
+    }
+
+    #[test]
+    fn spans_from_threads_get_distinct_tids() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _sp = t.span("worker");
+                });
+            }
+        });
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let events = vec![TraceEvent {
+            name: "ingest",
+            tid: 3,
+            depth: 0,
+            start_us: 10,
+            dur_us: 250,
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"ingest\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn totals_fold_by_name_in_first_seen_order() {
+        let ev = |name, dur_us| TraceEvent {
+            name,
+            tid: 1,
+            depth: 0,
+            start_us: 0,
+            dur_us,
+        };
+        let totals = phase_totals(&[ev("symbolic", 5), ev("numeric", 7), ev("numeric", 3)]);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "symbolic");
+        assert_eq!(totals[1].count, 2);
+        assert_eq!(totals[1].total_us, 10);
+        assert_eq!(totals[1].max_us, 7);
+    }
+}

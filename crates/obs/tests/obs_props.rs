@@ -1,0 +1,115 @@
+//! Property and stress tests for the observability substrate: histogram
+//! merging must be exact (shard-and-merge ≡ single-sink recording),
+//! quantiles must be monotone and bounded by the bucket error, and
+//! concurrent recorders must never lose an event.
+
+use mspgemm_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded recording then merge gives bit-identical state to
+    /// recording everything into one histogram — the property that makes
+    /// per-thread shards safe to aggregate for quantiles.
+    #[test]
+    fn merge_of_shards_equals_single_sink(
+        values in proptest::collection::vec(0u64..=1u64 << 41, 0..400),
+        nshards in 1usize..6,
+    ) {
+        let shards: Vec<Histogram> = (0..nshards).map(|_| Histogram::new()).collect();
+        let single = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % nshards].record(v);
+            single.record(v);
+        }
+        let merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.snapshot(), single.snapshot());
+    }
+
+    /// Quantiles never decrease as q grows, stay within the recorded
+    /// range, and never understate (the reported value is a bucket
+    /// upper bound).
+    #[test]
+    fn quantiles_are_monotone_and_conservative(
+        values in proptest::collection::vec(0u64..=10_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let max = *values.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let val = s.quantile(q);
+            prop_assert!(val >= prev, "quantile dipped at q={}", q);
+            // Conservative upper bound: at most one bucket width above max.
+            prop_assert!(val as f64 <= max as f64 * 1.125 + 1.0);
+            prev = val;
+        }
+        prop_assert!(s.quantile(1.0) >= max, "p100 covers the max");
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+
+    /// Counter totals are exact regardless of how increments are split
+    /// across series handles.
+    #[test]
+    fn counter_totals_are_exact(incs in proptest::collection::vec(0u64..1000, 1..50)) {
+        let reg = MetricsRegistry::new();
+        for &n in &incs {
+            reg.counter("events_total", &[]).add(n);
+        }
+        let total: u64 = incs.iter().sum();
+        prop_assert_eq!(reg.counter("events_total", &[]).get(), total);
+    }
+}
+
+/// Many threads hammering one histogram: nothing is lost, the sum is
+/// exact, and quantiles still reflect the distribution.
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    let h = Histogram::new();
+    let threads = 8u64;
+    let per_thread = 25_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // Deterministic spread over ~4 decades.
+                    h.record((i * 7919 + t) % 1_000_000);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, threads * per_thread);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), threads * per_thread);
+    assert!(snap.quantile(0.5) > 0);
+    assert!(snap.quantile(0.99) <= mspgemm_obs::hist::CLAMP_MAX);
+}
+
+/// Concurrent recorders racing a merger: merged count equals total
+/// recorded (merge happens after the scope joins, so it must be exact).
+#[test]
+fn merge_after_concurrent_shard_recording_is_exact() {
+    let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+    std::thread::scope(|s| {
+        for shard in &shards {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    shard.record(i * 31 % 50_000);
+                }
+            });
+        }
+    });
+    let merged = Histogram::new();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    assert_eq!(merged.count(), 40_000);
+}

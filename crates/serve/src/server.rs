@@ -28,6 +28,7 @@ use masked_spgemm::{
 use mspgemm_graph::{bc, ktruss, tricount, App, Scheme};
 use mspgemm_harness::{busy_spread, csr_fingerprint, gflops, mb_per_s, time_best, with_threads};
 use mspgemm_io::{CachePolicy, LoadOpts};
+use mspgemm_obs::{HistSnapshot, MetricsRegistry, Series};
 use mspgemm_sparse::semiring::PlusTimesF64;
 use mspgemm_sparse::Csr;
 use std::io::{BufRead, BufReader, Write};
@@ -76,6 +77,10 @@ pub struct ServerState {
     /// Cumulative per-thread busy-time recorder behind the `stats`
     /// verb's load-balance figure.
     pub exec_stats: ExecStats,
+    /// Named metric series — request counters, per-verb and per-dataset
+    /// latency and queue-wait histograms, ingest totals — served by the
+    /// `metrics` verb as JSON or Prometheus text.
+    pub metrics: MetricsRegistry,
     config: ServeConfig,
     started: Instant,
     requests: AtomicU64,
@@ -93,6 +98,7 @@ impl ServerState {
             registry: Registry::new(),
             ws_pool: WsPool::new(),
             exec_stats: ExecStats::new(),
+            metrics: MetricsRegistry::new(),
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
@@ -329,10 +335,11 @@ pub fn serve_connection(
                 if line.trim().is_empty() {
                     continue;
                 }
+                let received = Instant::now();
                 // In-flight guard spans compute *and* response flush, so
                 // shutdown's drain never cuts a response mid-write.
                 let guard = ActiveGuard::new(&state.active);
-                let (resp, stop) = handle_request(state, &line);
+                let (resp, stop) = handle_request_at(state, &line, received);
                 writeln!(writer, "{}", resp.to_line())?;
                 writer.flush()?;
                 drop(guard);
@@ -431,9 +438,62 @@ fn mask_name(mode: MaskMode) -> &'static str {
 /// Dispatch one request line. Returns the response and whether the server
 /// should stop accepting (the `shutdown` verb).
 pub fn handle_request(state: &ServerState, line: &str) -> (Json, bool) {
+    handle_request_at(state, line, Instant::now())
+}
+
+/// [`handle_request`] with an explicit arrival timestamp, so the
+/// connection loop can charge pre-dispatch delay to the `queue_wait_us`
+/// histogram. Today requests execute synchronously on their connection
+/// thread and the wait is near zero; the series exists so the ROADMAP's
+/// admission-control work inherits the plumbing (and the metric name)
+/// for free.
+fn handle_request_at(state: &ServerState, line: &str, received: Instant) -> (Json, bool) {
+    let exec_start = Instant::now();
+    let (verb, dataset, resp, stop) = dispatch_request(state, line);
+    let latency_us = exec_start.elapsed().as_micros() as u64;
+    let queue_us = exec_start.saturating_duration_since(received).as_micros() as u64;
+    let m = &state.metrics;
+    m.counter("requests_total", &[]).inc();
+    m.counter("requests_total", &[("verb", verb)]).inc();
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        m.counter("errors_total", &[]).inc();
+        m.counter("errors_total", &[("verb", verb)]).inc();
+    }
+    m.histogram("request_latency_us", &[]).record(latency_us);
+    m.histogram("request_latency_us", &[("verb", verb)])
+        .record(latency_us);
+    m.histogram("queue_wait_us", &[("verb", verb)])
+        .record(queue_us);
+    if let Some(ds) = dataset {
+        m.histogram("dataset_request_latency_us", &[("dataset", &ds)])
+            .record(latency_us);
+    }
+    (resp, stop)
+}
+
+/// The verb switch proper. Returns the verb label and the dataset the
+/// request addressed (for the per-series histograms) alongside the
+/// response.
+fn dispatch_request(state: &ServerState, line: &str) -> (&'static str, Option<String>, Json, bool) {
+    let (verb, dataset, result, stop) = dispatch_request_inner(state, line);
+    match result {
+        Ok(resp) => (verb, dataset, resp, stop),
+        Err((code, msg)) => (verb, dataset, err_response(code, msg), stop),
+    }
+}
+
+fn dispatch_request_inner(
+    state: &ServerState,
+    line: &str,
+) -> (&'static str, Option<String>, OpResult, bool) {
     if state.is_shutting_down() {
         return (
-            err_response(ErrorCode::ShuttingDown, "server is shutting down"),
+            "rejected",
+            None,
+            Err((
+                ErrorCode::ShuttingDown,
+                "server is shutting down".to_string(),
+            )),
             false,
         );
     }
@@ -441,13 +501,20 @@ pub fn handle_request(state: &ServerState, line: &str) -> (Json, bool) {
         Ok(v @ Json::Obj(_)) => v,
         Ok(_) => {
             return (
-                err_response(ErrorCode::BadRequest, "request must be a JSON object"),
+                "invalid",
+                None,
+                Err((
+                    ErrorCode::BadRequest,
+                    "request must be a JSON object".to_string(),
+                )),
                 false,
             )
         }
         Err(e) => {
             return (
-                err_response(ErrorCode::BadRequest, format!("invalid JSON: {e}")),
+                "invalid",
+                None,
+                Err((ErrorCode::BadRequest, format!("invalid JSON: {e}"))),
                 false,
             )
         }
@@ -457,37 +524,51 @@ pub fn handle_request(state: &ServerState, line: &str) -> (Json, bool) {
         Some(s) => s.to_string(),
         None => {
             return (
-                err_response(ErrorCode::BadRequest, "'op' must be a string"),
+                "invalid",
+                None,
+                Err((ErrorCode::BadRequest, "'op' must be a string".to_string())),
                 false,
             )
         }
     };
+    // The dataset label for per-dataset latency series: `mxm`/`app`
+    // address one via "dataset"; `load`/`unload` via "name".
+    let dataset = req
+        .get("dataset")
+        .or_else(|| req.get("name"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
     if op == "shutdown" {
         return (
-            ok_response(vec![
+            "shutdown",
+            dataset,
+            Ok(ok_response(vec![
                 ("op", Json::str("shutdown")),
                 ("stopping", true.into()),
-            ]),
+            ])),
             true,
         );
     }
-    let result = match op.as_str() {
-        "ping" => op_ping(state),
-        "load" => op_load(state, &req),
-        "list" => op_list(state),
-        "unload" => op_unload(state, &req),
-        "mxm" => op_mxm(state, &req),
-        "app" => op_app(state, &req),
-        "stats" => op_stats(state),
-        other => Err((
-            ErrorCode::UnknownOp,
-            format!("unknown op '{other}' (expected ping|load|list|unload|mxm|app|stats|shutdown)"),
-        )),
+    let (verb, result): (&'static str, OpResult) = match op.as_str() {
+        "ping" => ("ping", op_ping(state)),
+        "load" => ("load", op_load(state, &req)),
+        "list" => ("list", op_list(state)),
+        "unload" => ("unload", op_unload(state, &req)),
+        "mxm" => ("mxm", op_mxm(state, &req)),
+        "app" => ("app", op_app(state, &req)),
+        "stats" => ("stats", op_stats(state)),
+        "metrics" => ("metrics", op_metrics(state, &req)),
+        other => (
+            "unknown",
+            Err((
+                ErrorCode::UnknownOp,
+                format!(
+                "unknown op '{other}' (expected ping|load|list|unload|mxm|app|stats|metrics|shutdown)"
+            ),
+            )),
+        ),
     };
-    match result {
-        Ok(resp) => (resp, false),
-        Err((code, msg)) => (err_response(code, msg), false),
-    }
+    (verb, dataset, result, false)
 }
 
 fn op_ping(state: &ServerState) -> OpResult {
@@ -495,6 +576,7 @@ fn op_ping(state: &ServerState) -> OpResult {
         ("op", Json::str("ping")),
         ("pong", true.into()),
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", state.started.elapsed().as_secs_f64().into()),
         ("datasets", state.registry.len().into()),
     ]))
 }
@@ -529,6 +611,13 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         )
         .map_err(reg_err)?;
     let r = &ds.ingest;
+    // Absorb the IngestReport into the metrics registry: cumulative
+    // totals plus an ingest-latency histogram alongside the request one.
+    let m = &state.metrics;
+    m.counter("ingest_bytes_total", &[]).add(r.bytes);
+    m.counter("ingest_entries_total", &[]).add(r.entries as u64);
+    m.histogram("ingest_latency_us", &[])
+        .record((r.seconds * 1e6) as u64);
     Ok(ok_response(vec![
         ("op", Json::str("load")),
         ("name", Json::str(&ds.name)),
@@ -808,6 +897,12 @@ fn op_stats(state: &ServerState) -> OpResult {
         ]),
         None => Json::Null,
     };
+    // Overall request-latency quantiles from the unlabeled histogram
+    // (the `metrics` verb has the per-verb and per-dataset series).
+    let lat = state
+        .metrics
+        .histogram("request_latency_us", &[])
+        .snapshot();
     Ok(ok_response(vec![
         ("op", Json::str("stats")),
         (
@@ -815,6 +910,23 @@ fn op_stats(state: &ServerState) -> OpResult {
             state.started.elapsed().as_secs_f64().into(),
         ),
         ("requests", state.requests().into()),
+        (
+            "requests_total",
+            state.metrics.counter("requests_total", &[]).get().into(),
+        ),
+        (
+            "errors_total",
+            state.metrics.counter("errors_total", &[]).get().into(),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("p50", (lat.quantile(0.50) as f64 / 1e6).into()),
+                ("p95", (lat.quantile(0.95) as f64 / 1e6).into()),
+                ("p99", (lat.quantile(0.99) as f64 / 1e6).into()),
+                ("count", lat.count.into()),
+            ]),
+        ),
         ("datasets", Json::Arr(datasets)),
         ("total_mem_bytes", total_mem.into()),
         ("total_mapped_bytes", total_mapped.into()),
@@ -836,6 +948,119 @@ fn op_stats(state: &ServerState) -> OpResult {
         ),
         ("busy", busy),
     ]))
+}
+
+/// Refresh the gauges that mirror state owned elsewhere (`WsPool`
+/// counters, `ExecStats` busy spread, registry residency), so every
+/// snapshot the `metrics` verb serves is current without those
+/// subsystems having to push on each change.
+fn publish_gauges(state: &ServerState) {
+    let m = &state.metrics;
+    m.gauge("uptime_seconds", &[])
+        .set(state.started.elapsed().as_secs_f64());
+    m.gauge("ws_pool_hits", &[])
+        .set(state.ws_pool.hits() as f64);
+    m.gauge("ws_pool_misses", &[])
+        .set(state.ws_pool.misses() as f64);
+    m.gauge("ws_pool_retained", &[])
+        .set(state.ws_pool.retained() as f64);
+    if let Some(sp) = busy_spread(&state.exec_stats.busy_seconds()) {
+        m.gauge("busy_threads", &[]).set(sp.threads as f64);
+        m.gauge("busy_max_over_mean", &[]).set(sp.ratio());
+    }
+    let resident = state.registry.list();
+    m.gauge("datasets_resident", &[]).set(resident.len() as f64);
+    m.gauge("resident_bytes", &[])
+        .set(resident.iter().map(|ds| ds.mem_bytes()).sum::<u64>() as f64);
+    m.gauge("mapped_bytes", &[])
+        .set(resident.iter().map(|ds| ds.mapped_bytes()).sum::<u64>() as f64);
+}
+
+fn series_fields(series: &Series) -> Vec<(&'static str, Json)> {
+    vec![
+        ("name", Json::str(&series.name)),
+        (
+            "labels",
+            Json::Obj(
+                series
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn hist_json(series: &Series, h: &HistSnapshot) -> Json {
+    let mut fields = series_fields(series);
+    fields.extend([
+        ("count", h.count.into()),
+        ("sum", h.sum.into()),
+        ("max", h.max.into()),
+        ("mean", h.mean().into()),
+        ("p50", h.quantile(0.50).into()),
+        ("p95", h.quantile(0.95).into()),
+        ("p99", h.quantile(0.99).into()),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero()
+                    .into_iter()
+                    .map(|(le, n)| Json::obj(vec![("le", le.into()), ("count", n.into())]))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::obj(fields)
+}
+
+fn op_metrics(state: &ServerState, req: &Json) -> OpResult {
+    publish_gauges(state);
+    let snap = state.metrics.snapshot();
+    match opt_str(req, "format").map_err(bad)?.unwrap_or("json") {
+        "prometheus" => Ok(ok_response(vec![
+            ("op", Json::str("metrics")),
+            ("format", Json::str("prometheus")),
+            ("content_type", Json::str("text/plain; version=0.0.4")),
+            ("text", Json::Str(snap.to_prometheus())),
+        ])),
+        "json" => {
+            let counters: Vec<Json> = snap
+                .counters
+                .iter()
+                .map(|(s, v)| {
+                    let mut f = series_fields(s);
+                    f.push(("value", (*v).into()));
+                    Json::obj(f)
+                })
+                .collect();
+            let gauges: Vec<Json> = snap
+                .gauges
+                .iter()
+                .map(|(s, v)| {
+                    let mut f = series_fields(s);
+                    f.push(("value", (*v).into()));
+                    Json::obj(f)
+                })
+                .collect();
+            let histograms: Vec<Json> = snap
+                .histograms
+                .iter()
+                .map(|(s, h)| hist_json(s, h))
+                .collect();
+            Ok(ok_response(vec![
+                ("op", Json::str("metrics")),
+                ("format", Json::str("json")),
+                ("counters", Json::Arr(counters)),
+                ("gauges", Json::Arr(gauges)),
+                ("histograms", Json::Arr(histograms)),
+            ]))
+        }
+        other => Err(bad(format!(
+            "'format' must be json|prometheus, got '{other}'"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1047,6 +1272,109 @@ mod tests {
         assert!(m1.get("fingerprint").unwrap().as_str().is_some());
         ok(&state, r#"{"op":"unload","name":"m"}"#);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Find the entry with the given name (and label subset) in a
+    /// `metrics` response array.
+    fn find_series<'a>(arr: &'a Json, name: &str, labels: &[(&str, &str)]) -> Option<&'a Json> {
+        arr.as_arr().unwrap().iter().find(|e| {
+            e.get("name").unwrap().as_str() == Some(name)
+                && labels.iter().all(|(k, v)| {
+                    e.get("labels").unwrap().get(k).and_then(Json::as_str) == Some(*v)
+                })
+        })
+    }
+
+    #[test]
+    fn ping_reports_version_and_uptime() {
+        let (state, _) = state_with("ping_fields", 40);
+        let resp = ok(&state, r#"{"op":"ping"}"#);
+        assert_eq!(
+            resp.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(resp.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn metrics_verb_counts_requests_and_serves_quantiles() {
+        let (state, path) = state_with("metrics", 80);
+        ok(&state, r#"{"op":"ping"}"#);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        assert_eq!(err_code(&state, "not json"), "bad_request");
+
+        // 5 requests so far; the metrics request records *after* its own
+        // snapshot, so it reports exactly what was issued before it.
+        let m = ok(&state, r#"{"op":"metrics"}"#);
+        let counters = m.get("counters").unwrap();
+        let total = find_series(counters, "requests_total", &[]).unwrap();
+        assert_eq!(total.get("value").unwrap().as_u64(), Some(5));
+        let mxm = find_series(counters, "requests_total", &[("verb", "mxm")]).unwrap();
+        assert_eq!(mxm.get("value").unwrap().as_u64(), Some(2));
+        let errors = find_series(counters, "errors_total", &[]).unwrap();
+        assert_eq!(errors.get("value").unwrap().as_u64(), Some(1));
+        let ingest = find_series(counters, "ingest_bytes_total", &[]).unwrap();
+        assert!(ingest.get("value").unwrap().as_u64().unwrap() > 0);
+
+        let hists = m.get("histograms").unwrap();
+        let lat = find_series(hists, "request_latency_us", &[("verb", "mxm")]).unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(2));
+        let p50 = lat.get("p50").unwrap().as_u64().unwrap();
+        let p99 = lat.get("p99").unwrap().as_u64().unwrap();
+        assert!(p50 <= p99, "quantiles must be monotone");
+        assert!(
+            find_series(hists, "queue_wait_us", &[("verb", "mxm")]).is_some(),
+            "queue-wait series exists per verb"
+        );
+        assert!(
+            find_series(hists, "dataset_request_latency_us", &[("dataset", "g")]).is_some(),
+            "per-dataset latency series exists"
+        );
+
+        // Gauges mirror the pool and residency at snapshot time.
+        let gauges = m.get("gauges").unwrap();
+        let resident = find_series(gauges, "datasets_resident", &[]).unwrap();
+        assert_eq!(resident.get("value").unwrap().as_f64(), Some(1.0));
+
+        // Prometheus exposition of the same registry.
+        let prom = ok(&state, r#"{"op":"metrics","format":"prometheus"}"#);
+        let text = prom.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(
+            text.contains("requests_total 6"),
+            "json metrics request counted: {text}"
+        );
+        assert!(text.contains("request_latency_us_bucket"));
+        assert!(text.contains("# TYPE ws_pool_hits gauge"));
+
+        assert_eq!(
+            err_code(&state, r#"{"op":"metrics","format":"xml"}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn stats_reports_totals_and_latency_quantiles() {
+        let (state, path) = state_with("stats_latency", 70);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"msa"}"#);
+        err_code(&state, r#"{"op":"mxm","dataset":"nope"}"#);
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("errors_total").unwrap().as_u64(), Some(1));
+        let lat = stats.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(3));
+        let p50 = lat.get("p50").unwrap().as_f64().unwrap();
+        let p99 = lat.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 >= 0.0 && p50 <= p99, "seconds, monotone: {p50} {p99}");
     }
 
     #[test]

@@ -178,6 +178,88 @@ fn oversized_payload_is_rejected_and_connection_closed() {
     // (read_to_string returning proves EOF already).
 }
 
+/// The observability acceptance loop: issue a known mix of requests over
+/// a real socket, then check the `metrics` verb accounts for exactly
+/// that traffic — totals, per-verb counters, and latency histogram
+/// counts — in both JSON and Prometheus form.
+#[test]
+fn metrics_counts_match_issued_requests() {
+    let (_server, addr) = start_with("metrics", 120);
+    let mut c = Client::connect(&addr).unwrap();
+    let mxm = req(vec![
+        ("op", Json::str("mxm")),
+        ("dataset", Json::str("g")),
+        ("algo", Json::str("hash")),
+    ]);
+    let issued = 5u64; // 1 ping + 3 mxm + 1 stats, all before `metrics`
+    client::expect_ok(c.request(&req(vec![("op", Json::str("ping"))])).unwrap()).unwrap();
+    for _ in 0..3 {
+        client::expect_ok(c.request(&mxm).unwrap()).unwrap();
+    }
+    let stats =
+        client::expect_ok(c.request(&req(vec![("op", Json::str("stats"))])).unwrap()).unwrap();
+    // `stats` snapshots before its own latency is recorded: 4 seen.
+    assert_eq!(stats.get("requests_total").unwrap().as_u64(), Some(4));
+    assert_eq!(stats.get("errors_total").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        stats.get("latency").unwrap().get("count").unwrap().as_u64(),
+        Some(4)
+    );
+
+    let m =
+        client::expect_ok(c.request(&req(vec![("op", Json::str("metrics"))])).unwrap()).unwrap();
+    let counters = m.get("counters").unwrap().as_arr().unwrap();
+    let counter = |name: &str, verb: Option<&str>| -> u64 {
+        counters
+            .iter()
+            .find(|e| {
+                e.get("name").unwrap().as_str() == Some(name)
+                    && e.get("labels").unwrap().get("verb").and_then(Json::as_str) == verb
+            })
+            .unwrap_or_else(|| panic!("missing series {name} verb={verb:?}"))
+            .get("value")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(counter("requests_total", None), issued);
+    assert_eq!(counter("requests_total", Some("mxm")), 3);
+    assert_eq!(counter("requests_total", Some("ping")), 1);
+    assert_eq!(counter("errors_total", None), 0);
+
+    let hists = m.get("histograms").unwrap().as_arr().unwrap();
+    let mxm_lat = hists
+        .iter()
+        .find(|e| {
+            e.get("name").unwrap().as_str() == Some("request_latency_us")
+                && e.get("labels").unwrap().get("verb").and_then(Json::as_str) == Some("mxm")
+        })
+        .expect("per-verb latency histogram");
+    assert_eq!(mxm_lat.get("count").unwrap().as_u64(), Some(3));
+    assert!(
+        mxm_lat.get("p50").unwrap().as_u64().unwrap()
+            <= mxm_lat.get("p99").unwrap().as_u64().unwrap()
+    );
+
+    // Prometheus exposition over the same socket: one more request has
+    // landed (the JSON metrics call), so the total advanced by one.
+    let prom = client::expect_ok(
+        c.request(&req(vec![
+            ("op", Json::str("metrics")),
+            ("format", Json::str("prometheus")),
+        ]))
+        .unwrap(),
+    )
+    .unwrap();
+    let text = prom.get("text").unwrap().as_str().unwrap();
+    assert!(
+        text.contains(&format!("requests_total {}", issued + 1)),
+        "{text}"
+    );
+    assert!(text.contains("request_latency_us_bucket{verb=\"mxm\",le=\""));
+    assert!(text.contains("request_latency_us_count{verb=\"mxm\"} 3"));
+}
+
 #[test]
 fn shutdown_verb_stops_the_server() {
     let (server, addr) = start_with("shutdown", 60);
