@@ -97,6 +97,7 @@ fn main() {
                     schedule: sched,
                     ws_pool: Some(&pool),
                     stats: Some(&stats),
+                    deadline: None,
                 };
                 let (secs, c) = with_threads(t, || time_best(reps, || run(&opts)));
                 assert_eq!(

@@ -119,6 +119,7 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         schedule,
         ws_pool: Some(&pool),
         stats: Some(&stats),
+        deadline: None,
     };
     let work = || {
         let (secs, c) = time_best(reps, || {
@@ -268,6 +269,7 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         schedule,
         ws_pool: Some(&pool),
         stats: Some(&stats),
+        deadline: None,
     };
     let sweep = || match app {
         App::Tc => tc_runs(&graphs, &schemes, reps, &opts),

@@ -67,14 +67,22 @@ USAGE:
         Generator/kernel self-check (used by CI).
 
     mxm serve [--listen ADDR] [--schedule static|guided|flops]
-              [--parse-threads N] [--no-cache] [--mmap] [preload.mtx ...]
+              [--parse-threads N] [--max-inflight N] [--queue-depth N]
+              [--no-cache] [--mmap] [preload.mtx ...]
         Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
         Unix socket): datasets stay resident with pre-transposed
         operands, and requests run on the warm worker pool with shared
-        accumulator scratch. Preload positional files at startup; serves
-        until a 'shutdown' request. --mmap keeps v2 .msb datasets
-        resident zero-copy (stats reports each dataset's backend and
-        mapped bytes). Protocol: docs/SERVE_PROTOCOL.md.
+        accumulator scratch. Heavy requests (mxm, app) pass through a
+        bounded admission queue feeding --max-inflight executor workers
+        (default 2); when --queue-depth requests are already waiting
+        (default 64) new ones are answered with a typed 'busy' error
+        carrying a retry_after_ms hint instead of queueing unboundedly.
+        Queued mxm requests that differ only by mask fuse into one
+        kernel pass. Preload positional files at startup; serves until a
+        'shutdown' request. --mmap keeps v2 .msb datasets resident
+        zero-copy (stats reports each dataset's backend and mapped
+        bytes). Protocol: docs/SERVE_PROTOCOL.md; capacity planning:
+        docs/SERVING_OPS.md.
 
     mxm query [--connect ADDR] [--retry N] <op> [op flags]
         One request against a running server. `stats`, `metrics` and
@@ -85,9 +93,16 @@ USAGE:
              | metrics [--format json|prometheus]
              | mxm --dataset D [--algo A] [--mask M] [--phases P]
                    [--schedule S] [--threads T] [--reps R]
+                   [--deadline-ms MS]
              | app --dataset D [--app tc|ktruss|bc] [--scheme S]
-                   [--k K] [--batch B] [--threads T]
+                   [--k K] [--batch B] [--threads T] [--deadline-ms MS]
              | raw --json '{...}'
+        --retry N retries failed connects (every 500 ms) AND typed
+        'busy' overload responses, backing off exponentially from the
+        server's retry_after_ms hint (capped at 5 s per wait).
+        --deadline-ms gives the request an execution budget measured
+        from arrival; expired work is dropped at the next phase
+        boundary and answered 'deadline_exceeded'.
         `metrics --format prometheus` prints the text exposition
         verbatim (pipe it to a scrape file; see docs/OBSERVABILITY.md).
 
@@ -124,7 +139,13 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
             "tau-max",
         ],
         "convert" => &["parse-threads"],
-        "serve" => &["listen", "schedule", "parse-threads"],
+        "serve" => &[
+            "listen",
+            "schedule",
+            "parse-threads",
+            "max-inflight",
+            "queue-depth",
+        ],
         "query" => QUERY_VALUE_FLAGS,
         _ => &[],
     }
@@ -151,6 +172,7 @@ const QUERY_VALUE_FLAGS: &[&str] = &[
     "scheme",
     "k",
     "batch",
+    "deadline-ms",
     "format",
 ];
 
@@ -173,6 +195,7 @@ const QUERY_RAW_VALUE_FLAGS: &[&str] = &[
     "scheme",
     "k",
     "batch",
+    "deadline-ms",
     "format",
     "json",
 ];

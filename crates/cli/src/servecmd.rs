@@ -26,6 +26,9 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     } else {
         CachePolicy::ReadWrite
     };
+    let defaults = ServeConfig::default();
+    let max_inflight = p.flag_parse("max-inflight", defaults.max_inflight)?;
+    let queue_depth = p.flag_parse("queue-depth", defaults.queue_depth)?;
     let server = Server::start(
         listen,
         ServeConfig {
@@ -33,6 +36,8 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             parse_threads,
             cache,
             mmap: p.switch("mmap"),
+            max_inflight,
+            queue_depth,
         },
     )?;
     for (path, name) in p.positional.iter().zip(server.preload(&p.positional)?) {
@@ -51,10 +56,13 @@ const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [o
          metrics [--format json|prometheus]\n\
          load --path FILE [--name N] [--parse-threads N] [--no-cache] [--mmap]\n\
          unload --name N\n\
-         mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R]\n\
-         app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B]\n\
+         mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R] [--deadline-ms MS]\n\
+         app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B] [--deadline-ms MS]\n\
          raw --json '{...}'\n\
-    stats/metrics/list print tables; --json prints the raw response line";
+    stats/metrics/list print tables; --json prints the raw response line\n\
+    --retry N retries both failed connects (every 500 ms) and typed 'busy'\n\
+    overload responses, backing off from the server's retry_after_ms hint\n\
+    with capped exponential growth (hint*2^attempt, at most 5 s per wait)";
 
 /// Copy a `--flag value` into the request under `key`, verbatim, only
 /// when given — absent flags fall back to server-side defaults.
@@ -118,6 +126,7 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
             copy_str(p, "schedule", "schedule", &mut req);
             copy_num(p, "threads", "threads", &mut req)?;
             copy_num(p, "reps", "reps", &mut req)?;
+            copy_num(p, "deadline-ms", "deadline_ms", &mut req)?;
         }
         "app" => {
             req.push(("op", Json::str("app")));
@@ -129,6 +138,7 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
             copy_num(p, "threads", "threads", &mut req)?;
             copy_num(p, "k", "k", &mut req)?;
             copy_num(p, "batch", "batch", &mut req)?;
+            copy_num(p, "deadline-ms", "deadline_ms", &mut req)?;
         }
         other => {
             return Err(format!("unknown query op '{other}'\n\n{QUERY_USAGE}"));
@@ -152,6 +162,32 @@ fn connect_with_retry(addr: &str, retries: u64) -> Result<Client, String> {
         }
     }
     Err(last)
+}
+
+/// The capped exponential backoff before busy-retry number `attempt`:
+/// the server's `retry_after_ms` hint doubled per attempt (exponent
+/// capped so the shift cannot overflow), never above 5 seconds.
+fn busy_backoff_ms(hint: u64, attempt: u64) -> u64 {
+    hint.saturating_mul(1 << attempt.min(6)).min(5_000)
+}
+
+/// Send one request, resending on a typed `busy` overload response (up
+/// to `retries` times) after the backoff the server hinted. Any other
+/// response — success or error — is returned as-is.
+fn request_with_retry(client: &mut Client, req: &Json, retries: u64) -> Result<Json, String> {
+    let mut attempt = 0u64;
+    loop {
+        let resp = client.request(req)?;
+        match client::busy_retry_after(&resp) {
+            Some(hint) if attempt < retries => {
+                std::thread::sleep(std::time::Duration::from_millis(busy_backoff_ms(
+                    hint, attempt,
+                )));
+                attempt += 1;
+            }
+            _ => return Ok(resp),
+        }
+    }
 }
 
 /// Render one JSON scalar for a report line or table cell.
@@ -305,7 +341,7 @@ pub fn cmd_query(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         let raw = p.flag("json").ok_or("raw needs --json '{...}'")?;
         client.request_line(raw)?
     } else {
-        client.request(&build_request(op, p)?)?
+        request_with_retry(&mut client, &build_request(op, p)?, retries)?
     };
     let resp = client::expect_ok(resp)?;
     if op == "raw" || p.switch("json") {
@@ -353,6 +389,7 @@ mod tests {
                 "scheme",
                 "k",
                 "batch",
+                "deadline-ms",
                 "format",
                 "json",
             ],
@@ -384,6 +421,31 @@ mod tests {
             build_request("mxm", &p).unwrap().to_line(),
             r#"{"op":"mxm","dataset":"karate"}"#
         );
+        // --deadline-ms travels as the protocol's deadline_ms field, on
+        // both heavy verbs.
+        let p = parsed(&["mxm", "--dataset", "karate", "--deadline-ms", "250"]);
+        assert_eq!(
+            build_request("mxm", &p).unwrap().to_line(),
+            r#"{"op":"mxm","dataset":"karate","deadline_ms":250}"#
+        );
+        let p = parsed(&["app", "--dataset", "karate", "--deadline-ms", "250"]);
+        assert_eq!(
+            build_request("app", &p).unwrap().to_line(),
+            r#"{"op":"app","dataset":"karate","deadline_ms":250}"#
+        );
+    }
+
+    #[test]
+    fn busy_backoff_doubles_from_the_hint_and_caps() {
+        assert_eq!(busy_backoff_ms(40, 0), 40);
+        assert_eq!(busy_backoff_ms(40, 1), 80);
+        assert_eq!(busy_backoff_ms(40, 3), 320);
+        // Exponent cap: attempts past 6 stop doubling...
+        assert_eq!(busy_backoff_ms(1, 6), 64);
+        assert_eq!(busy_backoff_ms(1, 60), 64);
+        // ...and the absolute cap holds even for huge hints.
+        assert_eq!(busy_backoff_ms(5_000, 4), 5_000);
+        assert_eq!(busy_backoff_ms(u64::MAX, 2), 5_000);
     }
 
     #[test]

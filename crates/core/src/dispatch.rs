@@ -133,6 +133,9 @@ pub enum Error {
     DimensionMismatch(String),
     /// The requested combination is not defined by the paper.
     Unsupported(&'static str),
+    /// [`ExecOpts::deadline`] passed at a phase boundary; the product was
+    /// abandoned before its next pass (see [`crate::phases::run_push_with`]).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for Error {
@@ -140,6 +143,7 @@ impl std::fmt::Display for Error {
         match self {
             Error::DimensionMismatch(s) => write!(f, "dimension mismatch: {s}"),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+            Error::DeadlineExceeded => write!(f, "deadline exceeded before the numeric phase"),
         }
     }
 }
@@ -228,7 +232,7 @@ where
         Algorithm::Auto => auto_select(mask, a, b, complement),
         other => other,
     };
-    Ok(match algo {
+    match algo {
         Algorithm::Msa => run_push_with::<S, _, M>(
             mask,
             a,
@@ -273,11 +277,11 @@ where
                 let _span = mspgemm_obs::span("transpose");
                 transpose(b)
             };
-            if complement {
+            Ok(if complement {
                 inner_masked_mxm_complement::<S, M>(mask.view(), a.view(), bt.view())
             } else {
                 inner_masked_mxm::<S, M>(mask.view(), a.view(), bt.view(), phases)
-            }
+            })
         }
         Algorithm::Hybrid => run_push_with::<S, _, M>(
             mask,
@@ -289,7 +293,7 @@ where
             opts,
         ),
         Algorithm::Auto => unreachable!("Auto resolved above"),
-    })
+    }
 }
 
 /// [`masked_mxm`] for [`Algorithm::Inner`] with a caller-provided `Bᵀ`
@@ -455,5 +459,38 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_any_pass() {
+        let a = dense(16, 1);
+        let m = a.pattern();
+        let opts = ExecOpts {
+            deadline: std::time::Instant::now().checked_sub(std::time::Duration::from_secs(1)),
+            ..ExecOpts::default()
+        };
+        for phases in [Phases::One, Phases::Two] {
+            let r = masked_mxm_with_opts::<PlusTimesI64, ()>(
+                &m,
+                &a,
+                &a,
+                Algorithm::Hash,
+                MaskMode::Mask,
+                phases,
+                &opts,
+            );
+            assert_eq!(r.unwrap_err(), Error::DeadlineExceeded);
+        }
+        // No deadline (the default) still completes.
+        let r = masked_mxm_with_opts::<PlusTimesI64, ()>(
+            &m,
+            &a,
+            &a,
+            Algorithm::Hash,
+            MaskMode::Mask,
+            Phases::One,
+            &ExecOpts::default(),
+        );
+        assert!(r.is_ok());
     }
 }

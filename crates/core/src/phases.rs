@@ -21,6 +21,7 @@
 //! index-addressed range from a prefix sum, so the output is bit-identical
 //! across schedules and thread counts.
 
+use crate::dispatch::Error;
 use crate::schedule::{row_chunks, ExecOpts, WsPool};
 use mspgemm_sparse::semiring::Semiring;
 use mspgemm_sparse::util::{par_exclusive_prefix_sum, UnsafeSlice};
@@ -258,6 +259,12 @@ where
     M: Send + Sync,
 {
     run_push_with(mask, a, b, complement, phases, kernel, &ExecOpts::default())
+        .expect("default ExecOpts carries no deadline")
+}
+
+/// Whether the options' cancellation deadline has passed.
+fn expired(opts: &ExecOpts<'_>) -> bool {
+    opts.deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// [`run_push`] with explicit execution options (row schedule, workspace
@@ -266,6 +273,12 @@ where
 /// The per-row flop count `flops_i = Σ_{A_ik≠0} nnz(B_k*)` is computed at
 /// most once here and shared between its two consumers: the complemented
 /// one-phase bound and the flop-balanced chunk boundaries.
+///
+/// # Errors
+/// [`Error::DeadlineExceeded`] when [`ExecOpts::deadline`] has passed at a
+/// phase boundary — before any pass starts, or between the symbolic and
+/// numeric passes of a two-phase run. A drive never aborts mid-pass; the
+/// output, when produced, is always complete.
 pub fn run_push_with<S, K, M>(
     mask: &Csr<M>,
     a: &Csr<S::Left>,
@@ -274,12 +287,15 @@ pub fn run_push_with<S, K, M>(
     phases: Phases,
     kernel: &K,
     opts: &ExecOpts<'_>,
-) -> Csr<S::Out>
+) -> Result<Csr<S::Out>, Error>
 where
     S: Semiring,
     K: PushKernel<S>,
     M: Send + Sync,
 {
+    if expired(opts) {
+        return Err(Error::DeadlineExceeded);
+    }
     let threads = rayon::current_num_threads().max(1);
     let need_flops = opts.schedule == crate::schedule::RowSchedule::FlopBalanced
         || (phases == Phases::One && complement);
@@ -313,7 +329,7 @@ fn run_one_phase<S, K, M>(
     flops: Option<&[u64]>,
     chunks: &[Range<usize>],
     opts: &ExecOpts<'_>,
-) -> Csr<S::Out>
+) -> Result<Csr<S::Out>, Error>
 where
     S: Semiring,
     K: PushKernel<S>,
@@ -323,6 +339,11 @@ where
     let ncols = b.ncols();
     let bv = b.view();
     let bounds = one_phase_bounds(mask, ncols, complement, flops);
+    // Last boundary before the (only) numeric pass: the bound/prefix work
+    // above is cheap, the pass below is not.
+    if expired(opts) {
+        return Err(Error::DeadlineExceeded);
+    }
     let offsets = par_exclusive_prefix_sum(&bounds);
     let cap = offsets[nrows];
     let mut tmp_cols = vec![0 as Idx; cap];
@@ -350,7 +371,7 @@ where
         });
     }
     let _span = mspgemm_obs::span("compaction");
-    Csr::compact(
+    Ok(Csr::compact(
         nrows,
         ncols,
         &offsets,
@@ -358,7 +379,7 @@ where
         tmp_cols,
         tmp_vals,
         S::Out::default(),
-    )
+    ))
 }
 
 fn run_two_phase<S, K, M>(
@@ -368,7 +389,7 @@ fn run_two_phase<S, K, M>(
     kernel: &K,
     chunks: &[Range<usize>],
     opts: &ExecOpts<'_>,
-) -> Csr<S::Out>
+) -> Result<Csr<S::Out>, Error>
 where
     S: Semiring,
     K: PushKernel<S>,
@@ -393,6 +414,11 @@ where
             // SAFETY: each row index is claimed by exactly one chunk.
             unsafe { sw.write(i, n) };
         });
+    }
+    // The boundary this strategy exists for: the symbolic pass sized the
+    // output, the numeric pass pays for it — drop expired work here.
+    if expired(opts) {
+        return Err(Error::DeadlineExceeded);
     }
     let rowptr = par_exclusive_prefix_sum(&sizes);
     let nnz = rowptr[nrows];
@@ -421,5 +447,7 @@ where
             );
         });
     }
-    Csr::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+    Ok(Csr::from_parts_unchecked(
+        nrows, ncols, rowptr, colidx, values,
+    ))
 }

@@ -343,6 +343,12 @@ pub struct ExecOpts<'a> {
     pub ws_pool: Option<&'a WsPool>,
     /// Busy-time recorder; `None` skips the timing instrumentation.
     pub stats: Option<&'a ExecStats>,
+    /// Cooperative cancellation deadline. Checked at phase boundaries
+    /// (drive entry, and between the symbolic and numeric passes), so an
+    /// expired request is dropped before its most expensive work instead
+    /// of running to completion; the drive returns
+    /// [`crate::Error::DeadlineExceeded`]. `None` never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'a> ExecOpts<'a> {

@@ -120,6 +120,7 @@ fn ws_pool_steady_state_allocates_nothing() {
         schedule: RowSchedule::Guided,
         ws_pool: Some(&pool),
         stats: None,
+        deadline: None,
     };
     let combo = (Algorithm::Msa, MaskMode::Mask, Phases::Two);
     let threads = rayon::current_num_threads().max(1);
@@ -165,6 +166,7 @@ fn ws_pool_is_safe_across_kernels_and_modes() {
         schedule: RowSchedule::FlopBalanced,
         ws_pool: Some(&pool),
         stats: None,
+        deadline: None,
     };
     for round in 0..3 {
         for combo in all_push_combos() {
@@ -187,6 +189,7 @@ fn row_adaptive_workspaces_shared_across_widths() {
         schedule: RowSchedule::Guided,
         ws_pool: Some(&pool),
         stats: None,
+        deadline: None,
     };
     let combo = (Algorithm::Hash, MaskMode::Mask, Phases::One);
     let threads = rayon::current_num_threads().max(1) as u64;
@@ -222,6 +225,7 @@ fn exec_stats_record_busy_time() {
         schedule: RowSchedule::Guided,
         ws_pool: None,
         stats: Some(&stats),
+        deadline: None,
     };
     let _ = run_sched(
         &mask,
@@ -258,7 +262,7 @@ proptest! {
             for sched in [RowSchedule::Guided, RowSchedule::FlopBalanced] {
                 let unpooled = run_sched(&mask, &a, combo, &ExecOpts::with_schedule(sched));
                 prop_assert_eq!(&unpooled, &baseline, "{:?} under {}", combo, sched.name());
-                let opts = ExecOpts { schedule: sched, ws_pool: Some(&shared_pool), stats: None };
+                let opts = ExecOpts { schedule: sched, ws_pool: Some(&shared_pool), stats: None, deadline: None };
                 let pooled = run_sched(&mask, &a, combo, &opts);
                 prop_assert_eq!(&pooled, &baseline, "{:?} pooled under {}", combo, sched.name());
             }

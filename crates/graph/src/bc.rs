@@ -309,6 +309,7 @@ mod tests {
                 schedule: sched,
                 ws_pool: Some(&pool),
                 stats: None,
+                deadline: None,
             };
             let r = betweenness_with(
                 &g,

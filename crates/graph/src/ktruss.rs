@@ -176,6 +176,7 @@ mod tests {
                 schedule: sched,
                 ws_pool: Some(&pool),
                 stats: None,
+                deadline: None,
             };
             let r = k_truss_with(&g, 5, Scheme::Ours(Algorithm::Hash, Phases::One), &opts);
             assert_eq!(r.truss, reference.truss, "{}", sched.name());

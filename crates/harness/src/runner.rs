@@ -140,6 +140,7 @@ mod tests {
                 schedule: sched,
                 ws_pool: Some(&pool),
                 stats: None,
+                deadline: None,
             };
             let runs = ktruss_runs(&suite, &schemes, k, 1, &opts);
             assert_eq!(runs.len(), baseline.len());

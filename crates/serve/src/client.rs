@@ -87,6 +87,24 @@ pub fn query_once(addr: &str, req: &Json) -> Result<Json, String> {
     expect_ok(resp)
 }
 
+/// The `retry_after_ms` hint of a typed `busy` response, `None` for
+/// anything else (success or other errors). The client half of the
+/// server's admission control: on `Some(ms)` back off about that long
+/// and resend — `mxm query --retry` does exactly this.
+pub fn busy_retry_after(resp: &Json) -> Option<u64> {
+    let err = resp.get("error")?;
+    if err.get("code").and_then(Json::as_str) != Some("busy") {
+        return None;
+    }
+    // A missing hint is a server bug, not a reason to give up; back off
+    // a conservative default.
+    Some(
+        err.get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(100),
+    )
+}
+
 /// Unwrap a response: `Ok(resp)` when `"ok": true`, else the formatted
 /// protocol error.
 pub fn expect_ok(resp: Json) -> Result<Json, String> {
@@ -117,6 +135,27 @@ mod tests {
         );
         let msg = expect_ok(err).unwrap_err();
         assert!(msg.starts_with("unknown_dataset:"), "{msg}");
+    }
+
+    #[test]
+    fn busy_responses_surface_their_retry_hint() {
+        let busy = crate::protocol::err_response_with(
+            crate::protocol::ErrorCode::Busy,
+            "queue full",
+            vec![("retry_after_ms", 40u64.into())],
+        );
+        assert_eq!(busy_retry_after(&busy), Some(40));
+        // Hint missing: a conservative default, not None.
+        let bare = crate::protocol::err_response(crate::protocol::ErrorCode::Busy, "queue full");
+        assert_eq!(busy_retry_after(&bare), Some(100));
+        // Other errors and successes are not busy.
+        let other = crate::protocol::err_response(
+            crate::protocol::ErrorCode::ExecFailed,
+            "kernel rejected",
+        );
+        assert_eq!(busy_retry_after(&other), None);
+        let ok = crate::protocol::ok_response(vec![]);
+        assert_eq!(busy_retry_after(&ok), None);
     }
 
     #[test]

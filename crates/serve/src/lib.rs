@@ -21,6 +21,15 @@
 //!   with derived operands, behind a `RwLock` (reads clone an `Arc`).
 //! * [`server`] — [`Server`]: listener, per-connection threads, request
 //!   handlers, cooperative shutdown.
+//! * `scheduler` (private) — the admission-controlled request scheduler:
+//!   a bounded queue (`--queue-depth`) feeding a fixed pool of executor
+//!   workers (`--max-inflight`). Connection threads park on a reply
+//!   channel instead of executing heavy verbs themselves; under overload
+//!   the server answers a typed `busy` error with a `retry_after_ms`
+//!   hint instead of degrading unpredictably. Queued `mxm` requests that
+//!   differ only by mask mode are **fused** into one kernel pass, and
+//!   per-request `deadline_ms` budgets cancel expired work at phase
+//!   boundaries before its most expensive pass.
 //! * [`client`] — [`Client`]: the blocking client behind `mxm query`.
 //!
 //! ## In-process quick start
@@ -48,6 +57,7 @@ pub mod client;
 pub mod json;
 pub mod protocol;
 pub mod registry;
+mod scheduler;
 pub mod server;
 
 pub use client::Client;

@@ -45,6 +45,13 @@ pub enum ErrorCode {
     /// The kernel rejected the request (e.g. MCA with a complemented
     /// mask) or the execution itself failed.
     ExecFailed,
+    /// The admission queue is full; the error object carries a
+    /// `retry_after_ms` backoff hint. Retry later — nothing about the
+    /// request itself was wrong.
+    Busy,
+    /// The request's `deadline_ms` budget expired before the work
+    /// produced a result; partial work was abandoned.
+    DeadlineExceeded,
     /// The server is shutting down and accepts no further work.
     ShuttingDown,
 }
@@ -60,6 +67,8 @@ impl ErrorCode {
             ErrorCode::PayloadTooLarge => "payload_too_large",
             ErrorCode::LoadFailed => "load_failed",
             ErrorCode::ExecFailed => "exec_failed",
+            ErrorCode::Busy => "busy",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -74,16 +83,23 @@ pub fn ok_response(fields: Vec<(&str, Json)>) -> Json {
 
 /// An error response: `{"ok":false,"error":{"code","message"}}`.
 pub fn err_response(code: ErrorCode, message: impl Into<String>) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::obj(vec![
-                ("code", Json::str(code.as_str())),
-                ("message", Json::Str(message.into())),
-            ]),
-        ),
-    ])
+    err_response_with(code, message, vec![])
+}
+
+/// [`err_response`] with extra machine-readable fields inside the error
+/// object — e.g. `busy` responses carry `retry_after_ms` there, next to
+/// the code a client already switches on.
+pub fn err_response_with(
+    code: ErrorCode,
+    message: impl Into<String>,
+    extra: Vec<(&str, Json)>,
+) -> Json {
+    let mut err = vec![
+        ("code", Json::str(code.as_str())),
+        ("message", Json::Str(message.into())),
+    ];
+    err.extend(extra);
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::obj(err))])
 }
 
 /// What one framed read produced.
@@ -217,6 +233,14 @@ mod tests {
             err.get("error").unwrap().get("code").unwrap().as_str(),
             Some("unknown_op")
         );
+        let busy = err_response_with(
+            ErrorCode::Busy,
+            "queue full",
+            vec![("retry_after_ms", 40u64.into())],
+        );
+        let e = busy.get("error").unwrap();
+        assert_eq!(e.get("code").unwrap().as_str(), Some("busy"));
+        assert_eq!(e.get("retry_after_ms").unwrap().as_u64(), Some(40));
     }
 
     #[test]

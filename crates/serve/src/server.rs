@@ -11,16 +11,28 @@
 //!
 //! The accept loop runs on its own thread; each accepted connection gets
 //! a handler thread that loops over request lines until EOF, an oversized
-//! payload, or `shutdown`. Shutdown is cooperative: the flag flips, the
-//! accept loop is woken by a self-connection, and in-flight requests
-//! finish their response before the process exits.
+//! payload, or `shutdown`. Connection threads do **not** execute heavy
+//! verbs themselves: `mxm` and `app` requests are validated at admission
+//! and handed to the scheduler's bounded queue, where a fixed
+//! pool of executor workers (`--max-inflight`) drains them — so
+//! concurrency is a policy knob, overload is answered with a typed
+//! `busy` + `retry_after_ms` instead of unbounded queueing, queued
+//! requests that differ only by mask mode fuse into one kernel pass, and
+//! `deadline_ms` budgets cancel expired work before its numeric phase.
+//! Light verbs (ping, list, stats, metrics, load, …) still run inline on
+//! the connection thread.
+//!
+//! Shutdown is cooperative: the flag flips, the accept loop is woken by
+//! a self-connection, and in-flight requests finish their response
+//! before the process exits.
 
 use crate::json::{self, Json};
 use crate::protocol::{
-    err_response, ok_response, opt_bool, opt_str, opt_u64, read_frame, req_str, ErrorCode, Frame,
-    MAX_REQUEST_BYTES,
+    err_response, err_response_with, ok_response, opt_bool, opt_str, opt_u64, read_frame, req_str,
+    ErrorCode, Frame, MAX_REQUEST_BYTES,
 };
-use crate::registry::{Registry, RegistryError};
+use crate::registry::{Dataset, Registry, RegistryError};
+use crate::scheduler::{Admission, Job, Scheduler};
 use masked_spgemm::{
     masked_mxm_with_bt, masked_mxm_with_opts, Algorithm, ExecOpts, ExecStats, MaskMode, Phases,
     RowSchedule, WsPool,
@@ -37,8 +49,8 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Server-wide defaults a request can override per call.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +66,14 @@ pub struct ServeConfig {
     /// Prefer zero-copy mmap residency for v2 `.msb` inputs/sidecars
     /// (`mxm serve --mmap`); requests can override per `load`.
     pub mmap: bool,
+    /// Executor workers draining the admission queue — the number of
+    /// heavy requests executing concurrently (`mxm serve
+    /// --max-inflight`). Clamped to at least 1.
+    pub max_inflight: usize,
+    /// Admission queue capacity: a heavy request arriving when this many
+    /// are already waiting is answered with a typed `busy` error
+    /// (`mxm serve --queue-depth`). Clamped to at least 1.
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +83,12 @@ impl Default for ServeConfig {
             parse_threads: 0,
             cache: CachePolicy::ReadWrite,
             mmap: false,
+            // Two executor slots keep a second core busy while one
+            // request fills the other; 64 queued jobs is roughly a
+            // second of backlog at interactive kernel sizes. Both are
+            // sized so light workloads never see `busy`.
+            max_inflight: 2,
+            queue_depth: 64,
         }
     }
 }
@@ -81,6 +107,9 @@ pub struct ServerState {
     /// latency and queue-wait histograms, ingest totals — served by the
     /// `metrics` verb as JSON or Prometheus text.
     pub metrics: MetricsRegistry,
+    /// The admission queue feeding the executor workers; heavy verbs go
+    /// through here, light verbs bypass it.
+    pub(crate) scheduler: Scheduler,
     config: ServeConfig,
     started: Instant,
     requests: AtomicU64,
@@ -93,19 +122,32 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    fn new(config: ServeConfig) -> Self {
-        ServerState {
+    fn new(config: ServeConfig) -> Arc<Self> {
+        let state = Arc::new(ServerState {
             registry: Registry::new(),
             ws_pool: WsPool::new(),
             exec_stats: ExecStats::new(),
             metrics: MetricsRegistry::new(),
+            scheduler: Scheduler::new(config.max_inflight, config.queue_depth),
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             active: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             addr: OnceLock::new(),
+        });
+        // Pre-touch the overload counters so every metrics scrape carries
+        // them at zero — an operator alerting on `rejected_busy_total`
+        // sees the series exist before the first rejection.
+        for name in [
+            "rejected_busy_total",
+            "deadline_exceeded_total",
+            "fused_requests_total",
+        ] {
+            let _ = state.metrics.counter(name, &[]);
         }
+        Scheduler::spawn_workers(&state);
+        state
     }
 
     /// Whether shutdown has been requested.
@@ -142,7 +184,7 @@ impl Server {
     /// address (`127.0.0.1:7654`, port `0` picks a free one) or
     /// `unix:/path/to.sock`.
     pub fn start(listen: &str, config: ServeConfig) -> Result<Server, String> {
-        let state = Arc::new(ServerState::new(config));
+        let state = ServerState::new(config);
         let (binding, addr) = if let Some(path) = listen.strip_prefix("unix:") {
             #[cfg(unix)]
             {
@@ -441,17 +483,83 @@ pub fn handle_request(state: &ServerState, line: &str) -> (Json, bool) {
     handle_request_at(state, line, Instant::now())
 }
 
-/// [`handle_request`] with an explicit arrival timestamp, so the
-/// connection loop can charge pre-dispatch delay to the `queue_wait_us`
-/// histogram. Today requests execute synchronously on their connection
-/// thread and the wait is near zero; the series exists so the ROADMAP's
-/// admission-control work inherits the plumbing (and the metric name)
-/// for free.
+/// Where a parsed request line was sent.
+enum Routed {
+    /// Executed (or rejected) synchronously on the connection thread.
+    Inline {
+        verb: &'static str,
+        dataset: Option<String>,
+        result: OpResult,
+        stop: bool,
+    },
+    /// Admitted to the scheduler; the reply channel produces the one
+    /// response, and the executor worker records its metrics.
+    Queued {
+        verb: &'static str,
+        dataset: Option<String>,
+        rx: mpsc::Receiver<Json>,
+    },
+}
+
+fn inline(verb: &'static str, dataset: Option<String>, result: OpResult, stop: bool) -> Routed {
+    Routed::Inline {
+        verb,
+        dataset,
+        result,
+        stop,
+    }
+}
+
+/// [`handle_request`] with an explicit arrival timestamp. Heavy verbs
+/// queue behind the scheduler, and the worker charges `arrival →
+/// execution start` to the `queue_wait_us` histogram; light verbs run
+/// here on the connection thread with a near-zero wait.
 fn handle_request_at(state: &ServerState, line: &str, received: Instant) -> (Json, bool) {
     let exec_start = Instant::now();
-    let (verb, dataset, resp, stop) = dispatch_request(state, line);
-    let latency_us = exec_start.elapsed().as_micros() as u64;
-    let queue_us = exec_start.saturating_duration_since(received).as_micros() as u64;
+    match route_request(state, line, received) {
+        Routed::Inline {
+            verb,
+            dataset,
+            result,
+            stop,
+        } => {
+            let resp = match result {
+                Ok(resp) => resp,
+                Err((code, msg)) => err_response(code, msg),
+            };
+            let latency_us = exec_start.elapsed().as_micros() as u64;
+            let queue_us = exec_start.saturating_duration_since(received).as_micros() as u64;
+            record_request(state, verb, dataset.as_deref(), &resp, latency_us, queue_us);
+            (resp, stop)
+        }
+        Routed::Queued { verb, dataset, rx } => match rx.recv() {
+            // The worker recorded this request before replying.
+            Ok(resp) => (resp, false),
+            // The sender was dropped without an answer — a worker panic.
+            // Answer (and record) here so the connection never hangs.
+            Err(_) => {
+                let resp = err_response(ErrorCode::ExecFailed, "executor dropped the request");
+                let latency_us = exec_start.elapsed().as_micros() as u64;
+                record_request(state, verb, dataset.as_deref(), &resp, latency_us, 0);
+                (resp, false)
+            }
+        },
+    }
+}
+
+/// Fold one finished request into the metrics registry — the single
+/// recording point shared by the inline path and the executor workers,
+/// so the exact-count invariants (a `metrics` scrape reports precisely
+/// the requests answered before it) hold regardless of which side
+/// answered.
+fn record_request(
+    state: &ServerState,
+    verb: &'static str,
+    dataset: Option<&str>,
+    resp: &Json,
+    latency_us: u64,
+    queue_us: u64,
+) {
     let m = &state.metrics;
     m.counter("requests_total", &[]).inc();
     m.counter("requests_total", &[("verb", verb)]).inc();
@@ -465,29 +573,16 @@ fn handle_request_at(state: &ServerState, line: &str, received: Instant) -> (Jso
     m.histogram("queue_wait_us", &[("verb", verb)])
         .record(queue_us);
     if let Some(ds) = dataset {
-        m.histogram("dataset_request_latency_us", &[("dataset", &ds)])
+        m.histogram("dataset_request_latency_us", &[("dataset", ds)])
             .record(latency_us);
     }
-    (resp, stop)
 }
 
-/// The verb switch proper. Returns the verb label and the dataset the
-/// request addressed (for the per-series histograms) alongside the
-/// response.
-fn dispatch_request(state: &ServerState, line: &str) -> (&'static str, Option<String>, Json, bool) {
-    let (verb, dataset, result, stop) = dispatch_request_inner(state, line);
-    match result {
-        Ok(resp) => (verb, dataset, resp, stop),
-        Err((code, msg)) => (verb, dataset, err_response(code, msg), stop),
-    }
-}
-
-fn dispatch_request_inner(
-    state: &ServerState,
-    line: &str,
-) -> (&'static str, Option<String>, OpResult, bool) {
+/// Parse, validate, and route one request line: light verbs execute
+/// inline, heavy verbs (`mxm`, `app`) go through scheduler admission.
+fn route_request(state: &ServerState, line: &str, received: Instant) -> Routed {
     if state.is_shutting_down() {
-        return (
+        return inline(
             "rejected",
             None,
             Err((
@@ -500,7 +595,7 @@ fn dispatch_request_inner(
     let req = match json::parse(line) {
         Ok(v @ Json::Obj(_)) => v,
         Ok(_) => {
-            return (
+            return inline(
                 "invalid",
                 None,
                 Err((
@@ -511,7 +606,7 @@ fn dispatch_request_inner(
             )
         }
         Err(e) => {
-            return (
+            return inline(
                 "invalid",
                 None,
                 Err((ErrorCode::BadRequest, format!("invalid JSON: {e}"))),
@@ -523,7 +618,7 @@ fn dispatch_request_inner(
     let op = match req.get("op").and_then(Json::as_str) {
         Some(s) => s.to_string(),
         None => {
-            return (
+            return inline(
                 "invalid",
                 None,
                 Err((ErrorCode::BadRequest, "'op' must be a string".to_string())),
@@ -539,7 +634,7 @@ fn dispatch_request_inner(
         .and_then(Json::as_str)
         .map(str::to_string);
     if op == "shutdown" {
-        return (
+        return inline(
             "shutdown",
             dataset,
             Ok(ok_response(vec![
@@ -549,26 +644,119 @@ fn dispatch_request_inner(
             true,
         );
     }
-    let (verb, result): (&'static str, OpResult) = match op.as_str() {
-        "ping" => ("ping", op_ping(state)),
-        "load" => ("load", op_load(state, &req)),
-        "list" => ("list", op_list(state)),
-        "unload" => ("unload", op_unload(state, &req)),
-        "mxm" => ("mxm", op_mxm(state, &req)),
-        "app" => ("app", op_app(state, &req)),
-        "stats" => ("stats", op_stats(state)),
-        "metrics" => ("metrics", op_metrics(state, &req)),
-        other => (
+    match op.as_str() {
+        "ping" => inline("ping", dataset, op_ping(state), false),
+        "load" => {
+            let r = op_load(state, &req);
+            inline("load", dataset, r, false)
+        }
+        "list" => inline("list", dataset, op_list(state), false),
+        "unload" => {
+            let r = op_unload(state, &req);
+            inline("unload", dataset, r, false)
+        }
+        "mxm" => schedule_heavy(state, "mxm", req, dataset, received),
+        "app" => schedule_heavy(state, "app", req, dataset, received),
+        "stats" => inline("stats", dataset, op_stats(state), false),
+        "metrics" => {
+            let r = op_metrics(state, &req);
+            inline("metrics", dataset, r, false)
+        }
+        other => inline(
             "unknown",
+            dataset,
             Err((
                 ErrorCode::UnknownOp,
                 format!(
                 "unknown op '{other}' (expected ping|load|list|unload|mxm|app|stats|metrics|shutdown)"
             ),
             )),
+            false,
         ),
+    }
+}
+
+/// Admit one heavy verb into the scheduler, or answer inline when it
+/// cannot be queued: malformed (`bad_request` before a slot is wasted),
+/// already past its deadline, or rejected by a full queue (`busy` with a
+/// `retry_after_ms` hint).
+fn schedule_heavy(
+    state: &ServerState,
+    verb: &'static str,
+    req: Json,
+    dataset: Option<String>,
+    received: Instant,
+) -> Routed {
+    // The execution budget counts from arrival, so time spent queued
+    // spends it too — that is the point: a client that gave up by its
+    // deadline should not have stale work run on its behalf.
+    let deadline_ms = match opt_u64(&req, "deadline_ms", 0) {
+        Ok(ms) => ms,
+        Err(msg) => return inline(verb, dataset, Err(bad(msg)), false),
     };
-    (verb, dataset, result, false)
+    let deadline = (deadline_ms > 0).then(|| received + Duration::from_millis(deadline_ms));
+    // Validate `mxm` fully at admission: an unknown dataset or a bad
+    // parameter never occupies a queue slot, and the fuse key needs the
+    // parsed, defaulted parameters anyway. (`app` validates on the
+    // worker; its errors still come back on the reply channel.)
+    let fuse_key = if verb == "mxm" {
+        match parse_mxm(state, &req) {
+            Ok(p) => Some(p.fuse_key()),
+            Err(e) => return inline(verb, dataset, Err(e), false),
+        }
+    } else {
+        None
+    };
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        state.metrics.counter("deadline_exceeded_total", &[]).inc();
+        return inline(
+            verb,
+            dataset,
+            Err((
+                ErrorCode::DeadlineExceeded,
+                format!("deadline of {deadline_ms} ms expired before admission"),
+            )),
+            false,
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        verb,
+        req,
+        fuse_key,
+        dataset: dataset.clone(),
+        received,
+        deadline,
+        reply: tx,
+    };
+    match state.scheduler.submit(job) {
+        Admission::Enqueued => Routed::Queued { verb, dataset, rx },
+        Admission::Busy {
+            retry_after_ms,
+            queued,
+        } => {
+            state.metrics.counter("rejected_busy_total", &[]).inc();
+            // `Ok` despite being an error response: the `busy` object
+            // carries `retry_after_ms` inside `error`, which the plain
+            // `(code, message)` error path cannot express. It still
+            // counts as an error (`"ok": false`) in the metrics.
+            let resp = err_response_with(
+                ErrorCode::Busy,
+                format!("admission queue full ({queued} waiting); retry in ~{retry_after_ms} ms"),
+                vec![("retry_after_ms", retry_after_ms.into())],
+            );
+            inline(verb, dataset, Ok(resp), false)
+        }
+        Admission::Closed => inline(
+            verb,
+            dataset,
+            Err((
+                ErrorCode::ShuttingDown,
+                "server is shutting down".to_string(),
+            )),
+            false,
+        ),
+    }
 }
 
 fn op_ping(state: &ServerState) -> OpResult {
@@ -677,8 +865,40 @@ fn op_unload(state: &ServerState, req: &Json) -> OpResult {
     ]))
 }
 
-fn op_mxm(state: &ServerState, req: &Json) -> OpResult {
+/// A fully parsed and validated `mxm` request, ready to execute.
+struct MxmParams {
+    dataset: String,
+    algo: Algorithm,
+    mode: MaskMode,
+    phases: Phases,
+    schedule: RowSchedule,
+    threads: usize,
+    reps: usize,
+}
+
+impl MxmParams {
+    /// Fusion compatibility key: everything that shapes the kernel pass
+    /// *except* the mask mode. Jobs sharing a key ride one batch and are
+    /// partitioned by mode at execution, so normal and complemented
+    /// queries against the same dataset still fuse among themselves.
+    fn fuse_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.dataset,
+            self.algo.name(),
+            if self.phases == Phases::One { "1" } else { "2" },
+            self.schedule.name(),
+            self.threads,
+            self.reps
+        )
+    }
+}
+
+fn parse_mxm(state: &ServerState, req: &Json) -> Result<MxmParams, (ErrorCode, String)> {
     let name = req_str(req, "dataset").map_err(bad)?;
+    // Resolve the dataset now so an unknown name is rejected at
+    // admission instead of occupying a queue slot; execution resolves
+    // again (the dataset may be unloaded while the job waits).
     let ds = state.registry.get(name).map_err(reg_err)?;
     let algo: Algorithm = opt_parse(req, "algo", "auto")?;
     let mode: MaskMode = opt_parse(req, "mask", "normal")?;
@@ -686,76 +906,245 @@ fn op_mxm(state: &ServerState, req: &Json) -> OpResult {
     let schedule: RowSchedule = opt_parse(req, "schedule", state.config.schedule.name())?;
     let threads = opt_u64(req, "threads", 0).map_err(bad)? as usize;
     let reps = opt_u64(req, "reps", 1).map_err(bad)?.max(1) as usize;
+    Ok(MxmParams {
+        dataset: ds.name.clone(),
+        algo,
+        mode,
+        phases,
+        schedule,
+        threads,
+        reps,
+    })
+}
 
+/// What one kernel pass produced — shared by every rider in a fused
+/// group; the per-job response is layered on by [`mxm_response`].
+struct PassOut {
+    secs: f64,
+    nnz: usize,
+    fingerprint: String,
+    hits: u64,
+    misses: u64,
+    is_pull: bool,
+}
+
+fn run_mxm_pass(
+    state: &ServerState,
+    ds: &Dataset,
+    p: &MxmParams,
+    mode: MaskMode,
+    deadline: Option<Instant>,
+) -> Result<PassOut, (ErrorCode, String)> {
     let a = &ds.matrix;
     let mask = &ds.mask;
     let opts = ExecOpts {
-        schedule,
+        schedule: p.schedule,
         ws_pool: Some(&state.ws_pool),
         stats: Some(&state.exec_stats),
+        deadline,
     };
     let hits0 = state.ws_pool.hits();
     let misses0 = state.ws_pool.misses();
     let run_one = || -> Result<Csr<f64>, masked_spgemm::Error> {
-        if algo == Algorithm::Inner {
+        if p.algo == Algorithm::Inner {
             // The registry's pre-transposed operand: the pull scheme
-            // skips the per-call transpose entirely.
-            masked_mxm_with_bt::<PlusTimesF64, ()>(mask, a, &ds.matrix_t, mode, phases)
+            // skips the per-call transpose entirely. (It has no row
+            // drive, so no phase-boundary deadline checks either — the
+            // budget is still enforced at admission and dequeue.)
+            masked_mxm_with_bt::<PlusTimesF64, ()>(mask, a, &ds.matrix_t, mode, p.phases)
         } else {
-            masked_mxm_with_opts::<PlusTimesF64, ()>(mask, a, a, algo, mode, phases, &opts)
+            masked_mxm_with_opts::<PlusTimesF64, ()>(mask, a, a, p.algo, mode, p.phases, &opts)
         }
     };
-    let work = || time_best(reps, run_one);
-    let (secs, c) = if threads > 0 {
-        with_threads(threads, work)
+    let work = || time_best(p.reps, run_one);
+    let (secs, c) = if p.threads > 0 {
+        with_threads(p.threads, work)
     } else {
         work()
     };
-    let c = c.map_err(|e| (ErrorCode::ExecFailed, e.to_string()))?;
-    let hits = state.ws_pool.hits() - hits0;
-    let misses = state.ws_pool.misses() - misses0;
-    // The explicit pull path has no row drive and leases no workspaces;
-    // echoing a schedule or claiming a warm pool would be fiction.
-    let is_pull = algo == Algorithm::Inner;
-    Ok(ok_response(vec![
+    let c = c.map_err(|e| match e {
+        masked_spgemm::Error::DeadlineExceeded => (ErrorCode::DeadlineExceeded, e.to_string()),
+        other => (ErrorCode::ExecFailed, other.to_string()),
+    })?;
+    Ok(PassOut {
+        secs,
+        nnz: c.nnz(),
+        fingerprint: format!("{:016x}", csr_fingerprint(&c)),
+        hits: state.ws_pool.hits() - hits0,
+        misses: state.ws_pool.misses() - misses0,
+        // The explicit pull path has no row drive and leases no
+        // workspaces; echoing a schedule or claiming a warm pool would
+        // be fiction.
+        is_pull: p.algo == Algorithm::Inner,
+    })
+}
+
+/// One rider's view of a (possibly fused) pass: `fused_group` is how
+/// many requests shared the kernel execution; `fused` is the flag a
+/// client can switch on without comparing counts.
+fn mxm_response(
+    ds: &Dataset,
+    p: &MxmParams,
+    mode: MaskMode,
+    pass: &PassOut,
+    fused_group: usize,
+) -> Json {
+    ok_response(vec![
         ("op", Json::str("mxm")),
         ("dataset", Json::str(&ds.name)),
-        ("algo", Json::str(algo.name())),
+        ("algo", Json::str(p.algo.name())),
         ("mask", Json::str(mask_name(mode))),
         (
             "phases",
-            Json::str(if phases == Phases::One { "1" } else { "2" }),
+            Json::str(if p.phases == Phases::One { "1" } else { "2" }),
         ),
         (
             "schedule",
-            if is_pull {
+            if pass.is_pull {
                 Json::Null
             } else {
-                Json::str(schedule.name())
+                Json::str(p.schedule.name())
             },
         ),
-        ("threads", threads.into()),
-        ("reps", reps.into()),
-        ("seconds", secs.into()),
-        ("gflops", gflops(ds.mxm_flops, secs).into()),
-        ("nnz", c.nnz().into()),
-        (
-            "fingerprint",
-            Json::Str(format!("{:016x}", csr_fingerprint(&c))),
-        ),
+        ("threads", p.threads.into()),
+        ("reps", p.reps.into()),
+        ("seconds", pass.secs.into()),
+        ("gflops", gflops(ds.mxm_flops, pass.secs).into()),
+        ("nnz", pass.nnz.into()),
+        ("fingerprint", Json::Str(pass.fingerprint.clone())),
+        ("fused", (fused_group > 1).into()),
+        ("fused_group", fused_group.into()),
         (
             "pool",
-            if is_pull {
+            if pass.is_pull {
                 Json::Null
             } else {
                 Json::obj(vec![
-                    ("hits", hits.into()),
-                    ("misses", misses.into()),
-                    ("warm", (misses == 0).into()),
+                    ("hits", pass.hits.into()),
+                    ("misses", pass.misses.into()),
+                    ("warm", (pass.misses == 0).into()),
                 ])
             },
         ),
-    ]))
+    ])
+}
+
+/// Execute one scheduler batch on an executor worker: jobs whose
+/// deadline expired while queued are answered without running, `app`
+/// jobs run singly, and `mxm` jobs — batched by the scheduler only when
+/// their fuse keys match — share one kernel pass per mask mode.
+pub(crate) fn execute_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
+    let mut mxm = Vec::new();
+    for job in batch {
+        if job.expired() {
+            state.metrics.counter("deadline_exceeded_total", &[]).inc();
+            let resp = err_response(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired while the request was queued",
+            );
+            finish_job(state, job, resp, Instant::now());
+            continue;
+        }
+        match job.verb {
+            "app" => {
+                let exec_start = Instant::now();
+                let resp = match op_app(state, &job.req) {
+                    Ok(resp) => resp,
+                    Err((code, msg)) => err_response(code, msg),
+                };
+                finish_job(state, job, resp, exec_start);
+            }
+            _ => mxm.push(job),
+        }
+    }
+    if !mxm.is_empty() {
+        exec_mxm_group(state, mxm);
+    }
+}
+
+/// Run a group of fuse-compatible `mxm` jobs: one kernel pass per
+/// distinct mask mode, the output fanned back to every rider with its
+/// own fingerprint and timing.
+fn exec_mxm_group(state: &ServerState, jobs: Vec<Job>) {
+    let exec_start = Instant::now();
+    // Re-parse on the worker: parsing is deterministic (admission
+    // already vetted it), but the dataset must be resolved fresh — it
+    // may have been unloaded while the job waited.
+    let mut by_mode: Vec<(MaskMode, Vec<(Job, MxmParams)>)> = Vec::new();
+    for job in jobs {
+        match parse_mxm(state, &job.req) {
+            Ok(p) => match by_mode.iter_mut().find(|(m, _)| *m == p.mode) {
+                Some((_, group)) => group.push((job, p)),
+                None => by_mode.push((p.mode, vec![(job, p)])),
+            },
+            Err((code, msg)) => {
+                finish_job(state, job, err_response(code, msg), exec_start);
+            }
+        }
+    }
+    for (mode, group) in by_mode {
+        let k = group.len();
+        if k > 1 {
+            // k requests shared one pass: k-1 kernel executions saved.
+            state
+                .metrics
+                .counter("fused_requests_total", &[])
+                .add((k - 1) as u64);
+        }
+        // The pass runs once for everyone, so it gets the *loosest*
+        // deadline in the group: by the time that one expires, every
+        // earlier deadline has expired too. Any rider without a budget
+        // disables kernel cancellation for the whole pass.
+        let deadline = if group.iter().all(|(job, _)| job.deadline.is_some()) {
+            group.iter().filter_map(|(job, _)| job.deadline).max()
+        } else {
+            None
+        };
+        let p = &group[0].1;
+        let outcome = match state.registry.get(&p.dataset) {
+            Ok(ds) => run_mxm_pass(state, &ds, p, mode, deadline).map(|pass| (ds, pass)),
+            Err(e) => Err(reg_err(e)),
+        };
+        match outcome {
+            Ok((ds, pass)) => {
+                for (job, p) in group {
+                    let resp = mxm_response(&ds, &p, mode, &pass, k);
+                    finish_job(state, job, resp, exec_start);
+                }
+            }
+            Err((code, msg)) => {
+                if code == ErrorCode::DeadlineExceeded {
+                    state
+                        .metrics
+                        .counter("deadline_exceeded_total", &[])
+                        .add(k as u64);
+                }
+                for (job, _) in group {
+                    finish_job(state, job, err_response(code, msg.clone()), exec_start);
+                }
+            }
+        }
+    }
+}
+
+/// Record one queued job's metrics and send its response. Recording
+/// happens *before* the reply, so a client that scrapes `metrics`
+/// right after its answer sees its own request already counted — the
+/// same exact-count invariant the inline path provides.
+fn finish_job(state: &ServerState, job: Job, resp: Json, exec_start: Instant) {
+    let latency_us = exec_start.elapsed().as_micros() as u64;
+    let queue_us = exec_start
+        .saturating_duration_since(job.received)
+        .as_micros() as u64;
+    record_request(
+        state,
+        job.verb,
+        job.dataset.as_deref(),
+        &resp,
+        latency_us,
+        queue_us,
+    );
+    let _ = job.reply.send(resp);
 }
 
 fn op_app(state: &ServerState, req: &Json) -> OpResult {
@@ -783,6 +1172,9 @@ fn op_app(state: &ServerState, req: &Json) -> OpResult {
         schedule,
         ws_pool: Some(&state.ws_pool),
         stats: Some(&state.exec_stats),
+        // Apps run many chained passes and map kernel errors to panics;
+        // their deadline is enforced at admission and dequeue only.
+        deadline: None,
     };
     let hits0 = state.ws_pool.hits();
     let misses0 = state.ws_pool.misses();
@@ -931,6 +1323,14 @@ fn op_stats(state: &ServerState) -> OpResult {
         ("total_mem_bytes", total_mem.into()),
         ("total_mapped_bytes", total_mapped.into()),
         (
+            "scheduler",
+            Json::obj(vec![
+                ("workers", state.scheduler.workers().into()),
+                ("queue_depth", state.scheduler.depth().into()),
+                ("queued", state.scheduler.queued().into()),
+            ]),
+        ),
+        (
             "pool",
             Json::obj(vec![
                 ("hits", hits.into()),
@@ -968,6 +1368,8 @@ fn publish_gauges(state: &ServerState) {
         m.gauge("busy_threads", &[]).set(sp.threads as f64);
         m.gauge("busy_max_over_mean", &[]).set(sp.ratio());
     }
+    m.gauge("scheduler_queued", &[])
+        .set(state.scheduler.queued() as f64);
     let resident = state.registry.list();
     m.gauge("datasets_resident", &[]).set(resident.len() as f64);
     m.gauge("resident_bytes", &[])
@@ -1073,10 +1475,10 @@ mod tests {
         let mtx = dir.join("g.mtx");
         let g = mspgemm_gen::er_symmetric(n, 6, 3);
         mspgemm_io::mtx::write_mtx_file(&mtx, &g).unwrap();
-        let state = Arc::new(ServerState::new(ServeConfig {
+        let state = ServerState::new(ServeConfig {
             cache: CachePolicy::Off,
             ..ServeConfig::default()
-        }));
+        });
         (state, mtx.to_str().unwrap().to_string())
     }
 
@@ -1228,6 +1630,113 @@ mod tests {
             err_code(&state, r#"{"op":"app","dataset":"g","app":"ktruss","k":2}"#),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn deadline_expired_before_admission_is_rejected() {
+        let (state, path) = state_with("deadline_admission", 60);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        // An arrival stamp far in the past: the 1 ms budget is long gone
+        // by admission time, deterministically.
+        let received = Instant::now()
+            .checked_sub(Duration::from_secs(10))
+            .expect("monotonic clock is past its first 10 seconds");
+        let (resp, stop) = handle_request_at(
+            &state,
+            r#"{"op":"mxm","dataset":"g","deadline_ms":1}"#,
+            received,
+        );
+        assert!(!stop);
+        assert_eq!(
+            resp.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("deadline_exceeded"),
+            "{}",
+            resp.to_line()
+        );
+        assert_eq!(
+            state.metrics.counter("deadline_exceeded_total", &[]).get(),
+            1
+        );
+        // Without a budget the same request runs fine.
+        ok(&state, r#"{"op":"mxm","dataset":"g","deadline_ms":0}"#);
+    }
+
+    #[test]
+    fn fused_batch_matches_single_requests_per_mask() {
+        let (state, path) = state_with("fusion", 100);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        // Reference fingerprints from plain (unfused) requests.
+        let normal = ok(&state, r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        let comp = ok(
+            &state,
+            r#"{"op":"mxm","dataset":"g","algo":"hash","mask":"complement"}"#,
+        );
+        assert_eq!(normal.get("fused").unwrap().as_bool(), Some(false));
+        assert_eq!(normal.get("fused_group").unwrap().as_u64(), Some(1));
+
+        // Hand-build a fused batch (two normal riders + one complement)
+        // and run it exactly as an executor worker would.
+        let mk = |line: &str| {
+            let (tx, rx) = mpsc::channel();
+            (
+                Job {
+                    verb: "mxm",
+                    req: json::parse(line).unwrap(),
+                    fuse_key: Some("k".to_string()),
+                    dataset: Some("g".to_string()),
+                    received: Instant::now(),
+                    deadline: None,
+                    reply: tx,
+                },
+                rx,
+            )
+        };
+        let (j1, r1) = mk(r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        let (j2, r2) = mk(r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        let (j3, r3) = mk(r#"{"op":"mxm","dataset":"g","algo":"hash","mask":"complement"}"#);
+        execute_batch(&state, vec![j1, j2, j3]);
+        let a = r1.recv().unwrap();
+        let b = r2.recv().unwrap();
+        let c = r3.recv().unwrap();
+        for resp in [&a, &b] {
+            assert_eq!(
+                resp.get("ok"),
+                Some(&Json::Bool(true)),
+                "{}",
+                resp.to_line()
+            );
+            assert_eq!(resp.get("fused").unwrap().as_bool(), Some(true));
+            assert_eq!(resp.get("fused_group").unwrap().as_u64(), Some(2));
+            assert_eq!(resp.get("mask").unwrap().as_str(), Some("normal"));
+            assert_eq!(
+                resp.get("fingerprint"),
+                normal.get("fingerprint"),
+                "fused output must be bit-identical to the unfused one"
+            );
+        }
+        assert_eq!(c.get("fused_group").unwrap().as_u64(), Some(1));
+        assert_eq!(c.get("fingerprint"), comp.get("fingerprint"));
+        assert_eq!(
+            state.metrics.counter("fused_requests_total", &[]).get(),
+            1,
+            "two riders shared one pass: one kernel execution saved"
+        );
+    }
+
+    #[test]
+    fn stats_reports_the_scheduler_shape() {
+        let (state, _) = state_with("sched_stats", 40);
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        let sched = stats.get("scheduler").unwrap();
+        assert_eq!(sched.get("workers").unwrap().as_u64(), Some(2));
+        assert_eq!(sched.get("queue_depth").unwrap().as_u64(), Some(64));
+        assert_eq!(sched.get("queued").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -7,6 +7,9 @@ use mspgemm_serve::{client, Client, Json, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
 
 fn fixture(tag: &str, n: usize) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("mspgemm_serve_it_{tag}"));
@@ -258,6 +261,253 @@ fn metrics_counts_match_issued_requests() {
     );
     assert!(text.contains("request_latency_us_bucket{verb=\"mxm\",le=\""));
     assert!(text.contains("request_latency_us_count{verb=\"mxm\"} 3"));
+}
+
+/// Send one request on a fresh connection, retrying typed `busy`
+/// responses the way a well-behaved client would: sleep about the
+/// hinted backoff, resend. Every busy response along the way is checked
+/// for well-formedness (the code AND a positive `retry_after_ms`).
+fn request_until_ok(addr: &str, request: &Json, busy_seen: &AtomicU64) -> Json {
+    let mut c = Client::connect(addr).unwrap();
+    for _ in 0..500 {
+        let resp = c.request(request).unwrap();
+        if resp.get("ok").unwrap().as_bool() == Some(true) {
+            return resp;
+        }
+        let err = resp.get("error").unwrap();
+        assert_eq!(
+            err.get("code").unwrap().as_str(),
+            Some("busy"),
+            "only busy is retryable here: {}",
+            resp.to_line()
+        );
+        let hint = err.get("retry_after_ms").unwrap().as_u64().unwrap();
+        assert!(hint > 0, "busy must carry a positive hint");
+        busy_seen.fetch_add(1, Ordering::Relaxed);
+        // Cap the honored backoff so the test stays fast even when the
+        // server suggests a long wait.
+        std::thread::sleep(Duration::from_millis(hint.min(40)));
+    }
+    panic!("request never succeeded: {}", request.to_line());
+}
+
+/// The overload acceptance loop: a 100-client burst against two executor
+/// workers and a short queue. Nothing may hang, nothing may be lost —
+/// every client eventually gets a correct answer (fingerprints agree per
+/// mask mode, fused or not), every rejection is a well-formed `busy`,
+/// and afterwards the metrics account for the queueing and the
+/// rejections.
+#[test]
+fn hundred_client_burst_sheds_load_with_typed_busy() {
+    let mtx = fixture("burst", 150);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_inflight: 2,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    server
+        .preload(&[mtx.to_str().unwrap().to_string()])
+        .unwrap();
+    let addr = server.addr().to_string();
+
+    let clients = 100;
+    let busy_seen = AtomicU64::new(0);
+    let barrier = Barrier::new(clients);
+    let fingerprints: Vec<(bool, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                let addr = addr.clone();
+                let busy_seen = &busy_seen;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Alternate mask modes so fusion has to partition.
+                    let complement = ci % 2 == 1;
+                    let request = req(vec![
+                        ("op", Json::str("mxm")),
+                        ("dataset", Json::str("g")),
+                        ("algo", Json::str("hash")),
+                        (
+                            "mask",
+                            Json::str(if complement { "complement" } else { "normal" }),
+                        ),
+                    ]);
+                    barrier.wait();
+                    let resp = request_until_ok(&addr, &request, busy_seen);
+                    assert!(resp.get("fused_group").unwrap().as_u64().unwrap() >= 1);
+                    (
+                        complement,
+                        resp.get("fingerprint")
+                            .unwrap()
+                            .as_str()
+                            .unwrap()
+                            .to_string(),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Fingerprint agreement per mask mode, across fused and unfused
+    // executions alike.
+    for complement in [false, true] {
+        let group: Vec<&String> = fingerprints
+            .iter()
+            .filter(|(c, _)| *c == complement)
+            .map(|(_, fp)| fp)
+            .collect();
+        assert_eq!(group.len(), clients / 2);
+        assert!(
+            group.iter().all(|fp| *fp == group[0]),
+            "results must not depend on interleaving or fusion"
+        );
+    }
+
+    // The metrics agree with what the clients saw: every rejection was
+    // counted, and the queue-wait histogram finally has real samples.
+    let m = client::expect_ok(
+        client::query_once(&addr, &req(vec![("op", Json::str("metrics"))])).unwrap(),
+    )
+    .unwrap();
+    let counters = m.get("counters").unwrap().as_arr().unwrap();
+    let rejected = counters
+        .iter()
+        .find(|e| e.get("name").unwrap().as_str() == Some("rejected_busy_total"))
+        .expect("rejected_busy_total is pre-registered")
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(rejected, busy_seen.load(Ordering::Relaxed));
+    let hists = m.get("histograms").unwrap().as_arr().unwrap();
+    let queue_wait = hists
+        .iter()
+        .find(|e| {
+            e.get("name").unwrap().as_str() == Some("queue_wait_us")
+                && e.get("labels").unwrap().get("verb").and_then(Json::as_str) == Some("mxm")
+        })
+        .expect("queue_wait_us{verb=mxm} exists");
+    assert!(
+        queue_wait.get("count").unwrap().as_u64().unwrap() >= clients as u64,
+        "every accepted mxm charges its queue wait"
+    );
+}
+
+/// Deterministic overload: one worker, one queue slot, ten simultaneous
+/// slow requests — most must be rejected with `busy`, and every client
+/// that retries per the hint eventually succeeds with the same result.
+#[test]
+fn busy_rejections_happen_under_a_tiny_queue() {
+    let mtx = fixture("tinyqueue", 140);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_inflight: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    server
+        .preload(&[mtx.to_str().unwrap().to_string()])
+        .unwrap();
+    let addr = server.addr().to_string();
+
+    let clients = 10;
+    let busy_seen = AtomicU64::new(0);
+    let barrier = Barrier::new(clients);
+    let fps: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let busy_seen = &busy_seen;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // reps slows each execution enough that ten
+                    // simultaneous submissions cannot all fit into one
+                    // executing + one queued slot.
+                    let request = req(vec![
+                        ("op", Json::str("mxm")),
+                        ("dataset", Json::str("g")),
+                        ("algo", Json::str("msa")),
+                        ("reps", 10u64.into()),
+                    ]);
+                    barrier.wait();
+                    let resp = request_until_ok(&addr, &request, busy_seen);
+                    resp.get("fingerprint")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(fps.iter().all(|fp| *fp == fps[0]));
+    assert!(
+        busy_seen.load(Ordering::Relaxed) > 0,
+        "a 10-way simultaneous burst into capacity 2 must shed load"
+    );
+}
+
+/// A request whose deadline expires while it waits behind a slow one is
+/// answered `deadline_exceeded` instead of running stale work.
+#[test]
+fn queued_deadline_expires_behind_a_slow_request() {
+    let mtx = fixture("deadline", 120);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_inflight: 1,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    server
+        .preload(&[mtx.to_str().unwrap().to_string()])
+        .unwrap();
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|scope| {
+        // A long-running request occupies the only worker...
+        let slow = scope.spawn(|| {
+            client::query_once(
+                &addr,
+                &req(vec![
+                    ("op", Json::str("mxm")),
+                    ("dataset", Json::str("g")),
+                    ("algo", Json::str("msa")),
+                    ("reps", 400u64.into()),
+                ]),
+            )
+            .unwrap()
+        });
+        // ...while a tightly-budgeted one queues behind it. The sleep
+        // only needs the slow request admitted first; its hundreds of
+        // reps keep the worker busy far beyond this budget.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut c = Client::connect(&addr).unwrap();
+        let resp = c
+            .request(&req(vec![
+                ("op", Json::str("mxm")),
+                ("dataset", Json::str("g")),
+                ("deadline_ms", 5u64.into()),
+            ]))
+            .unwrap();
+        assert_eq!(
+            resp.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("deadline_exceeded"),
+            "{}",
+            resp.to_line()
+        );
+        slow.join().unwrap();
+    });
 }
 
 #[test]
