@@ -169,8 +169,22 @@ fn main() {
         obs.disabled_overhead_frac
     );
 
+    let fault = fault_overhead(scales[0] as u32, obs.product_seconds);
+    eprintln!(
+        "fault overhead: disarmed fire {:.1} ns, {} fires/product -> {:.5}% of the \
+         guided product",
+        fault.disabled_fire_ns,
+        fault.fires_per_product,
+        fault.disabled_overhead_frac * 100.0,
+    );
+    assert!(
+        fault.disabled_overhead_frac < 0.02,
+        "disarmed-failpoint overhead {:.5} must stay under 2%",
+        fault.disabled_overhead_frac
+    );
+
     if let Ok(json_path) = std::env::var("MSPGEMM_SCHED_JSON") {
-        std::fs::write(&json_path, report_json(&rows, &obs))
+        std::fs::write(&json_path, report_json(&rows, &obs, &fault))
             .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
         eprintln!("json report: {json_path}");
     }
@@ -258,10 +272,77 @@ fn obs_overhead(scale: u32, reps: usize) -> ObsOverhead {
     }
 }
 
+struct FaultOverhead {
+    /// Cost of one `mspgemm_fault::fire` call with nothing armed.
+    disabled_fire_ns: f64,
+    /// Failpoint sites one product actually crosses (measured via
+    /// `hits`, not assumed).
+    fires_per_product: usize,
+    /// fires_per_product × disabled_fire_ns as a fraction of the
+    /// untraced guided product — the whole disarmed cost of the
+    /// fault-injection hooks.
+    disabled_overhead_frac: f64,
+}
+
+/// Quantify what the kernel failpoints cost when nothing is armed: time
+/// the disarmed `fire()` call directly (one relaxed atomic load), count
+/// the sites one product crosses by arming benign zero-delay tasks, and
+/// charge their product against the same untraced guided wall time the
+/// obs bound uses. Also cross-checks that armed-but-benign failpoints
+/// do not change the computed CSR.
+fn fault_overhead(scale: u32, product_seconds: f64) -> FaultOverhead {
+    use std::time::Instant;
+    mspgemm_fault::clear();
+
+    // The disarmed fast path, amortized over a large call count.
+    let probes = 2_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..probes {
+        std::hint::black_box(mspgemm_fault::fire(std::hint::black_box("fault-probe")));
+    }
+    let disabled_fire_ns = t0.elapsed().as_secs_f64() * 1e9 / probes as f64;
+
+    let a = skewed_rmat(scale);
+    let mask = a.clone();
+    let run = || {
+        masked_mxm_with_opts::<PlusPairU64, ()>(
+            &mask,
+            &a,
+            &a,
+            Algorithm::Hash,
+            MaskMode::Mask,
+            Phases::One,
+            &ExecOpts::with_schedule(RowSchedule::Guided),
+        )
+        .expect("masked product failed")
+    };
+    let reference = run();
+    // Zero-delay tasks fire at every site (so `hits` counts them) but
+    // perturb nothing.
+    mspgemm_fault::configure("kernel.numeric=delay(0);kernel.symbolic=delay(0)").unwrap();
+    let armed = run();
+    let fires_per_product =
+        (mspgemm_fault::hits("kernel.numeric") + mspgemm_fault::hits("kernel.symbolic")) as usize;
+    mspgemm_fault::clear();
+    assert_eq!(
+        armed, reference,
+        "armed failpoints must not change the product"
+    );
+    assert!(fires_per_product > 0, "the product must cross a failpoint");
+
+    FaultOverhead {
+        disabled_fire_ns,
+        fires_per_product,
+        disabled_overhead_frac: (fires_per_product as f64 * disabled_fire_ns)
+            / (product_seconds * 1e9).max(1.0),
+    }
+}
+
 /// The perf-trajectory artifact the CI benchmark-smoke lane uploads:
 /// one record per (scale, threads, schedule), plus the observability
-/// overhead block backing the <2% disabled-path acceptance bound.
-fn report_json(rows: &[Row], obs: &ObsOverhead) -> String {
+/// and fault-injection overhead blocks backing the <2% disabled-path
+/// acceptance bounds.
+fn report_json(rows: &[Row], obs: &ObsOverhead, fault: &FaultOverhead) -> String {
     let mut out = String::from("{\n  \"bench\": \"abl_schedule\",\n");
     out.push_str(&format!(
         "  \"obs_overhead\": {{\"disabled_span_ns\": {:.2}, \"spans_per_product\": {}, \
@@ -272,6 +353,11 @@ fn report_json(rows: &[Row], obs: &ObsOverhead) -> String {
         obs.product_seconds,
         obs.disabled_overhead_frac,
         obs.enabled_over_disabled,
+    ));
+    out.push_str(&format!(
+        "  \"fault_overhead\": {{\"disabled_fire_ns\": {:.2}, \"fires_per_product\": {}, \
+         \"disabled_overhead_frac\": {:.8}, \"bound_frac\": 0.02}},\n",
+        fault.disabled_fire_ns, fault.fires_per_product, fault.disabled_overhead_frac,
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -68,7 +68,8 @@ USAGE:
 
     mxm serve [--listen ADDR] [--schedule static|guided|flops]
               [--parse-threads N] [--max-inflight N] [--queue-depth N]
-              [--no-cache] [--mmap] [preload.mtx ...]
+              [--max-resident-bytes B] [--quarantine-after K]
+              [--fail SPEC] [--no-cache] [--mmap] [preload.mtx ...]
         Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
         Unix socket): datasets stay resident with pre-transposed
         operands, and requests run on the warm worker pool with shared
@@ -81,8 +82,16 @@ USAGE:
         kernel pass. Preload positional files at startup; serves until a
         'shutdown' request. --mmap keeps v2 .msb datasets resident
         zero-copy (stats reports each dataset's backend and mapped
-        bytes). Protocol: docs/SERVE_PROTOCOL.md; capacity planning:
-        docs/SERVING_OPS.md.
+        bytes). The server self-heals: a kernel panic restarts the
+        executor worker and answers 'exec_failed'; --quarantine-after K
+        panics (default 3) against one dataset quarantine it until
+        unload+load; --max-resident-bytes B evicts least-recently-used
+        un-pinned datasets at load time (preloads are pinned; 0 =
+        unlimited). --fail SPEC (or MXM_FAILPOINTS) arms named fault
+        injection points for chaos drills, e.g.
+        'kernel.numeric=10%err;serve.conn.drop=5%err' — armed points
+        are listed by 'stats'. Protocol: docs/SERVE_PROTOCOL.md;
+        capacity planning and failure modes: docs/SERVING_OPS.md.
 
     mxm query [--connect ADDR] [--retry N] <op> [op flags]
         One request against a running server. `stats`, `metrics` and
@@ -145,6 +154,9 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
             "parse-threads",
             "max-inflight",
             "queue-depth",
+            "max-resident-bytes",
+            "quarantine-after",
+            "fail",
         ],
         "query" => QUERY_VALUE_FLAGS,
         _ => &[],

@@ -29,6 +29,22 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let defaults = ServeConfig::default();
     let max_inflight = p.flag_parse("max-inflight", defaults.max_inflight)?;
     let queue_depth = p.flag_parse("queue-depth", defaults.queue_depth)?;
+    let max_resident_bytes = p.flag_parse("max-resident-bytes", defaults.max_resident_bytes)?;
+    let quarantine_after = p.flag_parse("quarantine-after", defaults.quarantine_after)?;
+    // Fault injection for chaos drills: `--fail` wins over the
+    // `MXM_FAILPOINTS` environment; both use the same spec grammar
+    // (`name=[P%][N*]kind[(arg)];...`). The `stats` verb lists whatever
+    // is armed, so an injected fault is never mistaken for a real one.
+    let fail_spec = p
+        .flag("fail")
+        .map(str::to_string)
+        .or_else(|| std::env::var("MXM_FAILPOINTS").ok());
+    if let Some(spec) = &fail_spec {
+        mspgemm_fault::configure(spec).map_err(|e| format!("failpoint spec '{spec}': {e}"))?;
+        if !spec.trim().is_empty() {
+            writeln!(out, "failpoints armed: {spec}").map_err(|e| e.to_string())?;
+        }
+    }
     let server = Server::start(
         listen,
         ServeConfig {
@@ -38,6 +54,8 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             mmap: p.switch("mmap"),
             max_inflight,
             queue_depth,
+            max_resident_bytes,
+            quarantine_after,
         },
     )?;
     for (path, name) in p.positional.iter().zip(server.preload(&p.positional)?) {
@@ -166,9 +184,30 @@ fn connect_with_retry(addr: &str, retries: u64) -> Result<Client, String> {
 
 /// The capped exponential backoff before busy-retry number `attempt`:
 /// the server's `retry_after_ms` hint doubled per attempt (exponent
-/// capped so the shift cannot overflow), never above 5 seconds.
+/// capped so the shift cannot overflow), never above 5 seconds, then
+/// jittered by ±25%. Without the jitter, every client rejected by the
+/// same full queue computes the same wait and re-arrives in lockstep —
+/// re-overloading the queue on the same tick, forever.
 fn busy_backoff_ms(hint: u64, attempt: u64) -> u64 {
-    hint.saturating_mul(1 << attempt.min(6)).min(5_000)
+    let base = hint.saturating_mul(1 << attempt.min(6)).min(5_000);
+    jitter_pm25(base).min(5_000)
+}
+
+/// Uniform ±25% around `base` (time-seeded xorshift — no RNG dependency,
+/// and reproducibility is the opposite of what backoff jitter wants).
+fn jitter_pm25(base: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15)
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    base - base / 4 + x % (base / 2 + 1)
 }
 
 /// Send one request, resending on a typed `busy` overload response (up
@@ -437,15 +476,31 @@ mod tests {
 
     #[test]
     fn busy_backoff_doubles_from_the_hint_and_caps() {
-        assert_eq!(busy_backoff_ms(40, 0), 40);
-        assert_eq!(busy_backoff_ms(40, 1), 80);
-        assert_eq!(busy_backoff_ms(40, 3), 320);
-        // Exponent cap: attempts past 6 stop doubling...
-        assert_eq!(busy_backoff_ms(1, 6), 64);
-        assert_eq!(busy_backoff_ms(1, 60), 64);
-        // ...and the absolute cap holds even for huge hints.
-        assert_eq!(busy_backoff_ms(5_000, 4), 5_000);
-        assert_eq!(busy_backoff_ms(u64::MAX, 2), 5_000);
+        // The backoff is jittered ±25% around the capped exponential
+        // base, so assert bands rather than exact values.
+        let within = |hint: u64, attempt: u64, base: u64| {
+            let v = busy_backoff_ms(hint, attempt);
+            assert!(
+                v >= base - base / 4 && v <= base + base / 4,
+                "hint={hint} attempt={attempt}: {v} outside ±25% of {base}"
+            );
+        };
+        within(40, 0, 40);
+        within(40, 1, 80);
+        within(40, 3, 320);
+        // Exponent cap: attempts past 6 stop doubling.
+        within(1, 6, 64);
+        within(1, 60, 64);
+        // The absolute ceiling holds even for huge hints — jitter never
+        // pushes a wait past 5 s.
+        assert!(busy_backoff_ms(5_000, 4) <= 5_000);
+        assert!(busy_backoff_ms(u64::MAX, 2) <= 5_000);
+        assert_eq!(busy_backoff_ms(0, 3), 0);
+        // Distinct calls actually spread (time-seeded): over many draws
+        // at a wide base, at least two distinct values must appear.
+        let draws: std::collections::HashSet<u64> =
+            (0..64).map(|_| busy_backoff_ms(4_000, 0)).collect();
+        assert!(draws.len() > 1, "jitter produced a constant: {draws:?}");
     }
 
     #[test]

@@ -350,6 +350,12 @@ where
     let mut tmp_vals = vec![S::Out::default(); cap];
     let mut sizes = vec![0usize; nrows];
     {
+        // Failpoint `kernel.numeric`: an injected panic or stall at the
+        // top of the pass. An `err` task panics too — the kernel error
+        // enum is closed, and the serve layer catches panics anyway.
+        if let Some(msg) = mspgemm_fault::fire("kernel.numeric") {
+            panic!("failpoint kernel.numeric: {msg}");
+        }
         let _span = mspgemm_obs::span("numeric");
         let cw = UnsafeSlice::new(&mut tmp_cols);
         let vw = UnsafeSlice::new(&mut tmp_vals);
@@ -401,6 +407,10 @@ where
     // Symbolic phase: exact per-row sizes.
     let mut sizes = vec![0usize; nrows];
     {
+        // Failpoint `kernel.symbolic` — see `kernel.numeric` above.
+        if let Some(msg) = mspgemm_fault::fire("kernel.symbolic") {
+            panic!("failpoint kernel.symbolic: {msg}");
+        }
         let _span = mspgemm_obs::span("symbolic");
         let sw = UnsafeSlice::new(&mut sizes);
         run_rows::<S, K>(chunks, opts, kernel, ncols, |ws, i| {
@@ -426,6 +436,10 @@ where
     let mut colidx = vec![0 as Idx; nnz];
     let mut values = vec![S::Out::default(); nnz];
     {
+        // Failpoint `kernel.numeric` — see the one-phase drive.
+        if let Some(msg) = mspgemm_fault::fire("kernel.numeric") {
+            panic!("failpoint kernel.numeric: {msg}");
+        }
         let _span = mspgemm_obs::span("numeric");
         let cw = UnsafeSlice::new(&mut colidx);
         let vw = UnsafeSlice::new(&mut values);

@@ -185,6 +185,14 @@ pub(crate) fn row_chunks(
 /// Shelf key: workspace type, kernel configuration tag, output width.
 type ShelfKey = (TypeId, u64, usize);
 
+/// Lock a mutex, recovering from poison: a panicking kernel (fault
+/// injection, or a real bug) must not wedge the pool or the stats for
+/// every later request. The guarded data stays structurally valid —
+/// these critical sections only push/pop/clear plain collections.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A cross-call cache of kernel workspaces (accumulator scratch), keyed by
 /// workspace type, kernel configuration tag, and `ncols`.
 ///
@@ -215,10 +223,7 @@ impl WsPool {
         make: impl FnOnce() -> W,
     ) -> W {
         let key = (TypeId::of::<W>(), tag, ncols);
-        let cached = self
-            .shelves
-            .lock()
-            .unwrap()
+        let cached = relock(&self.shelves)
             .get_mut(&key)
             .and_then(|shelf| shelf.pop());
         match cached {
@@ -236,9 +241,7 @@ impl WsPool {
     /// Return a leased workspace for future reuse.
     pub(crate) fn put<W: Any + Send>(&self, tag: u64, ncols: usize, ws: W) {
         let key = (TypeId::of::<W>(), tag, ncols);
-        self.shelves
-            .lock()
-            .unwrap()
+        relock(&self.shelves)
             .entry(key)
             .or_default()
             .push(Box::new(ws));
@@ -256,7 +259,7 @@ impl WsPool {
 
     /// Workspaces currently parked in the pool.
     pub fn retained(&self) -> usize {
-        self.shelves.lock().unwrap().values().map(Vec::len).sum()
+        relock(&self.shelves).values().map(Vec::len).sum()
     }
 
     /// Drop every parked workspace (the caller's eviction lever: shelves
@@ -264,7 +267,7 @@ impl WsPool {
     /// distinct (type, tag, width) combination and live as long as the
     /// pool). Counters are preserved.
     pub fn clear(&self) {
-        self.shelves.lock().unwrap().clear();
+        relock(&self.shelves).clear();
     }
 }
 
@@ -296,18 +299,18 @@ impl ExecStats {
     /// Report one executor lease's total busy seconds for the drive in
     /// flight.
     pub(crate) fn record(&self, seconds: f64) {
-        self.current.lock().unwrap().push(seconds);
+        relock(&self.current).push(seconds);
     }
 
     /// Close the drive in flight: rank-fold its per-lease spans into the
     /// cross-drive buckets.
     pub(crate) fn fold_drive(&self) {
-        let mut spans = std::mem::take(&mut *self.current.lock().unwrap());
+        let mut spans = std::mem::take(&mut *relock(&self.current));
         if spans.is_empty() {
             return;
         }
         spans.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        let mut ranks = self.ranks.lock().unwrap();
+        let mut ranks = relock(&self.ranks);
         if ranks.len() < spans.len() {
             ranks.resize(spans.len(), 0.0);
         }
@@ -320,13 +323,13 @@ impl ExecStats {
     /// busiest executor of every drive).
     pub fn busy_seconds(&self) -> Vec<f64> {
         self.fold_drive();
-        self.ranks.lock().unwrap().clone()
+        relock(&self.ranks).clone()
     }
 
     /// Clear all buckets (e.g. between timed repetitions).
     pub fn reset(&self) {
-        self.current.lock().unwrap().clear();
-        self.ranks.lock().unwrap().clear();
+        relock(&self.current).clear();
+        relock(&self.ranks).clear();
     }
 }
 

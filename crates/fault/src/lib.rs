@@ -1,0 +1,431 @@
+//! Named failpoints with a near-zero disabled path.
+//!
+//! A failpoint is a named hook compiled into production code paths —
+//! `fire("io.load")` — that does nothing until an operator or test arms
+//! it with a task. The API shape follows the `fail` crate: failpoints
+//! are configured by a compact spec string (the `MXM_FAILPOINTS` env
+//! var, the `mxm serve --fail` flag, or [`configure`] in tests), and
+//! every site stays in release builds because the disarmed cost is one
+//! relaxed atomic load — the same budget as a disabled `mspgemm_obs`
+//! span, and bounded by the same `abl_schedule` overhead assertion.
+//!
+//! ## Spec grammar
+//!
+//! A spec is `;`-separated `name=task` items. A task is
+//! `[P%][N*]kind[(arg)]`:
+//!
+//! * `panic` — panic with a message naming the failpoint.
+//! * `delay(MS)` — sleep `MS` milliseconds, then continue.
+//! * `err` / `err(MSG)` — return `Some(MSG)` to the call site, which
+//!   maps it into its own error type.
+//! * `off` — registered but inert (useful to pre-declare a name).
+//! * `P%` fires the task with probability `P` (0–100, seeded RNG — see
+//!   [`seed`] — so schedules are reproducible).
+//! * `N*` fires at most `N` times, then the failpoint goes inert.
+//!
+//! `kernel.numeric=panic;io.load=25%err(injected);serve.exec.delay=3*delay(40)`
+//!
+//! The registered failpoint names are catalogued in
+//! `docs/SERVING_OPS.md`; [`active`] lists the live configuration (the
+//! `stats` verb's `failpoints` field), and [`hits`] counts fires for
+//! exact accounting in chaos tests.
+//!
+//! State is process-global (like the tracer): tests that arm failpoints
+//! must serialize on a lock and [`clear`] when done.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Registered but inert.
+    Off,
+    /// Panic with a message naming the failpoint.
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+    /// Hand this message back to the call site as `Some(msg)`.
+    Err(String),
+}
+
+/// One armed failpoint: the task plus its firing policy.
+#[derive(Clone, Debug)]
+struct Failpoint {
+    task: Task,
+    /// Fire probability in percent (100 = always).
+    percent: u8,
+    /// Remaining shots (`None` = unlimited).
+    left: Option<u64>,
+    /// Times this failpoint actually fired.
+    hits: u64,
+}
+
+/// The process-global failpoint table plus the seeded RNG that decides
+/// probabilistic fires.
+struct State {
+    points: HashMap<String, Failpoint>,
+    rng: u64,
+}
+
+/// Whether any failpoint is armed. The relaxed load of this flag is the
+/// entire disarmed cost of a `fire` site.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(State {
+            points: HashMap::new(),
+            rng: 0x9e37_79b9_7f4a_7c15,
+        })
+    })
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    // A panic while holding this lock is possible only inside the std
+    // HashMap; recover rather than propagate the poison — fault
+    // injection must never take the server down by itself.
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// xorshift64: small, seedable, good enough for fire-probability draws.
+fn next_rand(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x
+}
+
+/// Hit a failpoint. Disarmed (the default), this is one relaxed atomic
+/// load. Armed, the named task runs: `panic` panics, `delay` sleeps and
+/// returns `None`, `err` returns `Some(message)` for the call site to
+/// map into its own error type. `None` always means "continue normally".
+#[inline]
+pub fn fire(name: &str) -> Option<String> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    fire_armed(name)
+}
+
+#[cold]
+fn fire_armed(name: &str) -> Option<String> {
+    let task = {
+        let mut st = lock_state();
+        let rand = next_rand(&mut st.rng);
+        let fp = st.points.get_mut(name)?;
+        if fp.task == Task::Off {
+            return None;
+        }
+        if matches!(fp.left, Some(0)) {
+            return None;
+        }
+        if fp.percent < 100 && rand % 100 >= fp.percent as u64 {
+            return None;
+        }
+        if let Some(left) = fp.left.as_mut() {
+            *left -= 1;
+        }
+        fp.hits += 1;
+        fp.task.clone()
+        // Lock released here: the task itself (a sleep, a panic) must
+        // never hold the table lock.
+    };
+    match task {
+        Task::Off => None,
+        Task::Panic => panic!("failpoint '{name}' fired: injected panic"),
+        Task::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Task::Err(msg) => Some(msg),
+    }
+}
+
+/// Parse one task spelling (`[P%][N*]kind[(arg)]`).
+fn parse_task(spec: &str) -> Result<(Task, u8, Option<u64>), String> {
+    let mut rest = spec.trim();
+    let mut percent = 100u8;
+    let mut left = None;
+    if let Some((p, tail)) = rest.split_once('%') {
+        percent = p
+            .trim()
+            .parse::<u8>()
+            .ok()
+            .filter(|p| *p <= 100)
+            .ok_or_else(|| format!("'{p}%': probability must be an integer 0..=100"))?;
+        rest = tail;
+    }
+    if let Some((n, tail)) = rest.split_once('*') {
+        left = Some(
+            n.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("'{n}*': shot count must be an integer"))?,
+        );
+        rest = tail;
+    }
+    let rest = rest.trim();
+    let (kind, arg) = match rest.split_once('(') {
+        Some((k, a)) => {
+            let a = a
+                .strip_suffix(')')
+                .ok_or_else(|| format!("'{rest}': missing closing ')'"))?;
+            (k.trim(), Some(a))
+        }
+        None => (rest, None),
+    };
+    let task = match (kind, arg) {
+        ("panic", None) => Task::Panic,
+        ("delay", Some(ms)) => Task::Delay(
+            ms.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("'delay({ms})': milliseconds must be an integer"))?,
+        ),
+        ("delay", None) => return Err("'delay' needs milliseconds: delay(MS)".to_string()),
+        ("err", None) => Task::Err("injected error".to_string()),
+        ("err", Some(msg)) => Task::Err(msg.to_string()),
+        ("off", None) => Task::Off,
+        _ => {
+            return Err(format!(
+                "'{rest}': task must be panic | delay(MS) | err[(MSG)] | off"
+            ))
+        }
+    };
+    Ok((task, percent, left))
+}
+
+/// Render one failpoint back to its task spelling (for [`active`]).
+fn render(fp: &Failpoint) -> String {
+    let mut out = String::new();
+    if fp.percent < 100 {
+        out.push_str(&format!("{}%", fp.percent));
+    }
+    if let Some(left) = fp.left {
+        out.push_str(&format!("{left}*"));
+    }
+    match &fp.task {
+        Task::Off => out.push_str("off"),
+        Task::Panic => out.push_str("panic"),
+        Task::Delay(ms) => out.push_str(&format!("delay({ms})")),
+        Task::Err(msg) => out.push_str(&format!("err({msg})")),
+    }
+    out
+}
+
+/// Arm (or replace) one failpoint from its task spelling.
+pub fn set(name: &str, task: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("failpoint name must be non-empty".to_string());
+    }
+    let (task, percent, left) = parse_task(task).map_err(|e| format!("failpoint '{name}': {e}"))?;
+    let mut st = lock_state();
+    st.points.insert(
+        name.to_string(),
+        Failpoint {
+            task,
+            percent,
+            left,
+            hits: 0,
+        },
+    );
+    ARMED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Replace the whole configuration from a `;`-separated spec string
+/// (`name=task;name=task`). An empty spec clears everything. Invalid
+/// specs leave the previous configuration untouched.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for item in spec.split(';') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (name, task) = item
+            .split_once('=')
+            .ok_or_else(|| format!("'{item}': expected name=task"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("'{item}': failpoint name must be non-empty"));
+        }
+        let (task, percent, left) =
+            parse_task(task).map_err(|e| format!("failpoint '{name}': {e}"))?;
+        parsed.push((
+            name.to_string(),
+            Failpoint {
+                task,
+                percent,
+                left,
+                hits: 0,
+            },
+        ));
+    }
+    let mut st = lock_state();
+    st.points.clear();
+    st.points.extend(parsed);
+    ARMED.store(!st.points.is_empty(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarm and forget every failpoint, restoring the one-load fast path.
+pub fn clear() {
+    let mut st = lock_state();
+    st.points.clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Seed the RNG behind probabilistic fires, making a chaos schedule
+/// reproducible run to run.
+pub fn seed(s: u64) {
+    // Zero is the xorshift fixed point; nudge it.
+    lock_state().rng = s | 1;
+}
+
+/// The live configuration as `(name, task)` pairs, sorted by name — the
+/// `stats` verb's `failpoints` field, so operators can verify injection
+/// is off in production.
+pub fn active() -> Vec<(String, String)> {
+    let st = lock_state();
+    let mut v: Vec<_> = st
+        .points
+        .iter()
+        .map(|(name, fp)| (name.clone(), render(fp)))
+        .collect();
+    v.sort();
+    v
+}
+
+/// How many times the named failpoint has fired since it was configured.
+/// Exact-accounting chaos tests reconcile metric totals against this.
+pub fn hits(name: &str) -> u64 {
+    lock_state().points.get(name).map_or(0, |fp| fp.hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failpoint state is process-global; every test serializes here.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_fire_is_a_noop() {
+        let _g = guard();
+        clear();
+        assert_eq!(fire("anything"), None);
+        assert!(active().is_empty());
+    }
+
+    #[test]
+    fn err_task_returns_its_message() {
+        let _g = guard();
+        clear();
+        set("io.load", "err(short read)").unwrap();
+        assert_eq!(fire("io.load"), Some("short read".to_string()));
+        assert_eq!(fire("other.name"), None, "only the named point fires");
+        assert_eq!(hits("io.load"), 1);
+        set("io.load", "err").unwrap();
+        assert_eq!(fire("io.load"), Some("injected error".to_string()));
+        clear();
+        assert_eq!(fire("io.load"), None);
+    }
+
+    #[test]
+    fn shot_counts_exhaust() {
+        let _g = guard();
+        clear();
+        set("k", "2*err(x)").unwrap();
+        assert!(fire("k").is_some());
+        assert!(fire("k").is_some());
+        assert_eq!(fire("k"), None, "two shots only");
+        assert_eq!(hits("k"), 2);
+        assert_eq!(active(), vec![("k".to_string(), "0*err(x)".to_string())]);
+        clear();
+    }
+
+    #[test]
+    fn panic_task_panics_with_the_name() {
+        let _g = guard();
+        clear();
+        set("kernel.numeric", "panic").unwrap();
+        let err = std::panic::catch_unwind(|| fire("kernel.numeric")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("kernel.numeric"), "{msg}");
+        clear();
+    }
+
+    #[test]
+    fn delay_task_sleeps_then_continues() {
+        let _g = guard();
+        clear();
+        set("slow", "delay(30)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(fire("slow"), None);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        clear();
+    }
+
+    #[test]
+    fn probability_is_seeded_and_roughly_calibrated() {
+        let _g = guard();
+        clear();
+        seed(42);
+        set("p", "30%err").unwrap();
+        let fired: usize = (0..1000).filter(|_| fire("p").is_some()).count();
+        assert!(
+            (200..400).contains(&fired),
+            "30% of 1000 draws fired {fired} times"
+        );
+        // Same seed, same schedule: reproducibility is the contract.
+        seed(42);
+        set("p", "30%err").unwrap();
+        let replay: Vec<bool> = (0..100).map(|_| fire("p").is_some()).collect();
+        seed(42);
+        set("p", "30%err").unwrap();
+        let again: Vec<bool> = (0..100).map(|_| fire("p").is_some()).collect();
+        assert_eq!(replay, again);
+        clear();
+    }
+
+    #[test]
+    fn configure_parses_full_specs_and_rejects_bad_ones() {
+        let _g = guard();
+        clear();
+        configure("a=panic; b=25%err(boom); c=3*delay(10); d=off").unwrap();
+        let names: Vec<String> = active().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        assert_eq!(fire("d"), None, "off is inert");
+        assert!(configure("no-equals").is_err());
+        assert!(configure("x=frobnicate").is_err());
+        assert!(configure("x=150%panic").is_err());
+        assert!(configure("x=delay").is_err());
+        assert!(configure("x=delay(abc)").is_err());
+        assert!(configure("=panic").is_err());
+        // A failed configure leaves the previous table in place.
+        assert_eq!(active().len(), 4);
+        configure("").unwrap();
+        assert!(active().is_empty());
+        clear();
+    }
+
+    #[test]
+    fn active_round_trips_the_spelling() {
+        let _g = guard();
+        clear();
+        configure("a=40%2*err(x);b=delay(5)").unwrap();
+        let map: HashMap<String, String> = active().into_iter().collect();
+        assert_eq!(map["a"], "40%2*err(x)");
+        assert_eq!(map["b"], "delay(5)");
+        clear();
+    }
+}

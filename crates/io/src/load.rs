@@ -196,6 +196,14 @@ pub fn load_matrix_opts(
 ) -> Result<(Csr<f64>, IngestReport), IoError> {
     let path = path.as_ref();
     let _span = mspgemm_obs::span("ingest");
+    // Failpoint `io.load`: a whole-ingest failure (disk gone, short
+    // read) before any bytes move.
+    if let Some(msg) = mspgemm_fault::fire("io.load") {
+        return Err(IoError::Format(format!("failpoint io.load: {msg}")));
+    }
+    // Failpoint `io.mmap`: the mapping call fails; like a real mmap
+    // refusal this degrades gracefully to the heap-copying reader.
+    let mmap = opts.mmap && mspgemm_fault::fire("io.mmap").is_none();
     let start = Instant::now();
     let report = |outcome, backend, bytes, entries| IngestReport {
         outcome,
@@ -205,13 +213,23 @@ pub fn load_matrix_opts(
         seconds: start.elapsed().as_secs_f64(),
     };
     if Format::from_path(path)? == Format::Msb {
-        let (a, backend) = read_msb_file_auto(path, opts.mmap)?;
+        // Failpoint `io.msb`: a truncated or corrupt binary input —
+        // fatal here, because the `.msb` file IS the dataset.
+        if let Some(msg) = mspgemm_fault::fire("io.msb") {
+            return Err(IoError::Format(format!("failpoint io.msb: {msg}")));
+        }
+        let (a, backend) = read_msb_file_auto(path, mmap)?;
         let r = report(CacheOutcome::Hit, backend, file_len(path), a.nnz());
         return Ok((a, r));
     }
     let sidecar = sidecar_path(path);
-    if opts.policy != CachePolicy::Off && is_fresh(path, &sidecar) {
-        if let Ok((a, backend)) = read_msb_file_auto(&sidecar, opts.mmap) {
+    if opts.policy != CachePolicy::Off
+        && is_fresh(path, &sidecar)
+        // Failpoint `io.msb` on a *sidecar* behaves like the corrupt
+        // cache it simulates: skip it and fall back to the text parse.
+        && mspgemm_fault::fire("io.msb").is_none()
+    {
+        if let Ok((a, backend)) = read_msb_file_auto(&sidecar, mmap) {
             let r = report(CacheOutcome::Hit, backend, file_len(&sidecar), a.nnz());
             return Ok((a, r));
         }
@@ -231,7 +249,7 @@ pub fn load_matrix_opts(
         // With mmap preferred, swap the fresh parse for a mapping of the
         // sidecar just written: first runs then match repeat runs in
         // backend, and the server's residency is zero-copy from load one.
-        if opts.mmap {
+        if mmap {
             if let Ok((mapped, MsbBackend::Mmap)) = read_msb_file_auto(&sidecar, true) {
                 debug_assert_eq!(mapped, a, "sidecar must round-trip the parse");
                 r.backend = MsbBackend::Mmap;

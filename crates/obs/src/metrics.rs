@@ -170,9 +170,20 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Lock the series table, recovering from poison: metric recording
+    /// happens on request and executor threads that fault injection can
+    /// panic, and a dead metrics registry would take `stats`/`metrics`
+    /// (and the exact-count invariants) down with it. The critical
+    /// sections only insert/clone map entries, so the data stays valid.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Get or create the counter for `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner
             .counters
             .entry(Series::new(name, labels))
@@ -182,7 +193,7 @@ impl MetricsRegistry {
 
     /// Get or create the gauge for `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner
             .gauges
             .entry(Series::new(name, labels))
@@ -192,7 +203,7 @@ impl MetricsRegistry {
 
     /// Get or create the histogram for `name{labels}`.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner
             .histograms
             .entry(Series::new(name, labels))
@@ -203,7 +214,7 @@ impl MetricsRegistry {
     /// Freeze every series into a [`MetricsSnapshot`] (sorted by series,
     /// so output order is stable across scrapes).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         MetricsSnapshot {
             counters: inner
                 .counters

@@ -103,7 +103,12 @@ impl Tracer {
     /// Take all recorded events, leaving the tracer empty (and still in
     /// whatever enabled state it was).
     pub fn drain(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.events.lock().unwrap())
+        std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -131,13 +136,20 @@ impl Drop for Span<'_> {
             .saturating_duration_since(rec.tracer.epoch)
             .as_micros() as u64;
         DEPTH.with(|d| d.set(rec.depth));
-        rec.tracer.events.lock().unwrap().push(TraceEvent {
-            name: rec.name,
-            tid: rec.tid,
-            depth: rec.depth,
-            start_us,
-            dur_us,
-        });
+        // Poison recovery: a span dropped during a panic unwind (fault
+        // injection panics inside traced phases) must still record —
+        // and must never wedge tracing for every later span.
+        rec.tracer
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(TraceEvent {
+                name: rec.name,
+                tid: rec.tid,
+                depth: rec.depth,
+                start_us,
+                dur_us,
+            });
     }
 }
 

@@ -54,6 +54,15 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The server is shutting down and accepts no further work.
     ShuttingDown,
+    /// The named dataset is quarantined after repeated kernel panics;
+    /// an operator clears it with `unload` + `load`.
+    Quarantined,
+    /// The named dataset was evicted by the memory budget; `load` it
+    /// again to use it.
+    Evicted,
+    /// The dataset cannot fit the `--max-resident-bytes` budget even
+    /// after evicting everything evictable.
+    OverBudget,
 }
 
 impl ErrorCode {
@@ -70,6 +79,9 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::Evicted => "evicted",
+            ErrorCode::OverBudget => "over_budget",
         }
     }
 }

@@ -16,6 +16,27 @@
 //! Loading goes through the `.msb` sidecar cache ([`mspgemm_io`]), so the
 //! first `load` of a text matrix warms the sidecar and every later server
 //! start deserializes the binary directly.
+//!
+//! ## Self-healing state
+//!
+//! Beyond the map itself, the registry carries the per-dataset health
+//! state the serving layer leans on when things go wrong:
+//!
+//! * **Quarantine** — kernel panics are attributed to the dataset they
+//!   ran against ([`Registry::note_panic`]); after `quarantine_after`
+//!   panics the dataset flips to a quarantined state and [`Registry::get`]
+//!   answers [`RegistryError::Quarantined`] until an operator clears it
+//!   with `unload` + `load`. One corrupt matrix cannot burn the executor
+//!   pool forever.
+//! * **Memory budget** — with `max_resident_bytes` set, a `load` that
+//!   would exceed the budget first evicts least-recently-used un-pinned
+//!   datasets (eviction is safe mid-request: in-flight readers hold
+//!   `Arc`'d views, and the memory is freed when the last one drops).
+//!   Evicted names leave a tombstone so later requests get a typed
+//!   [`RegistryError::Evicted`] instead of a bare `unknown_dataset`.
+//! * **Poison recovery** — every lock acquisition recovers from a
+//!   poisoned mutex: a panicking thread must degrade the one request
+//!   that panicked, not wedge the registry for the whole process.
 
 use masked_spgemm::Error as MxmError;
 use mspgemm_graph::tricount::{self, TcOperands};
@@ -24,8 +45,11 @@ use mspgemm_io::{
     MsbBackend,
 };
 use mspgemm_sparse::{transpose, Csr};
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Instant;
 
 /// Approximate resident bytes of one CSR: row pointers (`usize`), column
@@ -165,6 +189,12 @@ pub enum RegistryError {
     NotFound(String),
     /// The underlying ingest failed.
     Load(String),
+    /// The dataset is quarantined after repeated kernel panics.
+    Quarantined(String),
+    /// The dataset was evicted by the memory budget.
+    Evicted(String),
+    /// The dataset cannot fit the resident-memory budget.
+    OverBudget(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -175,6 +205,16 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::NotFound(n) => write!(f, "no dataset named '{n}' is loaded"),
             RegistryError::Load(msg) => write!(f, "{msg}"),
+            RegistryError::Quarantined(n) => write!(
+                f,
+                "dataset '{n}' is quarantined after repeated kernel panics \
+                 (unload and load it again to clear)"
+            ),
+            RegistryError::Evicted(n) => write!(
+                f,
+                "dataset '{n}' was evicted by the memory budget (load it again to use it)"
+            ),
+            RegistryError::OverBudget(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -184,75 +224,288 @@ pub fn mxm_error_message(e: MxmError) -> String {
     e.to_string()
 }
 
+/// One registry slot: the dataset plus its health and usage state. The
+/// per-entry state is atomic so the hot [`Registry::get`] path needs
+/// only the map's read lock.
+struct Entry {
+    ds: Arc<Dataset>,
+    /// Pinned entries (preloads, `load` with `"pin": true`) are never
+    /// evicted by the memory budget.
+    pinned: bool,
+    /// Nanoseconds since the registry epoch at last successful `get` —
+    /// the LRU clock for budget eviction. (Nanoseconds so that a
+    /// load-then-touch sequence inside one millisecond still orders.)
+    last_used: AtomicU64,
+    /// Kernel panics attributed to this dataset.
+    panics: AtomicU32,
+    /// Whether the panic count crossed the quarantine threshold.
+    quarantined: AtomicBool,
+}
+
+/// A point-in-time view of one resident dataset plus its health state,
+/// as returned by [`Registry::list`].
+pub struct DatasetInfo {
+    /// The dataset itself.
+    pub ds: Arc<Dataset>,
+    /// Whether the entry is exempt from budget eviction.
+    pub pinned: bool,
+    /// Whether the entry is quarantined (requests get a typed error).
+    pub quarantined: bool,
+    /// Kernel panics attributed to this dataset so far.
+    pub panics: u32,
+}
+
+/// What [`Registry::note_panic`] concluded.
+pub struct PanicVerdict {
+    /// Panics now attributed to the dataset (0 when it is not resident).
+    pub panics: u32,
+    /// Whether this panic was the one that flipped it to quarantined.
+    pub newly_quarantined: bool,
+}
+
+/// What a successful [`Registry::load`] did.
+pub struct LoadOutcome {
+    /// The freshly loaded dataset.
+    pub ds: Arc<Dataset>,
+    /// Datasets the memory budget evicted to make room, in eviction
+    /// order — disclosed in the `load` response.
+    pub evicted: Vec<String>,
+}
+
 /// The named-dataset map behind a `RwLock`: requests (the overwhelming
 /// majority) take the read lock and clone an `Arc`, so concurrent `mxm`
 /// traffic never serializes on the registry; only `load`/`unload` write.
-#[derive(Default)]
 pub struct Registry {
-    map: RwLock<HashMap<String, Arc<Dataset>>>,
+    map: RwLock<HashMap<String, Entry>>,
+    /// Names evicted by the memory budget and not since reloaded:
+    /// requests against them get the typed `evicted` error instead of
+    /// `unknown_dataset`. Bounded by the number of distinct names ever
+    /// evicted; `unload` and `load` both clear a name's tombstone.
+    tombstones: Mutex<HashSet<String>>,
+    /// Epoch for the LRU clock.
+    epoch: Instant,
+    /// Resident-bytes budget enforced at `load` (0 = unlimited).
+    max_resident_bytes: u64,
+    /// Panics per dataset before it is quarantined.
+    quarantine_after: u32,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_limits(0, 3)
+    }
+}
+
+/// Lock helpers: recover from poison instead of propagating it — the
+/// registry must survive any panicking thread that held a guard.
+fn read_map(l: &RwLock<HashMap<String, Entry>>) -> RwLockReadGuard<'_, HashMap<String, Entry>> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_map(l: &RwLock<HashMap<String, Entry>>) -> RwLockWriteGuard<'_, HashMap<String, Entry>> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with no memory budget and the default
+    /// quarantine threshold.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Load a dataset and insert it under its name.
+    /// An empty registry with explicit limits: `max_resident_bytes = 0`
+    /// disables the budget; `quarantine_after` is clamped to at least 1.
+    pub fn with_limits(max_resident_bytes: u64, quarantine_after: u32) -> Self {
+        Registry {
+            map: RwLock::new(HashMap::new()),
+            tombstones: Mutex::new(HashSet::new()),
+            epoch: Instant::now(),
+            max_resident_bytes,
+            quarantine_after: quarantine_after.max(1),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn lock_tombstones(&self) -> MutexGuard<'_, HashSet<String>> {
+        self.tombstones
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Load a dataset and insert it under its name, evicting
+    /// least-recently-used un-pinned datasets first when a memory budget
+    /// is set. `pin` exempts the new entry from future eviction.
     pub fn load(
         &self,
         path: &str,
         name: Option<&str>,
         opts: &LoadOpts,
-    ) -> Result<Arc<Dataset>, RegistryError> {
+        pin: bool,
+    ) -> Result<LoadOutcome, RegistryError> {
+        // Failpoint `serve.registry.load`: a registry-level load failure
+        // (the ingest-level ones live in `mspgemm-io`).
+        if let Some(msg) = mspgemm_fault::fire("serve.registry.load") {
+            return Err(RegistryError::Load(format!(
+                "failpoint serve.registry.load: {msg}"
+            )));
+        }
         // Ingest outside the write lock: a slow parse must not block
         // concurrent readers. The name collision is re-checked on insert.
         let key = name
             .map(str::to_string)
             .unwrap_or_else(|| dataset_name(std::path::Path::new(path)));
-        if self.map.read().unwrap().contains_key(&key) {
+        if read_map(&self.map).contains_key(&key) {
             return Err(RegistryError::AlreadyLoaded(key));
         }
         let ds = Arc::new(Dataset::load(path, Some(&key), opts).map_err(RegistryError::Load)?);
-        let mut map = self.map.write().unwrap();
+        let mut map = write_map(&self.map);
         if map.contains_key(&key) {
             return Err(RegistryError::AlreadyLoaded(key));
         }
-        map.insert(key, ds.clone());
-        Ok(ds)
+        let evicted = self.evict_for(&mut map, ds.mem_bytes(), &key)?;
+        map.insert(
+            key.clone(),
+            Entry {
+                ds: ds.clone(),
+                pinned: pin,
+                last_used: AtomicU64::new(self.now_ns()),
+                panics: AtomicU32::new(0),
+                quarantined: AtomicBool::new(false),
+            },
+        );
+        drop(map);
+        let mut tombs = self.lock_tombstones();
+        tombs.remove(&key);
+        for name in &evicted {
+            tombs.insert(name.clone());
+        }
+        Ok(LoadOutcome { ds, evicted })
     }
 
-    /// Look up a resident dataset.
+    /// Under the write lock: evict LRU un-pinned entries until `needed`
+    /// more bytes fit the budget. Eviction is safe while requests are in
+    /// flight — they hold `Arc`'d views, and the memory is released when
+    /// the last one drops.
+    fn evict_for(
+        &self,
+        map: &mut HashMap<String, Entry>,
+        needed: u64,
+        incoming: &str,
+    ) -> Result<Vec<String>, RegistryError> {
+        if self.max_resident_bytes == 0 {
+            return Ok(Vec::new());
+        }
+        let mut evicted = Vec::new();
+        loop {
+            let resident: u64 = map.values().map(|e| e.ds.mem_bytes()).sum();
+            if resident + needed <= self.max_resident_bytes {
+                return Ok(evicted);
+            }
+            let victim = map
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
+                // Roll back: the evictions stand (they were legitimate
+                // LRU picks), but the incoming dataset is refused.
+                return Err(RegistryError::OverBudget(format!(
+                    "loading '{incoming}' needs {needed} bytes but only {} of the \
+                     {}-byte budget can be freed (everything left is pinned)",
+                    self.max_resident_bytes.saturating_sub(resident),
+                    self.max_resident_bytes
+                )));
+            };
+            map.remove(&victim);
+            evicted.push(victim);
+        }
+    }
+
+    /// Look up a resident dataset, refreshing its LRU stamp. Quarantined
+    /// and evicted datasets answer their typed errors.
     pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
-        self.map
-            .read()
-            .unwrap()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+        {
+            let map = read_map(&self.map);
+            if let Some(e) = map.get(name) {
+                if e.quarantined.load(Ordering::Relaxed) {
+                    return Err(RegistryError::Quarantined(name.to_string()));
+                }
+                e.last_used.store(self.now_ns(), Ordering::Relaxed);
+                return Ok(e.ds.clone());
+            }
+        }
+        if self.lock_tombstones().contains(name) {
+            return Err(RegistryError::Evicted(name.to_string()));
+        }
+        Err(RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Attribute one kernel panic to a dataset; after `quarantine_after`
+    /// of them the dataset flips to quarantined (the verdict says when
+    /// that transition happened, so the caller can count it once).
+    pub fn note_panic(&self, name: &str) -> PanicVerdict {
+        let map = read_map(&self.map);
+        let Some(e) = map.get(name) else {
+            return PanicVerdict {
+                panics: 0,
+                newly_quarantined: false,
+            };
+        };
+        let panics = e.panics.fetch_add(1, Ordering::Relaxed) + 1;
+        let newly_quarantined =
+            panics >= self.quarantine_after && !e.quarantined.swap(true, Ordering::Relaxed);
+        PanicVerdict {
+            panics,
+            newly_quarantined,
+        }
     }
 
     /// Remove a dataset; in-flight requests holding its `Arc` finish
     /// normally, and the memory is released when the last one drops.
+    /// Unloading also clears quarantine (a re-load starts healthy) and
+    /// an `evicted` tombstone (the name reverts to `unknown_dataset`).
     pub fn unload(&self, name: &str) -> Result<(), RegistryError> {
-        self.map
-            .write()
-            .unwrap()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+        if write_map(&self.map).remove(name).is_some() {
+            self.lock_tombstones().remove(name);
+            return Ok(());
+        }
+        if self.lock_tombstones().remove(name) {
+            return Ok(());
+        }
+        Err(RegistryError::NotFound(name.to_string()))
     }
 
-    /// All resident datasets, sorted by name.
-    pub fn list(&self) -> Vec<Arc<Dataset>> {
-        let mut v: Vec<_> = self.map.read().unwrap().values().cloned().collect();
-        v.sort_by(|a, b| a.name.cmp(&b.name));
+    /// All resident datasets with their health state, sorted by name.
+    pub fn list(&self) -> Vec<DatasetInfo> {
+        let mut v: Vec<DatasetInfo> = read_map(&self.map)
+            .values()
+            .map(|e| DatasetInfo {
+                ds: e.ds.clone(),
+                pinned: e.pinned,
+                quarantined: e.quarantined.load(Ordering::Relaxed),
+                panics: e.panics.load(Ordering::Relaxed),
+            })
+            .collect();
+        v.sort_by(|a, b| a.ds.name.cmp(&b.ds.name));
         v
+    }
+
+    /// Total approximate resident bytes across all datasets.
+    pub fn resident_bytes(&self) -> u64 {
+        read_map(&self.map).values().map(|e| e.ds.mem_bytes()).sum()
+    }
+
+    /// The resident-bytes budget (0 = unlimited).
+    pub fn max_resident_bytes(&self) -> u64 {
+        self.max_resident_bytes
     }
 
     /// Number of resident datasets.
     pub fn len(&self) -> usize {
-        self.map.read().unwrap().len()
+        read_map(&self.map).len()
     }
 
     /// Whether no dataset is resident.
@@ -291,7 +544,11 @@ mod tests {
         let mtx = dir.join("cycle.mtx");
         write_graph(&mtx);
         let reg = Registry::new();
-        let ds = reg.load(mtx.to_str().unwrap(), None, &off_opts()).unwrap();
+        let out = reg
+            .load(mtx.to_str().unwrap(), None, &off_opts(), false)
+            .unwrap();
+        let ds = out.ds;
+        assert!(out.evicted.is_empty(), "no budget, no eviction");
         assert_eq!(ds.name, "cycle");
         assert_eq!(ds.matrix.nrows(), 80);
         assert_eq!(ds.mask.nnz(), ds.matrix.nnz());
@@ -299,7 +556,7 @@ mod tests {
         assert!(ds.mem_bytes() > 0);
 
         assert!(matches!(
-            reg.load(mtx.to_str().unwrap(), None, &off_opts()),
+            reg.load(mtx.to_str().unwrap(), None, &off_opts(), false),
             Err(RegistryError::AlreadyLoaded(_))
         ));
         assert_eq!(reg.list().len(), 1);
@@ -337,5 +594,119 @@ mod tests {
         };
         assert!(err.contains("square"), "{err}");
         std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_until_reload() {
+        let dir = fixture_dir();
+        let mtx = dir.join("quar.mtx");
+        write_graph(&mtx);
+        let reg = Registry::with_limits(0, 3);
+        reg.load(mtx.to_str().unwrap(), Some("q"), &off_opts(), false)
+            .unwrap();
+        // Panics against a non-resident name are inert.
+        let v = reg.note_panic("ghost");
+        assert_eq!(v.panics, 0);
+        assert!(!v.newly_quarantined);
+
+        let v1 = reg.note_panic("q");
+        let v2 = reg.note_panic("q");
+        assert_eq!((v1.panics, v2.panics), (1, 2));
+        assert!(!v1.newly_quarantined && !v2.newly_quarantined);
+        assert!(reg.get("q").is_ok(), "two panics stay below the threshold");
+        let v3 = reg.note_panic("q");
+        assert_eq!(v3.panics, 3);
+        assert!(v3.newly_quarantined, "third panic flips quarantine");
+        assert!(matches!(reg.get("q"), Err(RegistryError::Quarantined(_))));
+        // The transition is counted exactly once.
+        assert!(!reg.note_panic("q").newly_quarantined);
+        let info = &reg.list()[0];
+        assert!(info.quarantined);
+        assert_eq!(info.panics, 4);
+
+        // unload + load clears quarantine: the replacement starts fresh.
+        reg.unload("q").unwrap();
+        reg.load(mtx.to_str().unwrap(), Some("q"), &off_opts(), false)
+            .unwrap();
+        assert!(reg.get("q").is_ok());
+        assert_eq!(reg.list()[0].panics, 0);
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_tombstones_answer_evicted() {
+        let dir = fixture_dir();
+        let m1 = dir.join("ev1.mtx");
+        let m2 = dir.join("ev2.mtx");
+        let m3 = dir.join("ev3.mtx");
+        for p in [&m1, &m2, &m3] {
+            write_graph(p);
+        }
+        let probe = Registry::new();
+        let one = probe
+            .load(m1.to_str().unwrap(), Some("probe"), &off_opts(), false)
+            .unwrap()
+            .ds
+            .mem_bytes();
+        // Budget fits two of these datasets but not three.
+        let reg = Registry::with_limits(one * 2 + one / 2, 3);
+        reg.load(m1.to_str().unwrap(), Some("a"), &off_opts(), false)
+            .unwrap();
+        reg.load(m2.to_str().unwrap(), Some("b"), &off_opts(), false)
+            .unwrap();
+        // Touch "a" so "b" is the LRU victim.
+        reg.get("a").unwrap();
+        let out = reg
+            .load(m3.to_str().unwrap(), Some("c"), &off_opts(), false)
+            .unwrap();
+        assert_eq!(out.evicted, vec!["b".to_string()]);
+        assert!(reg.resident_bytes() <= reg.max_resident_bytes());
+        assert!(matches!(reg.get("b"), Err(RegistryError::Evicted(_))));
+        assert!(reg.get("a").is_ok() && reg.get("c").is_ok());
+
+        // Reloading an evicted name clears its tombstone.
+        reg.get("a").unwrap();
+        let out = reg
+            .load(m2.to_str().unwrap(), Some("b"), &off_opts(), false)
+            .unwrap();
+        assert_eq!(out.evicted, vec!["c".to_string()], "LRU again");
+        assert!(reg.get("b").is_ok());
+        assert!(matches!(reg.get("c"), Err(RegistryError::Evicted(_))));
+        // unload of a tombstoned name clears the marker.
+        reg.unload("c").unwrap();
+        assert!(matches!(reg.get("c"), Err(RegistryError::NotFound(_))));
+        std::fs::remove_file(&m1).ok();
+        std::fs::remove_file(&m2).ok();
+        std::fs::remove_file(&m3).ok();
+    }
+
+    #[test]
+    fn pinned_datasets_survive_and_over_budget_is_typed() {
+        let dir = fixture_dir();
+        let m1 = dir.join("pin1.mtx");
+        let m2 = dir.join("pin2.mtx");
+        write_graph(&m1);
+        write_graph(&m2);
+        let probe = Registry::new();
+        let one = probe
+            .load(m1.to_str().unwrap(), Some("probe"), &off_opts(), false)
+            .unwrap()
+            .ds
+            .mem_bytes();
+        let reg = Registry::with_limits(one + one / 2, 3);
+        reg.load(m1.to_str().unwrap(), Some("a"), &off_opts(), true)
+            .unwrap();
+        let err = match reg.load(m2.to_str().unwrap(), Some("b"), &off_opts(), false) {
+            Err(e) => e,
+            Ok(_) => panic!("load past a fully pinned budget must fail"),
+        };
+        assert!(
+            matches!(err, RegistryError::OverBudget(_)),
+            "pinned entries cannot be evicted: {err:?}"
+        );
+        assert!(reg.get("a").is_ok(), "the pinned dataset is untouched");
+        assert!(reg.list()[0].pinned);
+        std::fs::remove_file(&m1).ok();
+        std::fs::remove_file(&m2).ok();
     }
 }

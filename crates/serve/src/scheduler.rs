@@ -25,13 +25,20 @@
 //! still-queued job with `shutting_down` — no job is ever silently
 //! dropped, which is what keeps connection threads from hanging forever
 //! on their reply channels.
+//!
+//! Workers are also **supervised**: each carries a [`Sentinel`] whose
+//! `Drop` runs when the worker thread unwinds from a panic. As long as
+//! the queue is still open, the sentinel respawns a replacement worker
+//! under the same name and bumps the `worker_restarts_total` counter —
+//! one poisoned request costs one thread spawn, not an executor slot
+//! for the rest of the process lifetime.
 
 use crate::json::Json;
 use crate::protocol::{err_response, ErrorCode};
 use crate::server::ServerState;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// Upper bound on one fused batch: bounds how long the first waiter's
@@ -91,6 +98,14 @@ pub(crate) enum Admission {
 struct QueueState {
     jobs: VecDeque<Job>,
     closed: bool,
+}
+
+/// Lock the queue, recovering from poison: a worker that panicked while
+/// holding the guard must not wedge admission for every connection. The
+/// queue's invariants (a `VecDeque` plus a flag) survive any partial
+/// mutation our code can perform.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct Shared {
@@ -156,18 +171,13 @@ impl Scheduler {
     pub fn spawn_workers(state: &Arc<ServerState>) {
         let shared = &state.scheduler.shared;
         for i in 0..shared.max_inflight {
-            let shared = shared.clone();
-            let weak = Arc::downgrade(state);
-            std::thread::Builder::new()
-                .name(format!("mxm-exec-{i}"))
-                .spawn(move || worker_loop(shared, weak))
-                .expect("spawn executor worker");
+            spawn_worker(shared.clone(), Arc::downgrade(state), i);
         }
     }
 
     /// Admit one job, or reject it when the waiting room is full.
     pub fn submit(&self, job: Job) -> Admission {
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_queue(&self.shared);
         if q.closed {
             return Admission::Closed;
         }
@@ -195,14 +205,14 @@ impl Scheduler {
 
     /// Jobs currently waiting (not yet claimed by a worker).
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().unwrap().jobs.len()
+        lock_queue(&self.shared).jobs.len()
     }
 }
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
         let leftovers: Vec<Job> = {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_queue(&self.shared);
             q.closed = true;
             q.jobs.drain(..).collect()
         };
@@ -222,7 +232,7 @@ impl Drop for Scheduler {
 /// sharing its fuse key (capped at [`MAX_FUSE`]). Returns `None` when
 /// the queue closed.
 fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
-    let mut q = shared.queue.lock().unwrap();
+    let mut q = lock_queue(shared);
     loop {
         if let Some(first) = q.jobs.pop_front() {
             let mut batch = vec![first];
@@ -241,7 +251,48 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
         if q.closed {
             return None;
         }
-        q = shared.cv.wait(q).unwrap();
+        q = shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Spawn one executor worker (slot `i`), supervised by a [`Sentinel`].
+fn spawn_worker(shared: Arc<Shared>, state: Weak<ServerState>, i: usize) {
+    std::thread::Builder::new()
+        .name(format!("mxm-exec-{i}"))
+        .spawn(move || {
+            let _sentinel = Sentinel {
+                shared: shared.clone(),
+                state: state.clone(),
+                index: i,
+            };
+            worker_loop(shared, state);
+        })
+        .expect("spawn executor worker");
+}
+
+/// Worker supervision: dropped when the worker thread exits. On a clean
+/// exit (queue closed, server gone) it does nothing; when the thread is
+/// *unwinding from a panic* while the queue is still open, it respawns a
+/// replacement worker in the same slot and counts the restart — the
+/// executor pool self-heals instead of shrinking one panic at a time.
+struct Sentinel {
+    shared: Arc<Shared>,
+    state: Weak<ServerState>,
+    index: usize,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        if lock_queue(&self.shared).closed {
+            return;
+        }
+        if let Some(st) = self.state.upgrade() {
+            st.metrics.counter("worker_restarts_total", &[]).inc();
+        }
+        spawn_worker(self.shared.clone(), self.state.clone(), self.index);
     }
 }
 
@@ -257,6 +308,9 @@ fn worker_loop(shared: Arc<Shared>, state: Weak<ServerState>) {
             }
             return;
         };
+        // Failpoint `serve.exec.delay`: a slow executor (chaos suites
+        // stretch queue waits and deadline pressure with it).
+        mspgemm_fault::fire("serve.exec.delay");
         let t0 = Instant::now();
         crate::server::execute_batch(&st, batch);
         shared.observe_exec(t0.elapsed());

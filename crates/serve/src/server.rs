@@ -74,6 +74,13 @@ pub struct ServeConfig {
     /// are already waiting is answered with a typed `busy` error
     /// (`mxm serve --queue-depth`). Clamped to at least 1.
     pub queue_depth: usize,
+    /// Resident-memory budget across all datasets (`mxm serve
+    /// --max-resident-bytes`); a `load` over budget evicts
+    /// least-recently-used un-pinned datasets first. `0` = unlimited.
+    pub max_resident_bytes: u64,
+    /// Kernel panics attributed to one dataset before it is quarantined
+    /// (`mxm serve --quarantine-after`). Clamped to at least 1.
+    pub quarantine_after: u32,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +96,10 @@ impl Default for ServeConfig {
             // sized so light workloads never see `busy`.
             max_inflight: 2,
             queue_depth: 64,
+            max_resident_bytes: 0,
+            // Three strikes: one panic may be cosmic-ray bad luck, three
+            // against the same dataset is a pattern worth fencing off.
+            quarantine_after: 3,
         }
     }
 }
@@ -124,7 +135,7 @@ pub struct ServerState {
 impl ServerState {
     fn new(config: ServeConfig) -> Arc<Self> {
         let state = Arc::new(ServerState {
-            registry: Registry::new(),
+            registry: Registry::with_limits(config.max_resident_bytes, config.quarantine_after),
             ws_pool: WsPool::new(),
             exec_stats: ExecStats::new(),
             metrics: MetricsRegistry::new(),
@@ -143,6 +154,9 @@ impl ServerState {
             "rejected_busy_total",
             "deadline_exceeded_total",
             "fused_requests_total",
+            "worker_restarts_total",
+            "quarantined_total",
+            "evictions_total",
         ] {
             let _ = state.metrics.counter(name, &[]);
         }
@@ -226,7 +240,9 @@ impl Server {
 
     /// Load datasets into the registry before (or while) serving, using
     /// the server's default cache policy and parse fan-out. Returns the
-    /// registry names in input order.
+    /// registry names in input order. Preloads are **pinned**: the
+    /// operator named them on the command line, so the memory budget
+    /// never evicts them in favor of an ad-hoc `load`.
     pub fn preload(&self, paths: &[String]) -> Result<Vec<String>, String> {
         paths
             .iter()
@@ -241,8 +257,9 @@ impl Server {
                             parse_threads: self.state.config.parse_threads,
                             mmap: self.state.config.mmap,
                         },
+                        true,
                     )
-                    .map(|ds| ds.name.clone())
+                    .map(|out| out.ds.name.clone())
                     .map_err(|e| e.to_string())
             })
             .collect()
@@ -382,6 +399,15 @@ pub fn serve_connection(
                 // shutdown's drain never cuts a response mid-write.
                 let guard = ActiveGuard::new(&state.active);
                 let (resp, stop) = handle_request_at(state, &line, received);
+                // Failpoint `serve.conn.drop`: the request executed and
+                // was *recorded*, but the response is discarded and the
+                // connection closed — the client sees its socket die.
+                // Firing after recording keeps the metric invariants
+                // exact: `hits("serve.conn.drop")` is precisely the gap
+                // between requests counted and responses delivered.
+                if mspgemm_fault::fire("serve.conn.drop").is_some() {
+                    return Ok(());
+                }
                 writeln!(writer, "{}", resp.to_line())?;
                 writer.flush()?;
                 drop(guard);
@@ -414,9 +440,17 @@ impl<'a> ActiveGuard<'a> {
     }
 }
 
+/// Upper bound on bytes swallowed while draining one oversized line. The
+/// drain exists only to let the error response escape the peer's receive
+/// buffer before the close; a peer streaming gigabytes without a newline
+/// is not owed that courtesy, and an unbounded drain would let it hold
+/// the connection thread (and the socket) forever.
+const DRAIN_CAP_BYTES: usize = 8 * MAX_REQUEST_BYTES;
+
 /// Discard input up to and including the next newline (or EOF), in
-/// constant memory.
+/// constant memory, giving up after [`DRAIN_CAP_BYTES`].
 fn drain_line(reader: &mut impl BufRead) -> std::io::Result<()> {
+    let mut drained = 0usize;
     loop {
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
@@ -429,7 +463,14 @@ fn drain_line(reader: &mut impl BufRead) -> std::io::Result<()> {
             }
             None => {
                 let n = buf.len();
+                drained += n;
                 reader.consume(n);
+                if drained >= DRAIN_CAP_BYTES {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "oversized line exceeded the drain cap",
+                    ));
+                }
             }
         }
     }
@@ -446,6 +487,9 @@ fn reg_err(e: RegistryError) -> (ErrorCode, String) {
         RegistryError::AlreadyLoaded(_) => ErrorCode::AlreadyLoaded,
         RegistryError::NotFound(_) => ErrorCode::UnknownDataset,
         RegistryError::Load(_) => ErrorCode::LoadFailed,
+        RegistryError::Quarantined(_) => ErrorCode::Quarantined,
+        RegistryError::Evicted(_) => ErrorCode::Evicted,
+        RegistryError::OverBudget(_) => ErrorCode::OverBudget,
     };
     (code, e.to_string())
 }
@@ -786,7 +830,8 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         }
     };
     let mmap = opt_bool(req, "mmap", state.config.mmap).map_err(bad)?;
-    let ds = state
+    let pin = opt_bool(req, "pin", false).map_err(bad)?;
+    let out = state
         .registry
         .load(
             path,
@@ -796,8 +841,16 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
                 parse_threads,
                 mmap,
             },
+            pin,
         )
         .map_err(reg_err)?;
+    if !out.evicted.is_empty() {
+        state
+            .metrics
+            .counter("evictions_total", &[])
+            .add(out.evicted.len() as u64);
+    }
+    let ds = &out.ds;
     let r = &ds.ingest;
     // Absorb the IngestReport into the metrics registry: cumulative
     // totals plus an ingest-latency histogram alongside the request one.
@@ -817,6 +870,13 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         ("mem_bytes", ds.mem_bytes().into()),
         ("backend", Json::str(ds.backend().name())),
         ("mapped_bytes", ds.mapped_bytes().into()),
+        ("pinned", pin.into()),
+        // Full disclosure: which datasets the memory budget pushed out
+        // to make room. Their next request gets a typed `evicted` error.
+        (
+            "evicted",
+            Json::Arr(out.evicted.iter().map(Json::str).collect()),
+        ),
         (
             "ingest",
             Json::obj(vec![
@@ -835,7 +895,8 @@ fn op_list(state: &ServerState) -> OpResult {
         .registry
         .list()
         .iter()
-        .map(|ds| {
+        .map(|info| {
+            let ds = &info.ds;
             Json::obj(vec![
                 ("name", Json::str(&ds.name)),
                 ("path", Json::str(&ds.path)),
@@ -846,6 +907,9 @@ fn op_list(state: &ServerState) -> OpResult {
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
                 ("age_seconds", ds.loaded_at.elapsed().as_secs_f64().into()),
+                ("pinned", info.pinned.into()),
+                ("quarantined", info.quarantined.into()),
+                ("panics", u64::from(info.panics).into()),
             ])
         })
         .collect();
@@ -1102,7 +1166,39 @@ fn exec_mxm_group(state: &ServerState, jobs: Vec<Job>) {
         };
         let p = &group[0].1;
         let outcome = match state.registry.get(&p.dataset) {
-            Ok(ds) => run_mxm_pass(state, &ds, p, mode, deadline).map(|pass| (ds, pass)),
+            Ok(ds) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_mxm_pass(state, &ds, p, mode, deadline)
+                })) {
+                    Ok(r) => r.map(|pass| (ds, pass)),
+                    Err(payload) => {
+                        // A kernel panic. Attribute it to the dataset
+                        // (repeat offenders get quarantined), answer every
+                        // rider with a typed error, then re-raise: the
+                        // worker thread dies and its sentinel respawns a
+                        // replacement, so the panic costs one thread spawn
+                        // instead of an executor slot. Any *other* mode
+                        // groups in this batch have their reply senders
+                        // dropped by the unwind; the connection side's
+                        // recv-error path answers (and records) those.
+                        let msg = panic_msg(payload);
+                        let verdict = state.registry.note_panic(&p.dataset);
+                        if verdict.newly_quarantined {
+                            state.metrics.counter("quarantined_total", &[]).inc();
+                        }
+                        let text = format!("kernel panicked on dataset '{}': {msg}", p.dataset);
+                        for (job, _) in group {
+                            finish_job(
+                                state,
+                                job,
+                                err_response(ErrorCode::ExecFailed, text.clone()),
+                                exec_start,
+                            );
+                        }
+                        std::panic::resume_unwind(Box::new(msg));
+                    }
+                }
+            }
             Err(e) => Err(reg_err(e)),
         };
         match outcome {
@@ -1268,17 +1364,28 @@ fn op_stats(state: &ServerState) -> OpResult {
     let resident = state.registry.list();
     let datasets: Vec<Json> = resident
         .iter()
-        .map(|ds| {
+        .map(|info| {
+            let ds = &info.ds;
             Json::obj(vec![
                 ("name", Json::str(&ds.name)),
                 ("mem_bytes", ds.mem_bytes().into()),
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
+                ("pinned", info.pinned.into()),
+                ("quarantined", info.quarantined.into()),
+                ("panics", u64::from(info.panics).into()),
             ])
         })
         .collect();
-    let total_mem: u64 = resident.iter().map(|ds| ds.mem_bytes()).sum();
-    let total_mapped: u64 = resident.iter().map(|ds| ds.mapped_bytes()).sum();
+    let total_mem: u64 = resident.iter().map(|i| i.ds.mem_bytes()).sum();
+    let total_mapped: u64 = resident.iter().map(|i| i.ds.mapped_bytes()).sum();
+    // Active failpoints: empty in production, the injected-fault table
+    // under `--fail`/`MXM_FAILPOINTS` — so an operator puzzled by a
+    // misbehaving server can ask it whether the faults are intentional.
+    let failpoints: Vec<Json> = mspgemm_fault::active()
+        .into_iter()
+        .map(|(name, task)| Json::obj(vec![("name", Json::Str(name)), ("task", Json::Str(task))]))
+        .collect();
     let hits = state.ws_pool.hits();
     let misses = state.ws_pool.misses();
     let takes = hits + misses;
@@ -1322,6 +1429,11 @@ fn op_stats(state: &ServerState) -> OpResult {
         ("datasets", Json::Arr(datasets)),
         ("total_mem_bytes", total_mem.into()),
         ("total_mapped_bytes", total_mapped.into()),
+        (
+            "max_resident_bytes",
+            state.registry.max_resident_bytes().into(),
+        ),
+        ("failpoints", Json::Arr(failpoints)),
         (
             "scheduler",
             Json::obj(vec![
@@ -1373,9 +1485,11 @@ fn publish_gauges(state: &ServerState) {
     let resident = state.registry.list();
     m.gauge("datasets_resident", &[]).set(resident.len() as f64);
     m.gauge("resident_bytes", &[])
-        .set(resident.iter().map(|ds| ds.mem_bytes()).sum::<u64>() as f64);
+        .set(resident.iter().map(|i| i.ds.mem_bytes()).sum::<u64>() as f64);
     m.gauge("mapped_bytes", &[])
-        .set(resident.iter().map(|ds| ds.mapped_bytes()).sum::<u64>() as f64);
+        .set(resident.iter().map(|i| i.ds.mapped_bytes()).sum::<u64>() as f64);
+    m.gauge("datasets_quarantined", &[])
+        .set(resident.iter().filter(|i| i.quarantined).count() as f64);
 }
 
 fn series_fields(series: &Series) -> Vec<(&'static str, Json)> {
@@ -1884,6 +1998,146 @@ mod tests {
         let p50 = lat.get("p50").unwrap().as_f64().unwrap();
         let p99 = lat.get("p99").unwrap().as_f64().unwrap();
         assert!(p50 >= 0.0 && p50 <= p99, "seconds, monotone: {p50} {p99}");
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_and_answers_typed_errors() {
+        // Probe the per-dataset footprint with an unlimited server.
+        let (probe, path) = state_with("budget_probe", 120);
+        let resp = ok(
+            &probe,
+            &format!(r#"{{"op":"load","path":"{path}","name":"p"}}"#),
+        );
+        let one = resp.get("mem_bytes").unwrap().as_u64().unwrap();
+        assert_eq!(resp.get("pinned").unwrap().as_bool(), Some(false));
+        assert_eq!(resp.get("evicted").unwrap().as_arr().unwrap().len(), 0);
+        drop(probe);
+
+        // A budget that fits two of these datasets but not three.
+        let state = ServerState::new(ServeConfig {
+            cache: CachePolicy::Off,
+            max_resident_bytes: 2 * one + one / 2,
+            ..ServeConfig::default()
+        });
+        for name in ["a", "b"] {
+            ok(
+                &state,
+                &format!(r#"{{"op":"load","path":"{path}","name":"{name}"}}"#),
+            );
+        }
+        // Touch "a" so "b" is the least-recently-used victim.
+        ok(&state, r#"{"op":"mxm","dataset":"a","algo":"hash"}"#);
+        let resp = ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"c"}}"#),
+        );
+        let evicted = resp.get("evicted").unwrap().as_arr().unwrap();
+        assert_eq!(evicted.len(), 1, "{}", resp.to_line());
+        assert_eq!(evicted[0].as_str(), Some("b"));
+        assert_eq!(state.metrics.counter("evictions_total", &[]).get(), 1);
+        // The evicted dataset answers its typed error, not
+        // unknown_dataset; the survivors still serve.
+        assert_eq!(err_code(&state, r#"{"op":"mxm","dataset":"b"}"#), "evicted");
+        ok(&state, r#"{"op":"mxm","dataset":"a","algo":"hash"}"#);
+        // The gauge stays under budget after a scrape refresh.
+        publish_gauges(&state);
+        let resident = state.metrics.gauge("resident_bytes", &[]).get();
+        assert!(resident <= (2 * one + one / 2) as f64, "{resident}");
+
+        // A budget nothing fits: typed over_budget, nothing loaded.
+        let tiny = ServerState::new(ServeConfig {
+            cache: CachePolicy::Off,
+            max_resident_bytes: one / 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(
+            err_code(
+                &tiny,
+                &format!(r#"{{"op":"load","path":"{path}","name":"x"}}"#)
+            ),
+            "over_budget"
+        );
+        assert!(tiny.registry.is_empty());
+
+        // Pinned datasets are never evicted: a pinned load filling the
+        // budget forces over_budget on the next one.
+        let pinned = ServerState::new(ServeConfig {
+            cache: CachePolicy::Off,
+            max_resident_bytes: one + one / 2,
+            ..ServeConfig::default()
+        });
+        let resp = ok(
+            &pinned,
+            &format!(r#"{{"op":"load","path":"{path}","name":"keep","pin":true}}"#),
+        );
+        assert_eq!(resp.get("pinned").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            err_code(
+                &pinned,
+                &format!(r#"{{"op":"load","path":"{path}","name":"y"}}"#)
+            ),
+            "over_budget"
+        );
+        ok(&pinned, r#"{"op":"mxm","dataset":"keep","algo":"hash"}"#);
+    }
+
+    #[test]
+    fn quarantine_flows_through_the_protocol() {
+        let (state, path) = state_with("quarantine", 100);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        // Two attributed panics: below the default threshold of 3.
+        state.registry.note_panic("g");
+        state.registry.note_panic("g");
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+        // The third flips quarantine; requests get the typed error.
+        assert!(state.registry.note_panic("g").newly_quarantined);
+        assert_eq!(
+            err_code(&state, r#"{"op":"mxm","dataset":"g"}"#),
+            "quarantined"
+        );
+        let list = ok(&state, r#"{"op":"list"}"#);
+        let entry = &list.get("datasets").unwrap().as_arr().unwrap()[0];
+        assert_eq!(entry.get("quarantined").unwrap().as_bool(), Some(true));
+        assert_eq!(entry.get("panics").unwrap().as_u64(), Some(3));
+        // unload + load is the operator's reset lever.
+        ok(&state, r#"{"op":"unload","name":"g"}"#);
+        ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"g"}}"#),
+        );
+        ok(&state, r#"{"op":"mxm","dataset":"g","algo":"hash"}"#);
+    }
+
+    #[test]
+    fn stats_reports_failpoints_and_budget() {
+        let (state, _) = state_with("stats_fail", 40);
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        // No failpoints armed in lib tests (the chaos suite owns the
+        // global table); the field must still exist, empty.
+        assert_eq!(
+            stats.get("failpoints").unwrap().as_arr().unwrap().len(),
+            0,
+            "{}",
+            stats.to_line()
+        );
+        assert_eq!(stats.get("max_resident_bytes").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn oversized_line_drain_is_bounded() {
+        let (state, _) = state_with("drain_cap", 40);
+        // A line far past the drain cap, no newline anywhere: the
+        // connection must answer payload_too_large and close without
+        // consuming the stream forever.
+        let big = vec![b'x'; DRAIN_CAP_BYTES + MAX_REQUEST_BYTES];
+        let mut out = Vec::new();
+        serve_connection(&state, BufReader::new(&big[..]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("payload_too_large"), "{text}");
+        assert_eq!(text.lines().count(), 1, "one response, then close");
     }
 
     #[test]
