@@ -69,6 +69,7 @@ USAGE:
     mxm serve [--listen ADDR] [--schedule static|guided|flops]
               [--parse-threads N] [--max-inflight N] [--queue-depth N]
               [--max-resident-bytes B] [--quarantine-after K]
+              [--compact-after-nnz NNZ]
               [--fail SPEC] [--no-cache] [--mmap] [preload.mtx ...]
         Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
         Unix socket): datasets stay resident with pre-transposed
@@ -87,7 +88,13 @@ USAGE:
         panics (default 3) against one dataset quarantine it until
         unload+load; --max-resident-bytes B evicts least-recently-used
         un-pinned datasets at load time (preloads are pinned; 0 =
-        unlimited). --fail SPEC (or MXM_FAILPOINTS) arms named fault
+        unlimited). Resident datasets are dynamic: the 'update' verb
+        applies edge insert/delete batches into a delta overlay, and
+        once the overlay outgrows --compact-after-nnz pending entries
+        (default 4096) the next update compacts it into fresh CSR
+        sections swapped in atomically (in-flight readers keep their
+        snapshot; see docs/DYNAMIC_GRAPHS.md).
+        --fail SPEC (or MXM_FAILPOINTS) arms named fault
         injection points for chaos drills, e.g.
         'kernel.numeric=10%err;serve.conn.drop=5%err' — armed points
         are listed by 'stats'. Protocol: docs/SERVE_PROTOCOL.md;
@@ -105,7 +112,17 @@ USAGE:
                    [--deadline-ms MS]
              | app --dataset D [--app tc|ktruss|bc] [--scheme S]
                    [--k K] [--batch B] [--threads T] [--deadline-ms MS]
+             | update --dataset D [--insert 'i,j[,v];...']
+                   [--delete 'i,j;...'] [--from-file F] [--compact]
              | raw --json '{...}'
+        `update` edits a resident dataset in place: --insert/--delete
+        take ;-separated 0-based edge lists, --from-file reads one op
+        per line ('+ i j [v]' inserts, '- i j' deletes, '#' comments),
+        and --compact forces the delta overlay into fresh CSR sections
+        now. Within one batch a delete of a position beats an insert of
+        the same position. After an update, `app tc` patches only the
+        affected rows of its cached counts (the response says
+        \"incremental\": true); k-truss and BC recompute fully.
         --retry N retries failed connects (every 500 ms) AND typed
         'busy' overload responses, backing off exponentially from the
         server's retry_after_ms hint (capped at 5 s per wait).
@@ -156,6 +173,7 @@ fn value_flags(cmd: &str) -> &'static [&'static str] {
             "queue-depth",
             "max-resident-bytes",
             "quarantine-after",
+            "compact-after-nnz",
             "fail",
         ],
         "query" => QUERY_VALUE_FLAGS,
@@ -186,6 +204,9 @@ const QUERY_VALUE_FLAGS: &[&str] = &[
     "batch",
     "deadline-ms",
     "format",
+    "insert",
+    "delete",
+    "from-file",
 ];
 
 /// [`QUERY_VALUE_FLAGS`] plus `json` — the flag set for `mxm query raw`,
@@ -209,6 +230,9 @@ const QUERY_RAW_VALUE_FLAGS: &[&str] = &[
     "batch",
     "deadline-ms",
     "format",
+    "insert",
+    "delete",
+    "from-file",
     "json",
 ];
 
@@ -219,7 +243,7 @@ fn known_switches(cmd: &str) -> &'static [&'static str] {
         "run" => &["no-cache", "mmap"],
         "suite" => &["no-cache", "no-baselines", "mmap"],
         "serve" => &["no-cache", "mmap"],
-        "query" => &["no-cache", "mmap", "json"],
+        "query" => &["no-cache", "mmap", "json", "compact"],
         _ => &[],
     }
 }

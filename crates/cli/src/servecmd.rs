@@ -31,6 +31,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let queue_depth = p.flag_parse("queue-depth", defaults.queue_depth)?;
     let max_resident_bytes = p.flag_parse("max-resident-bytes", defaults.max_resident_bytes)?;
     let quarantine_after = p.flag_parse("quarantine-after", defaults.quarantine_after)?;
+    let compact_after_nnz = p.flag_parse("compact-after-nnz", defaults.compact_after_nnz)?;
     // Fault injection for chaos drills: `--fail` wins over the
     // `MXM_FAILPOINTS` environment; both use the same spec grammar
     // (`name=[P%][N*]kind[(arg)];...`). The `stats` verb lists whatever
@@ -56,6 +57,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             queue_depth,
             max_resident_bytes,
             quarantine_after,
+            compact_after_nnz,
         },
     )?;
     for (path, name) in p.positional.iter().zip(server.preload(&p.positional)?) {
@@ -76,7 +78,11 @@ const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [o
          unload --name N\n\
          mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R] [--deadline-ms MS]\n\
          app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B] [--deadline-ms MS]\n\
+         update --dataset D [--insert 'i,j[,v];...'] [--delete 'i,j;...'] [--from-file F] [--compact]\n\
          raw --json '{...}'\n\
+    update edits a resident dataset: 0-based ;-separated edge lists, or\n\
+    --from-file with one op per line ('+ i j [v]' / '- i j'); --compact\n\
+    forces the delta overlay into fresh CSR sections now\n\
     stats/metrics/list print tables; --json prints the raw response line\n\
     --retry N retries both failed connects (every 500 ms) and typed 'busy'\n\
     overload responses, backing off from the server's retry_after_ms hint\n\
@@ -102,6 +108,69 @@ fn copy_num(
         req.push((key, Json::from(n)));
     }
     Ok(())
+}
+
+/// One `i,j[,v]` edge from a `--insert`/`--delete` list, as the protocol
+/// array `[i,j]` or `[i,j,v]`. `with_value` allows the third field
+/// (inserts only; the server defaults an absent value to 1.0).
+fn parse_edge(item: &str, with_value: bool, flag: &str) -> Result<Json, String> {
+    let parts: Vec<&str> = item.split(',').map(str::trim).collect();
+    let want = if with_value { "i,j or i,j,v" } else { "i,j" };
+    if parts.len() < 2 || parts.len() > if with_value { 3 } else { 2 } {
+        return Err(format!("--{flag}: '{item}' is not {want}"));
+    }
+    let mut arr = Vec::with_capacity(parts.len());
+    for (k, part) in parts.iter().take(2).enumerate() {
+        let n: u32 = part
+            .parse()
+            .map_err(|e| format!("--{flag}: '{item}' field {}: {e}", k + 1))?;
+        arr.push(Json::from(u64::from(n)));
+    }
+    if let Some(v) = parts.get(2) {
+        let x: f64 = v
+            .parse()
+            .map_err(|e| format!("--{flag}: '{item}' value: {e}"))?;
+        arr.push(Json::from(x));
+    }
+    Ok(Json::Arr(arr))
+}
+
+/// A `;`-separated edge list (`--insert 'i,j,v;i,j'`, `--delete 'i,j'`).
+fn parse_edge_list(spec: &str, with_value: bool, flag: &str) -> Result<Vec<Json>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|item| parse_edge(item, with_value, flag))
+        .collect()
+}
+
+/// Read a `--from-file` batch: one op per line, `+ i j [v]` inserts,
+/// `- i j` deletes; blank lines and `#` comments are skipped.
+fn update_ops_from_file(path: &str) -> Result<(Vec<Json>, Vec<Json>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--from-file {path}: {e}"))?;
+    let mut ins = Vec::new();
+    let mut del = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ctx = format!("--from-file {path}:{}", ln + 1);
+        let (sign, rest) = line.split_at(1);
+        let item = rest.split_whitespace().collect::<Vec<_>>().join(",");
+        match sign {
+            "+" => ins.push(parse_edge(&item, true, &ctx).map_err(strip_flag_prefix)?),
+            "-" => del.push(parse_edge(&item, false, &ctx).map_err(strip_flag_prefix)?),
+            _ => return Err(format!("{ctx}: line must start with '+' or '-'")),
+        }
+    }
+    Ok((ins, del))
+}
+
+/// `parse_edge` prefixes errors with `--<flag>:`; for file lines the
+/// "flag" is already the `path:line` context, so drop the dashes.
+fn strip_flag_prefix(e: String) -> String {
+    e.strip_prefix("--").map(str::to_string).unwrap_or(e)
 }
 
 /// Build the request object for one `mxm query` invocation.
@@ -157,6 +226,36 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
             copy_num(p, "k", "k", &mut req)?;
             copy_num(p, "batch", "batch", &mut req)?;
             copy_num(p, "deadline-ms", "deadline_ms", &mut req)?;
+        }
+        "update" => {
+            req.push(("op", Json::str("update")));
+            let ds = p.flag("dataset").ok_or("update needs --dataset D")?;
+            req.push(("dataset", Json::str(ds)));
+            let (mut ins, mut del) = match p.flag("from-file") {
+                Some(path) => update_ops_from_file(path)?,
+                None => (Vec::new(), Vec::new()),
+            };
+            if let Some(spec) = p.flag("insert") {
+                ins.extend(parse_edge_list(spec, true, "insert")?);
+            }
+            if let Some(spec) = p.flag("delete") {
+                del.extend(parse_edge_list(spec, false, "delete")?);
+            }
+            let compact = p.switch("compact");
+            if ins.is_empty() && del.is_empty() && !compact {
+                return Err(
+                    "update needs ops (--insert/--delete/--from-file) or --compact".to_string(),
+                );
+            }
+            if !ins.is_empty() {
+                req.push(("insert", Json::Arr(ins)));
+            }
+            if !del.is_empty() {
+                req.push(("delete", Json::Arr(del)));
+            }
+            if compact {
+                req.push(("compact", Json::from(true)));
+            }
         }
         other => {
             return Err(format!("unknown query op '{other}'\n\n{QUERY_USAGE}"));
@@ -430,6 +529,9 @@ mod tests {
                 "batch",
                 "deadline-ms",
                 "format",
+                "insert",
+                "delete",
+                "from-file",
                 "json",
             ],
         )
@@ -513,6 +615,72 @@ mod tests {
             req.to_line(),
             r#"{"op":"load","path":"g.mtx","cache":"off"}"#
         );
+    }
+
+    #[test]
+    fn update_request_builds_batches() {
+        // Inline lists: inserts carry optional values, deletes never do.
+        let p = parsed(&[
+            "update",
+            "--dataset",
+            "g",
+            "--insert",
+            "0,1,2.5; 3,4",
+            "--delete",
+            "5,6",
+        ]);
+        assert_eq!(
+            build_request("update", &p).unwrap().to_line(),
+            r#"{"op":"update","dataset":"g","insert":[[0,1,2.5],[3,4]],"delete":[[5,6]]}"#
+        );
+        // --compact alone is a valid request (flush the overlay now).
+        let mut p = parsed(&["update", "--dataset", "g"]);
+        p.switches.insert("compact".into());
+        assert_eq!(
+            build_request("update", &p).unwrap().to_line(),
+            r#"{"op":"update","dataset":"g","compact":true}"#
+        );
+        // No ops and no compact: rejected client-side.
+        let p = parsed(&["update", "--dataset", "g"]);
+        assert!(build_request("update", &p).unwrap_err().contains("ops"));
+        // Malformed lists are rejected with the offending item.
+        let p = parsed(&["update", "--dataset", "g", "--insert", "0"]);
+        assert!(build_request("update", &p).is_err());
+        let p = parsed(&["update", "--dataset", "g", "--delete", "1,2,3"]);
+        assert!(build_request("update", &p).is_err());
+        let p = parsed(&["update", "--dataset", "g", "--insert", "-1,2"]);
+        assert!(build_request("update", &p).is_err());
+    }
+
+    #[test]
+    fn update_request_reads_op_files() {
+        let dir = std::env::temp_dir().join("mxm_cli_update_file");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops = dir.join("batch.txt");
+        std::fs::write(&ops, "# day-1 edits\n+ 0 1 2.5\n\n- 5 6\n+ 3 4\n").unwrap();
+        let p = parsed(&[
+            "update",
+            "--dataset",
+            "g",
+            "--from-file",
+            ops.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            build_request("update", &p).unwrap().to_line(),
+            r#"{"op":"update","dataset":"g","insert":[[0,1,2.5],[3,4]],"delete":[[5,6]]}"#
+        );
+        // A bad line is reported with its file:line context.
+        std::fs::write(&ops, "* 0 1\n").unwrap();
+        let p = parsed(&[
+            "update",
+            "--dataset",
+            "g",
+            "--from-file",
+            ops.to_str().unwrap(),
+        ]);
+        let err = build_request("update", &p).unwrap_err();
+        assert!(err.contains(":1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,10 +6,10 @@
 use crate::scheme::Scheme;
 use masked_spgemm::{ExecOpts, MaskMode};
 use mspgemm_sparse::ops::permute::{degree_descending_permutation, permute_symmetric};
-use mspgemm_sparse::ops::reduce::reduce_all;
+use mspgemm_sparse::ops::reduce::{reduce_all, reduce_rows};
 use mspgemm_sparse::ops::select::tril_strict;
 use mspgemm_sparse::semiring::PlusPairU64;
-use mspgemm_sparse::{transpose, Csr};
+use mspgemm_sparse::{transpose, Csr, Idx};
 use std::time::Instant;
 
 /// The prepared operand: relabeled strictly-lower-triangular pattern, plus
@@ -21,19 +21,33 @@ pub struct TcOperands {
     pub lt: Csr<()>,
     /// Push flops of the *unmasked* `L·L` (×2 = FLOP count for GFLOPS).
     pub flops: u64,
+    /// The relabeling used (`perm[old] = new`). The incremental path
+    /// re-prepares an updated adjacency under the *same* permutation so
+    /// cached per-row counts stay aligned; any permutation is correct
+    /// (degree order is only a performance heuristic).
+    pub perm: Vec<Idx>,
 }
 
 /// Relabel + extract `L` (not timed as part of the masked SpGEMM, matching
 /// "we only report the Masked SpGEMM execution time").
 pub fn prepare(adj: &Csr<f64>) -> TcOperands {
     assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
-    let _span = mspgemm_obs::span("tc-relabel");
     let perm = degree_descending_permutation(adj);
+    prepare_with_perm(adj, perm)
+}
+
+/// [`prepare`] under a caller-supplied relabeling — the incremental-TC
+/// path replays the cached permutation against an updated adjacency so
+/// per-row counts remain comparable across updates.
+pub fn prepare_with_perm(adj: &Csr<f64>, perm: Vec<Idx>) -> TcOperands {
+    assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+    assert_eq!(perm.len(), adj.nrows(), "permutation length != nrows");
+    let _span = mspgemm_obs::span("tc-relabel");
     let relabeled = permute_symmetric(adj, &perm);
     let l = tril_strict(&relabeled).pattern();
     let lt = transpose(&l);
     let flops = 2 * l.flops_with(&l);
-    TcOperands { l, lt, flops }
+    TcOperands { l, lt, flops, perm }
 }
 
 /// Result of one triangle-count run.
@@ -77,6 +91,97 @@ pub fn count_prepared_with(ops: &TcOperands, scheme: Scheme, opts: &ExecOpts<'_>
 /// Convenience: prepare + count.
 pub fn triangle_count(adj: &Csr<f64>, scheme: Scheme) -> TcResult {
     count_prepared(&prepare(adj), scheme)
+}
+
+/// Per-row triangle counts (row `i` = triangles whose largest-labeled
+/// vertex is `i` under the operands' relabeling) plus the masked-SpGEMM
+/// seconds. Summing the vector gives [`TcResult::triangles`]; the vector
+/// itself is what the incremental path caches and patches.
+pub fn count_prepared_rows_with(
+    ops: &TcOperands,
+    scheme: Scheme,
+    opts: &ExecOpts<'_>,
+) -> (Vec<u64>, f64) {
+    let t0 = Instant::now();
+    let c = scheme.run_with::<PlusPairU64, ()>(
+        &ops.l,
+        &ops.l,
+        &ops.l,
+        Some(&ops.lt),
+        MaskMode::Mask,
+        opts,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    (reduce_rows(&c, 0u64, |acc, v| acc + v), secs)
+}
+
+/// `L` restricted to the given (sorted, deduplicated) rows; every other
+/// row is empty. Used as the mask of the incremental recount pass, so the
+/// product only materializes the rows being patched.
+fn row_subset(l: &Csr<()>, rows: &[usize]) -> Csr<()> {
+    let mut rowptr = Vec::with_capacity(l.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::new();
+    let mut it = rows.iter().peekable();
+    for i in 0..l.nrows() {
+        if it.peek() == Some(&&i) {
+            colidx.extend_from_slice(l.row_cols(i));
+            it.next();
+        }
+        rowptr.push(colidx.len());
+    }
+    let values = vec![(); colidx.len()];
+    Csr::from_parts_unchecked(l.nrows(), l.ncols(), rowptr, colidx, values)
+}
+
+/// Recount triangles for a subset of relabeled rows: one masked-SpGEMM
+/// pass whose mask is `L` restricted to `rows` (sorted, deduplicated).
+/// Returns a full-length per-row vector — entries are meaningful only at
+/// `rows`; everything else is 0 — plus the pass seconds.
+pub fn recount_rows_with(
+    ops: &TcOperands,
+    rows: &[usize],
+    scheme: Scheme,
+    opts: &ExecOpts<'_>,
+) -> (Vec<u64>, f64) {
+    let mask = row_subset(&ops.l, rows);
+    let t0 = Instant::now();
+    let c = scheme.run_with::<PlusPairU64, ()>(
+        &mask,
+        &ops.l,
+        &ops.l,
+        Some(&ops.lt),
+        MaskMode::Mask,
+        opts,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    (reduce_rows(&c, 0u64, |acc, v| acc + v), secs)
+}
+
+/// The rows of `L` whose per-row triangle count may change when the given
+/// vertex pairs gain or lose an edge, under the operands' relabeling.
+///
+/// For a changed pair `{u, v}` with relabeled larger endpoint `a`, the
+/// changed `L` entry is `(a, min)`; it can perturb `C = L·L ⊙ L` only in
+/// row `a` (first factor + mask) or in rows `i` with `L[i][a] = 1`
+/// (second-factor term `L[i][a]·L[a][·]`), i.e. `Lᵀ` row `a`. Rows whose
+/// own incident edges changed are covered by their own pair's larger
+/// endpoint, so taking `Lᵀ` from the *updated* operands is sufficient.
+/// Returned sorted and deduplicated — the shape [`recount_rows_with`]
+/// expects.
+pub fn affected_rows(ops: &TcOperands, edges: &[(Idx, Idx)]) -> Vec<usize> {
+    let n = ops.l.nrows();
+    let mut hit = vec![false; n];
+    for &(u, v) in edges {
+        let pu = ops.perm[u as usize] as usize;
+        let pv = ops.perm[v as usize] as usize;
+        let a = pu.max(pv);
+        hit[a] = true;
+        for &i in ops.lt.row_cols(a) {
+            hit[i as usize] = true;
+        }
+    }
+    (0..n).filter(|&i| hit[i]).collect()
 }
 
 #[cfg(test)]
@@ -173,6 +278,63 @@ mod tests {
             let r = count_prepared(&ops, s);
             assert_eq!(r.triangles, want, "{}", s.name());
         }
+    }
+
+    #[test]
+    fn incremental_patch_equals_full_recompute() {
+        // Start from a random graph, flip a batch of edges, and patch the
+        // cached per-row counts through the affected-row masked pass. The
+        // patched vector must equal a from-scratch count of the new graph
+        // (under the same relabeling, and in total under any relabeling).
+        let g0 = mspgemm_gen::er_symmetric(120, 8, 42);
+        let scheme = Scheme::Ours(Algorithm::Msa, Phases::One);
+        let opts = ExecOpts::default();
+        let ops0 = prepare(&g0);
+        let (mut counts, _) = count_prepared_rows_with(&ops0, scheme, &opts);
+
+        // Batch: delete three existing edges, insert three new ones.
+        let mut entries: std::collections::BTreeMap<(Idx, Idx), f64> =
+            g0.iter().map(|(i, j, &v)| ((i as Idx, j), v)).collect();
+        let dels: Vec<(Idx, Idx)> = g0
+            .iter()
+            .filter(|&(i, j, _)| (i as Idx) < j)
+            .map(|(i, j, _)| (i as Idx, j))
+            .step_by(37)
+            .take(3)
+            .collect();
+        let ins: &[(Idx, Idx)] = &[(1, 117), (5, 64), (30, 31)];
+        for &(u, v) in &dels {
+            entries.remove(&(u, v));
+            entries.remove(&(v, u));
+        }
+        for &(u, v) in ins {
+            entries.insert((u, v), 1.0);
+            entries.insert((v, u), 1.0);
+        }
+        let mut coo = Coo::new(120, 120);
+        for (&(i, j), &v) in &entries {
+            coo.push(i, j, v);
+        }
+        let g1 = coo.to_csr(|a, _| a);
+
+        // Incremental: re-prepare under the cached permutation, recount
+        // only the affected rows, patch.
+        let ops1 = prepare_with_perm(&g1, ops0.perm.clone());
+        let changed: Vec<(Idx, Idx)> = dels.iter().chain(ins).copied().collect();
+        let rows = affected_rows(&ops1, &changed);
+        assert!(!rows.is_empty() && rows.len() < 120);
+        let (patch, _) = recount_rows_with(&ops1, &rows, scheme, &opts);
+        for &r in &rows {
+            counts[r] = patch[r];
+        }
+
+        let (want_rows, _) = count_prepared_rows_with(&ops1, scheme, &opts);
+        assert_eq!(counts, want_rows);
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            naive_triangles(&g1),
+            "patched total != naive recount"
+        );
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub enum ErrorCode {
     /// The dataset cannot fit the `--max-resident-bytes` budget even
     /// after evicting everything evictable.
     OverBudget,
+    /// An `update` op addressed a row/column outside the matrix shape;
+    /// the whole batch was rejected, nothing was applied.
+    OutOfBounds,
 }
 
 impl ErrorCode {
@@ -82,6 +85,7 @@ impl ErrorCode {
             ErrorCode::Quarantined => "quarantined",
             ErrorCode::Evicted => "evicted",
             ErrorCode::OverBudget => "over_budget",
+            ErrorCode::OutOfBounds => "out_of_bounds",
         }
     }
 }

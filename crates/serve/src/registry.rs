@@ -37,6 +37,22 @@
 //! * **Poison recovery** — every lock acquisition recovers from a
 //!   poisoned mutex: a panicking thread must degrade the one request
 //!   that panicked, not wedge the registry for the whole process.
+//!
+//! ## Dynamic updates
+//!
+//! The `update` verb mutates a resident dataset through a per-entry
+//! [`Overlay`]: edge upserts/deletes accumulate against the last
+//! *compacted base*, every batch produces a fresh merged [`Dataset`]
+//! (derived operands rebuilt, sections heap-owned — mutating never
+//! touches an mmap'd base), and the new `Arc` swaps into the entry under
+//! the write lock while in-flight readers keep the old views. Past the
+//! compaction threshold (or on request) the merged dataset is promoted
+//! to the new base and the overlay clears. Each entry carries a monotone
+//! `version` (bumped once per successful update) plus the edge log and
+//! cached per-row triangle counts the incremental `app tc` path patches.
+//! The swap re-checks entry identity, so an `update` racing an `unload`
+//! loses cleanly: the removed entry stays removed and the caller gets
+//! [`RegistryError::NotFound`].
 
 use masked_spgemm::Error as MxmError;
 use mspgemm_graph::tricount::{self, TcOperands};
@@ -44,7 +60,8 @@ use mspgemm_io::{
     dataset_name, load_matrix_opts, to_adjacency, AdjacencyStats, IngestReport, LoadOpts,
     MsbBackend,
 };
-use mspgemm_sparse::{transpose, Csr};
+use mspgemm_sparse::overlay::{DeltaOp, Overlay};
+use mspgemm_sparse::{transpose, Csr, Idx};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{
@@ -112,13 +129,31 @@ impl Dataset {
         if name.is_empty() {
             return Err(format!("{path}: dataset name must be non-empty"));
         }
+        Ok(Self::derive(
+            name,
+            path.to_string(),
+            matrix,
+            ingest,
+            Instant::now(),
+        ))
+    }
+
+    /// Derive every resident operand from a raw square matrix — shared by
+    /// the disk loader and the update path's rebuilds.
+    fn derive(
+        name: String,
+        path: String,
+        matrix: Csr<f64>,
+        ingest: IngestReport,
+        loaded_at: Instant,
+    ) -> Dataset {
         let mask = matrix.pattern();
         let matrix_t = transpose(&matrix);
         let (adj, adj_stats) = to_adjacency(&matrix);
         let mxm_flops = 2 * matrix.flops_with(&matrix);
-        Ok(Dataset {
+        Dataset {
             name,
-            path: path.to_string(),
+            path,
             matrix,
             mask,
             matrix_t,
@@ -126,9 +161,31 @@ impl Dataset {
             adj_stats,
             mxm_flops,
             ingest,
-            loaded_at: Instant::now(),
+            loaded_at,
             tc_ops: OnceLock::new(),
-        })
+        }
+    }
+
+    /// A fresh dataset carrying an updated matrix: identity (name, path,
+    /// load time) is inherited from `prev`, derived operands are rebuilt,
+    /// and the ingest report flips to the heap backend — merged sections
+    /// are always heap-owned, so an update copies-on-write away from any
+    /// mmap backing (the mapping itself stays untouched and alive only as
+    /// long as something still references the previous base).
+    pub fn rebuilt(prev: &Dataset, matrix: Csr<f64>) -> Dataset {
+        debug_assert!(!matrix.has_shared_storage(), "rebuilds must be heap-owned");
+        let ingest = IngestReport {
+            backend: MsbBackend::Heap,
+            entries: matrix.nnz(),
+            ..prev.ingest
+        };
+        Self::derive(
+            prev.name.clone(),
+            prev.path.clone(),
+            matrix,
+            ingest,
+            prev.loaded_at,
+        )
     }
 
     /// The triangle-counting operands (degree-relabeled `L` and `Lᵀ`),
@@ -195,6 +252,8 @@ pub enum RegistryError {
     Evicted(String),
     /// The dataset cannot fit the resident-memory budget.
     OverBudget(String),
+    /// An `update` op addressed an entry outside the matrix shape.
+    OutOfBounds(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -215,6 +274,7 @@ impl std::fmt::Display for RegistryError {
                 "dataset '{n}' was evicted by the memory budget (load it again to use it)"
             ),
             RegistryError::OverBudget(msg) => write!(f, "{msg}"),
+            RegistryError::OutOfBounds(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -229,6 +289,13 @@ pub fn mxm_error_message(e: MxmError) -> String {
 /// only the map's read lock.
 struct Entry {
     ds: Arc<Dataset>,
+    /// The entry's dynamic-update state, shared by `Arc` so the expensive
+    /// merge/rebuild runs outside the map locks while still serializing
+    /// updates per dataset. The `Arc` identity doubles as the swap guard:
+    /// a compaction only lands if the entry still holds the same state it
+    /// started from (an interleaved `unload`, or unload + reload, changes
+    /// the identity and the late swap is refused).
+    dynamics: Arc<Mutex<DynState>>,
     /// Pinned entries (preloads, `load` with `"pin": true`) are never
     /// evicted by the memory budget.
     pinned: bool,
@@ -242,6 +309,100 @@ struct Entry {
     quarantined: AtomicBool,
 }
 
+/// Cap on the accumulated edge log consumed by the incremental TC path.
+/// Past it, patching would approach full-recompute cost anyway, so the
+/// log is dropped and the next `app tc` recomputes from scratch.
+const DELTA_LOG_CAP: usize = 1 << 16;
+
+/// Per-entry dynamic-update state: the compacted base, the pending delta
+/// overlay, the monotone version, and the incremental-TC bookkeeping.
+struct DynState {
+    /// The last compacted dataset — what the overlay merges against.
+    /// Initially the dataset as loaded (possibly mmap-backed).
+    base: Arc<Dataset>,
+    /// Pending ops since `base`.
+    overlay: Overlay<f64>,
+    /// Bumped once per successful update; never reset while resident.
+    version: u64,
+    /// Positions changed since `tc_cache` was last stored.
+    delta_log: Vec<(Idx, Idx)>,
+    /// The log outgrew [`DELTA_LOG_CAP`] and was dropped: the next
+    /// `app tc` must do a full recompute.
+    log_overflow: bool,
+    /// Per-row triangle counts from the last full or patched count.
+    tc_cache: Option<TcCache>,
+}
+
+impl DynState {
+    fn new(base: Arc<Dataset>) -> Self {
+        let (nrows, ncols) = (base.matrix.nrows(), base.matrix.ncols());
+        DynState {
+            base,
+            overlay: Overlay::new(nrows, ncols),
+            version: 0,
+            delta_log: Vec::new(),
+            log_overflow: false,
+            tc_cache: None,
+        }
+    }
+}
+
+/// Cached per-row triangle counts, patchable by the incremental path.
+#[derive(Clone)]
+pub struct TcCache {
+    /// The relabeling the counts were computed under (`perm[old] = new`).
+    pub perm: Vec<Idx>,
+    /// Per-row counts (row `i` = triangles whose largest relabeled vertex
+    /// is `i`); summing gives `total`.
+    pub counts: Vec<u64>,
+    /// Total triangles at `version`.
+    pub total: u64,
+    /// The dataset version the counts describe.
+    pub version: u64,
+}
+
+/// What the incremental `app tc` path needs: the live dataset, its
+/// version, a usable cache (if any), and the positions changed since the
+/// cache was stored.
+pub struct TcSnapshot {
+    /// The live dataset.
+    pub ds: Arc<Dataset>,
+    /// Current dataset version.
+    pub version: u64,
+    /// The cached counts, absent when unusable (never stored, edge log
+    /// overflowed, or shape changed).
+    pub cache: Option<TcCache>,
+    /// Positions changed since `cache` — empty when `cache` is `None`.
+    pub changed: Vec<(Idx, Idx)>,
+}
+
+/// What a successful [`Registry::update`] did.
+pub struct UpdateOutcome {
+    /// The new live dataset (already swapped into the registry).
+    pub ds: Arc<Dataset>,
+    /// Dataset version after this update (monotone per dataset).
+    pub version: u64,
+    /// Pending overlay positions after this update (0 right after a
+    /// compaction).
+    pub delta_nnz: usize,
+    /// Whether this update compacted the overlay into a fresh base.
+    pub compacted: bool,
+    /// Ops applied (inserts + deletes, as submitted).
+    pub applied: usize,
+}
+
+impl std::fmt::Debug for UpdateOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateOutcome")
+            .field("dataset", &self.ds.name)
+            .field("version", &self.version)
+            .field("delta_nnz", &self.delta_nnz)
+            .field("compacted", &self.compacted)
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
 /// A point-in-time view of one resident dataset plus its health state,
 /// as returned by [`Registry::list`].
 pub struct DatasetInfo {
@@ -253,6 +414,10 @@ pub struct DatasetInfo {
     pub quarantined: bool,
     /// Kernel panics attributed to this dataset so far.
     pub panics: u32,
+    /// Dataset version (0 = never updated).
+    pub version: u64,
+    /// Pending overlay positions awaiting compaction.
+    pub delta_nnz: usize,
 }
 
 /// What [`Registry::note_panic`] concluded.
@@ -304,6 +469,10 @@ fn read_map(l: &RwLock<HashMap<String, Entry>>) -> RwLockReadGuard<'_, HashMap<S
 
 fn write_map(l: &RwLock<HashMap<String, Entry>>) -> RwLockWriteGuard<'_, HashMap<String, Entry>> {
     l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_dyn(m: &Mutex<DynState>) -> MutexGuard<'_, DynState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Registry {
@@ -370,6 +539,7 @@ impl Registry {
             key.clone(),
             Entry {
                 ds: ds.clone(),
+                dynamics: Arc::new(Mutex::new(DynState::new(ds.clone()))),
                 pinned: pin,
                 last_used: AtomicU64::new(self.now_ns()),
                 panics: AtomicU32::new(0),
@@ -443,6 +613,147 @@ impl Registry {
         Err(RegistryError::NotFound(name.to_string()))
     }
 
+    /// Fetch a dataset's dynamic state for an update-path operation,
+    /// answering the same typed errors as [`Registry::get`].
+    fn dynamics_of(&self, name: &str) -> Result<Arc<Mutex<DynState>>, RegistryError> {
+        {
+            let map = read_map(&self.map);
+            if let Some(e) = map.get(name) {
+                if e.quarantined.load(Ordering::Relaxed) {
+                    return Err(RegistryError::Quarantined(name.to_string()));
+                }
+                e.last_used.store(self.now_ns(), Ordering::Relaxed);
+                return Ok(e.dynamics.clone());
+            }
+        }
+        if self.lock_tombstones().contains(name) {
+            return Err(RegistryError::Evicted(name.to_string()));
+        }
+        Err(RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Apply an edge batch to a resident dataset.
+    ///
+    /// The batch lands in the entry's delta overlay (atomically: any
+    /// out-of-bounds op rejects the whole batch untouched), the merged
+    /// matrix is rebuilt into a fresh heap-owned [`Dataset`] outside the
+    /// map locks, and the new `Arc` swaps into the registry — in-flight
+    /// readers keep their old views; no stop-the-world. When the overlay
+    /// reaches `compact_after_nnz` pending positions (0 = never) or the
+    /// request asks for it, the merged dataset is promoted to the new
+    /// compacted base and the overlay clears.
+    ///
+    /// Updates to the same dataset serialize on its dynamics mutex; the
+    /// final swap re-checks that the entry still holds the same dynamic
+    /// state, so an `unload` (or unload + reload) racing the rebuild wins
+    /// cleanly and this update reports [`RegistryError::NotFound`].
+    ///
+    /// # Errors
+    /// Typed registry errors: unknown/evicted/quarantined dataset,
+    /// out-of-bounds ops, or the dataset disappearing mid-update.
+    pub fn update(
+        &self,
+        name: &str,
+        ops: &[DeltaOp<f64>],
+        compact_request: bool,
+        compact_after_nnz: u64,
+    ) -> Result<UpdateOutcome, RegistryError> {
+        let dynamics = self.dynamics_of(name)?;
+        let mut st = lock_dyn(&dynamics);
+        st.overlay
+            .apply_batch(ops)
+            .map_err(RegistryError::OutOfBounds)?;
+        st.version += 1;
+        if st.delta_log.len() + ops.len() > DELTA_LOG_CAP {
+            st.delta_log.clear();
+            st.log_overflow = true;
+        } else {
+            st.delta_log.extend(ops.iter().map(DeltaOp::key));
+        }
+        // Rebuild outside the map locks: only other updates to this
+        // dataset wait; readers and other verbs proceed on the old Arc.
+        let merged = st.overlay.merged(st.base.matrix.view());
+        let new_ds = Arc::new(Dataset::rebuilt(&st.base, merged));
+        let compact = compact_request
+            || (compact_after_nnz > 0 && st.overlay.delta_nnz() as u64 >= compact_after_nnz);
+        if compact {
+            st.base = new_ds.clone();
+            st.overlay.clear();
+        }
+        // Failpoint `serve.update.swap`: widen (or fail) the window
+        // between the rebuild and the registry swap — the unload-race
+        // regression tests arm this.
+        if let Some(msg) = mspgemm_fault::fire("serve.update.swap") {
+            return Err(RegistryError::Load(format!(
+                "failpoint serve.update.swap: {msg}"
+            )));
+        }
+        let mut map = write_map(&self.map);
+        match map.get_mut(name) {
+            Some(e) if Arc::ptr_eq(&e.dynamics, &dynamics) => {
+                e.ds = new_ds.clone();
+            }
+            // Unloaded (or unloaded and reloaded as a different entry)
+            // while we were rebuilding: drop our work on the floor and
+            // leave the registry exactly as the unload left it.
+            _ => return Err(RegistryError::NotFound(name.to_string())),
+        }
+        drop(map);
+        Ok(UpdateOutcome {
+            ds: new_ds,
+            version: st.version,
+            delta_nnz: st.overlay.delta_nnz(),
+            compacted: compact,
+            applied: ops.len(),
+        })
+    }
+
+    /// Snapshot what the incremental `app tc` path needs. The cache is
+    /// omitted (forcing a full recompute) when none was stored, the edge
+    /// log overflowed, or the cached shape no longer matches.
+    pub fn tc_snapshot(&self, name: &str) -> Result<TcSnapshot, RegistryError> {
+        let dynamics = self.dynamics_of(name)?;
+        // Lock dynamics *before* fetching the dataset (dynamics → map is
+        // the established order): no update can swap a newer matrix in
+        // between reading `ds` and reading `version`.
+        let st = lock_dyn(&dynamics);
+        let ds = self.get(name)?;
+        let usable = !st.log_overflow
+            && st
+                .tc_cache
+                .as_ref()
+                .is_some_and(|c| c.counts.len() == ds.matrix.nrows());
+        Ok(TcSnapshot {
+            ds,
+            version: st.version,
+            cache: if usable { st.tc_cache.clone() } else { None },
+            changed: if usable {
+                st.delta_log.clone()
+            } else {
+                Vec::new()
+            },
+        })
+    }
+
+    /// Store freshly computed triangle counts. The store is refused
+    /// (returning `false`) when the dataset has moved past
+    /// `cache.version` — a concurrent update landed between compute and
+    /// store, so the counts no longer describe the live matrix — or when
+    /// the dataset is gone.
+    pub fn store_tc_cache(&self, name: &str, cache: TcCache) -> bool {
+        let Ok(dynamics) = self.dynamics_of(name) else {
+            return false;
+        };
+        let mut st = lock_dyn(&dynamics);
+        if st.version != cache.version {
+            return false;
+        }
+        st.tc_cache = Some(cache);
+        st.delta_log.clear();
+        st.log_overflow = false;
+        true
+    }
+
     /// Attribute one kernel panic to a dataset; after `quarantine_after`
     /// of them the dataset flips to quarantined (the verdict says when
     /// that transition happened, so the caller can count it once).
@@ -480,13 +791,34 @@ impl Registry {
 
     /// All resident datasets with their health state, sorted by name.
     pub fn list(&self) -> Vec<DatasetInfo> {
-        let mut v: Vec<DatasetInfo> = read_map(&self.map)
+        // Lock order is dynamics → map (the update path's swap), so never
+        // acquire a dynamics mutex while holding the map lock: snapshot
+        // the entries first, then read each dynamic state.
+        type EntrySnap = (Arc<Dataset>, Arc<Mutex<DynState>>, bool, bool, u32);
+        let snap: Vec<EntrySnap> = read_map(&self.map)
             .values()
-            .map(|e| DatasetInfo {
-                ds: e.ds.clone(),
-                pinned: e.pinned,
-                quarantined: e.quarantined.load(Ordering::Relaxed),
-                panics: e.panics.load(Ordering::Relaxed),
+            .map(|e| {
+                (
+                    e.ds.clone(),
+                    e.dynamics.clone(),
+                    e.pinned,
+                    e.quarantined.load(Ordering::Relaxed),
+                    e.panics.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let mut v: Vec<DatasetInfo> = snap
+            .into_iter()
+            .map(|(ds, dynamics, pinned, quarantined, panics)| {
+                let dy = lock_dyn(&dynamics);
+                DatasetInfo {
+                    ds,
+                    pinned,
+                    quarantined,
+                    panics,
+                    version: dy.version,
+                    delta_nnz: dy.overlay.delta_nnz(),
+                }
             })
             .collect();
         v.sort_by(|a, b| a.ds.name.cmp(&b.ds.name));
@@ -678,6 +1010,219 @@ mod tests {
         std::fs::remove_file(&m1).ok();
         std::fs::remove_file(&m2).ok();
         std::fs::remove_file(&m3).ok();
+    }
+
+    #[test]
+    fn update_bumps_version_merges_and_compacts() {
+        let dir = fixture_dir();
+        let mtx = dir.join("upd.mtx");
+        write_graph(&mtx);
+        let reg = Registry::new();
+        reg.load(mtx.to_str().unwrap(), Some("u"), &off_opts(), false)
+            .unwrap();
+        let before = reg.get("u").unwrap();
+        assert_eq!(reg.list()[0].version, 0);
+
+        let out = reg
+            .update(
+                "u",
+                &[
+                    DeltaOp::Upsert {
+                        row: 0,
+                        col: 79,
+                        val: 2.5,
+                    },
+                    DeltaOp::Delete { row: 0, col: 79 },
+                    DeltaOp::Upsert {
+                        row: 3,
+                        col: 4,
+                        val: 1.0,
+                    },
+                ],
+                false,
+                0,
+            )
+            .unwrap();
+        assert_eq!(out.version, 1);
+        assert!(!out.compacted);
+        assert_eq!(out.delta_nnz, 2, "last-write-wins collapses positions");
+        assert_eq!(out.applied, 3);
+        let live = reg.get("u").unwrap();
+        assert!(!Arc::ptr_eq(&before, &live), "live Arc swapped");
+        assert_eq!(live.matrix.get(3, 4), Some(&1.0));
+        assert_eq!(live.matrix.get(0, 79), None);
+        // In-flight readers keep their old view.
+        assert_eq!(before.matrix.get(3, 4), None);
+        // Derived operands track the merged matrix.
+        assert_eq!(live.mask.nnz(), live.matrix.nnz());
+        assert_eq!(live.matrix_t.get(4, 3), Some(&1.0));
+
+        // Threshold compaction: delta_nnz >= 1 forces it.
+        let out = reg
+            .update("u", &[DeltaOp::Delete { row: 3, col: 4 }], false, 1)
+            .unwrap();
+        assert_eq!(out.version, 2);
+        assert!(out.compacted);
+        assert_eq!(out.delta_nnz, 0);
+        assert_eq!(reg.get("u").unwrap().matrix.get(3, 4), None);
+        assert_eq!(reg.list()[0].version, 2);
+
+        // Out-of-bounds ops reject the batch atomically.
+        let err = reg
+            .update(
+                "u",
+                &[
+                    DeltaOp::Upsert {
+                        row: 1,
+                        col: 1,
+                        val: 9.0,
+                    },
+                    DeltaOp::Upsert {
+                        row: 80,
+                        col: 0,
+                        val: 9.0,
+                    },
+                ],
+                false,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::OutOfBounds(_)), "{err:?}");
+        assert_eq!(reg.list()[0].version, 2, "rejected batch bumps nothing");
+        assert_eq!(reg.get("u").unwrap().matrix.get(1, 1), None);
+
+        assert!(matches!(
+            reg.update("ghost", &[], false, 0),
+            Err(RegistryError::NotFound(_))
+        ));
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn update_flips_backend_to_heap_and_tc_cache_tracks_versions() {
+        let dir = fixture_dir();
+        let mtx = dir.join("updtc.mtx");
+        write_graph(&mtx);
+        let reg = Registry::new();
+        reg.load(mtx.to_str().unwrap(), Some("t"), &off_opts(), false)
+            .unwrap();
+        // Store a cache at version 0, then update: the snapshot exposes
+        // the stale cache plus the changed positions.
+        let ds0 = reg.get("t").unwrap();
+        let ops0 = ds0.tc_operands();
+        let (counts, _) = tricount::count_prepared_rows_with(
+            &ops0,
+            mspgemm_graph::scheme::Scheme::Ours(
+                masked_spgemm::Algorithm::Msa,
+                masked_spgemm::Phases::One,
+            ),
+            &masked_spgemm::ExecOpts::default(),
+        );
+        let total: u64 = counts.iter().sum();
+        assert!(reg.store_tc_cache(
+            "t",
+            TcCache {
+                perm: ops0.perm.clone(),
+                counts: counts.clone(),
+                total,
+                version: 0,
+            }
+        ));
+        let snap = reg.tc_snapshot("t").unwrap();
+        assert_eq!(snap.version, 0);
+        assert_eq!(snap.cache.as_ref().unwrap().total, total);
+        assert!(snap.changed.is_empty());
+
+        reg.update(
+            "t",
+            &[DeltaOp::Upsert {
+                row: 7,
+                col: 9,
+                val: 1.0,
+            }],
+            false,
+            0,
+        )
+        .unwrap();
+        let snap = reg.tc_snapshot("t").unwrap();
+        assert_eq!(snap.version, 1);
+        assert!(
+            snap.cache.is_some(),
+            "stale cache still usable for patching"
+        );
+        assert_eq!(snap.changed, vec![(7, 9)]);
+        assert_eq!(snap.ds.backend(), MsbBackend::Heap);
+        assert_eq!(snap.ds.mapped_bytes(), 0);
+
+        // A stale-stamped store is refused.
+        assert!(!reg.store_tc_cache(
+            "t",
+            TcCache {
+                perm: ops0.perm.clone(),
+                counts: counts.clone(),
+                total,
+                version: 0,
+            }
+        ));
+        // A current-stamped store lands and clears the log.
+        assert!(reg.store_tc_cache(
+            "t",
+            TcCache {
+                perm: ops0.perm.clone(),
+                counts,
+                total,
+                version: 1,
+            }
+        ));
+        let snap = reg.tc_snapshot("t").unwrap();
+        assert!(snap.changed.is_empty());
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn unload_racing_update_swap_leaves_registry_consistent() {
+        // The registry-level half of the race regression: unload lands in
+        // the window between an update's rebuild and its swap. The typed
+        // failure and the absent entry are the contract; the live-socket
+        // version drives the same window through the server.
+        let dir = fixture_dir();
+        let mtx = dir.join("race.mtx");
+        write_graph(&mtx);
+        let reg = Arc::new(Registry::new());
+        reg.load(mtx.to_str().unwrap(), Some("r"), &off_opts(), false)
+            .unwrap();
+        let reg2 = reg.clone();
+        std::thread::scope(|s| {
+            let updater = s.spawn(move || {
+                // Delay in the swap window so the unload below wins.
+                mspgemm_fault::configure("serve.update.swap=1*delay(150)").unwrap();
+                reg2.update(
+                    "r",
+                    &[DeltaOp::Upsert {
+                        row: 1,
+                        col: 2,
+                        val: 1.0,
+                    }],
+                    true,
+                    0,
+                )
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            reg.unload("r").unwrap();
+            let res = updater.join().unwrap();
+            assert!(
+                matches!(res, Err(RegistryError::NotFound(_))),
+                "late swap must lose: {res:?}"
+            );
+        });
+        mspgemm_fault::clear();
+        assert!(reg.is_empty(), "unload is not resurrected by the late swap");
+        assert!(matches!(reg.get("r"), Err(RegistryError::NotFound(_))));
+        // The name is immediately reloadable and healthy.
+        reg.load(mtx.to_str().unwrap(), Some("r"), &off_opts(), false)
+            .unwrap();
+        assert_eq!(reg.list()[0].version, 0);
+        std::fs::remove_file(&mtx).ok();
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! The accept loop runs on its own thread; each accepted connection gets
 //! a handler thread that loops over request lines until EOF, an oversized
 //! payload, or `shutdown`. Connection threads do **not** execute heavy
-//! verbs themselves: `mxm` and `app` requests are validated at admission
+//! verbs themselves: `mxm`, `app`, and `update` requests are validated at
+//! admission
 //! and handed to the scheduler's bounded queue, where a fixed
 //! pool of executor workers (`--max-inflight`) drains them — so
 //! concurrency is a policy knob, overload is answered with a typed
@@ -31,7 +32,7 @@ use crate::protocol::{
     err_response, err_response_with, ok_response, opt_bool, opt_str, opt_u64, read_frame, req_str,
     ErrorCode, Frame, MAX_REQUEST_BYTES,
 };
-use crate::registry::{Dataset, Registry, RegistryError};
+use crate::registry::{Dataset, Registry, RegistryError, TcCache};
 use crate::scheduler::{Admission, Job, Scheduler};
 use masked_spgemm::{
     masked_mxm_with_bt, masked_mxm_with_opts, Algorithm, ExecOpts, ExecStats, MaskMode, Phases,
@@ -41,8 +42,9 @@ use mspgemm_graph::{bc, ktruss, tricount, App, Scheme};
 use mspgemm_harness::{busy_spread, csr_fingerprint, gflops, mb_per_s, time_best, with_threads};
 use mspgemm_io::{CachePolicy, LoadOpts};
 use mspgemm_obs::{HistSnapshot, MetricsRegistry, Series};
+use mspgemm_sparse::overlay::DeltaOp;
 use mspgemm_sparse::semiring::PlusTimesF64;
-use mspgemm_sparse::Csr;
+use mspgemm_sparse::{Csr, Idx};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -81,6 +83,11 @@ pub struct ServeConfig {
     /// Kernel panics attributed to one dataset before it is quarantined
     /// (`mxm serve --quarantine-after`). Clamped to at least 1.
     pub quarantine_after: u32,
+    /// Pending overlay positions that trigger automatic compaction on the
+    /// next `update` (`mxm serve --compact-after-nnz`). `0` disables the
+    /// threshold — compaction then happens only when a request asks with
+    /// `"compact": true`.
+    pub compact_after_nnz: u64,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +107,11 @@ impl Default for ServeConfig {
             // Three strikes: one panic may be cosmic-ray bad luck, three
             // against the same dataset is a pattern worth fencing off.
             quarantine_after: 3,
+            // 4096 pending positions before the overlay folds into a
+            // fresh base: small enough that incremental-TC edge logs stay
+            // cheap to replay, large enough that single-edge drip feeds
+            // do not compact every batch.
+            compact_after_nnz: 4096,
         }
     }
 }
@@ -157,6 +169,8 @@ impl ServerState {
             "worker_restarts_total",
             "quarantined_total",
             "evictions_total",
+            "updates_total",
+            "compactions_total",
         ] {
             let _ = state.metrics.counter(name, &[]);
         }
@@ -490,6 +504,7 @@ fn reg_err(e: RegistryError) -> (ErrorCode, String) {
         RegistryError::Quarantined(_) => ErrorCode::Quarantined,
         RegistryError::Evicted(_) => ErrorCode::Evicted,
         RegistryError::OverBudget(_) => ErrorCode::OverBudget,
+        RegistryError::OutOfBounds(_) => ErrorCode::OutOfBounds,
     };
     (code, e.to_string())
 }
@@ -623,7 +638,8 @@ fn record_request(
 }
 
 /// Parse, validate, and route one request line: light verbs execute
-/// inline, heavy verbs (`mxm`, `app`) go through scheduler admission.
+/// inline, heavy verbs (`mxm`, `app`, `update`) go through scheduler
+/// admission.
 fn route_request(state: &ServerState, line: &str, received: Instant) -> Routed {
     if state.is_shutting_down() {
         return inline(
@@ -701,6 +717,10 @@ fn route_request(state: &ServerState, line: &str, received: Instant) -> Routed {
         }
         "mxm" => schedule_heavy(state, "mxm", req, dataset, received),
         "app" => schedule_heavy(state, "app", req, dataset, received),
+        // Updates are heavy verbs: the merge/rebuild is kernel-sized
+        // work, so they drain through admission like `mxm`/`app` (and
+        // are answered `busy` under overload instead of piling up).
+        "update" => schedule_heavy(state, "update", req, dataset, received),
         "stats" => inline("stats", dataset, op_stats(state), false),
         "metrics" => {
             let r = op_metrics(state, &req);
@@ -712,7 +732,7 @@ fn route_request(state: &ServerState, line: &str, received: Instant) -> Routed {
             Err((
                 ErrorCode::UnknownOp,
                 format!(
-                "unknown op '{other}' (expected ping|load|list|unload|mxm|app|stats|metrics|shutdown)"
+                "unknown op '{other}' (expected ping|load|list|unload|mxm|app|update|stats|metrics|shutdown)"
             ),
             )),
             false,
@@ -907,6 +927,8 @@ fn op_list(state: &ServerState) -> OpResult {
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
                 ("age_seconds", ds.loaded_at.elapsed().as_secs_f64().into()),
+                ("version", info.version.into()),
+                ("delta_nnz", info.delta_nnz.into()),
                 ("pinned", info.pinned.into()),
                 ("quarantined", info.quarantined.into()),
                 ("panics", u64::from(info.panics).into()),
@@ -1118,6 +1140,16 @@ pub(crate) fn execute_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                 };
                 finish_job(state, job, resp, exec_start);
             }
+            // Updates never fuse (each batch mutates state), so they run
+            // singly like `app` — but still on an executor slot.
+            "update" => {
+                let exec_start = Instant::now();
+                let resp = match op_update(state, &job.req) {
+                    Ok(resp) => resp,
+                    Err((code, msg)) => err_response(code, msg),
+                };
+                finish_job(state, job, resp, exec_start);
+            }
             _ => mxm.push(job),
         }
     }
@@ -1280,16 +1312,83 @@ fn op_app(state: &ServerState, req: &Json) -> OpResult {
     let run = || -> Result<Vec<(&'static str, Json)>, String> {
         match app {
             App::Tc => {
-                let ops = ds.tc_operands();
-                let r = catch_unwind(AssertUnwindSafe(|| {
-                    tricount::count_prepared_with(&ops, scheme, &opts)
-                }))
-                .map_err(panic_msg)?;
-                Ok(vec![
-                    ("triangles", r.triangles.into()),
-                    ("mxm_seconds", r.mxm_seconds.into()),
-                    ("gflops", gflops(r.flops, r.mxm_seconds).into()),
-                ])
+                // Snapshot the dataset *with* its update bookkeeping: when
+                // cached per-row counts exist and the dataset has moved
+                // past them by a known edge batch, the masked-SpGEMM pass
+                // shrinks to the affected rows and patches the cache;
+                // otherwise (first request, or the edge log overflowed)
+                // every row is recounted and the cache stored fresh.
+                let snap = state
+                    .registry
+                    .tc_snapshot(name)
+                    .map_err(|e| e.to_string())?;
+                match snap.cache {
+                    Some(cache) if cache.version < snap.version => {
+                        let (rows, patch, perm, secs) = catch_unwind(AssertUnwindSafe(|| {
+                            // Replay the *cached* relabeling against the
+                            // updated adjacency so the per-row counts stay
+                            // comparable across versions.
+                            let ops = tricount::prepare_with_perm(&snap.ds.adj, cache.perm.clone());
+                            let rows = tricount::affected_rows(&ops, &snap.changed);
+                            let (patch, secs) =
+                                tricount::recount_rows_with(&ops, &rows, scheme, &opts);
+                            (rows, patch, ops.perm, secs)
+                        }))
+                        .map_err(panic_msg)?;
+                        let mut counts = cache.counts;
+                        for &i in &rows {
+                            counts[i] = patch[i];
+                        }
+                        let total: u64 = counts.iter().sum();
+                        let patched = rows.len();
+                        // The store is refused if another update landed
+                        // while we counted; the response is still correct
+                        // for the version we snapshotted.
+                        let stored = state.registry.store_tc_cache(
+                            name,
+                            TcCache {
+                                perm,
+                                counts,
+                                total,
+                                version: snap.version,
+                            },
+                        );
+                        Ok(vec![
+                            ("triangles", total.into()),
+                            ("mxm_seconds", secs.into()),
+                            // A row-subset pass has no honest full-count
+                            // FLOP denominator.
+                            ("gflops", Json::Null),
+                            ("incremental", true.into()),
+                            ("patched_rows", patched.into()),
+                            ("cached", stored.into()),
+                        ])
+                    }
+                    _ => {
+                        let ops = snap.ds.tc_operands();
+                        let (counts, secs) = catch_unwind(AssertUnwindSafe(|| {
+                            tricount::count_prepared_rows_with(&ops, scheme, &opts)
+                        }))
+                        .map_err(panic_msg)?;
+                        let total: u64 = counts.iter().sum();
+                        let stored = state.registry.store_tc_cache(
+                            name,
+                            TcCache {
+                                perm: ops.perm.clone(),
+                                counts,
+                                total,
+                                version: snap.version,
+                            },
+                        );
+                        Ok(vec![
+                            ("triangles", total.into()),
+                            ("mxm_seconds", secs.into()),
+                            ("gflops", gflops(ops.flops, secs).into()),
+                            ("incremental", false.into()),
+                            ("cached", stored.into()),
+                        ])
+                    }
+                }
             }
             App::Ktruss => {
                 let r = catch_unwind(AssertUnwindSafe(|| {
@@ -1301,6 +1400,9 @@ fn op_app(state: &ServerState, req: &Json) -> OpResult {
                     ("iterations", r.iterations.into()),
                     ("edges", r.truss.nnz().into()),
                     ("mxm_seconds", r.mxm_seconds.into()),
+                    // k-truss has no incremental path: every request runs
+                    // against the live matrix from scratch.
+                    ("incremental", false.into()),
                 ])
             }
             App::Bc => {
@@ -1317,6 +1419,8 @@ fn op_app(state: &ServerState, req: &Json) -> OpResult {
                     ("mxm_seconds", r.mxm_seconds.into()),
                     ("total_seconds", r.total_seconds.into()),
                     ("scores_sum", r.scores.iter().sum::<f64>().into()),
+                    // BC always recomputes in full, like k-truss.
+                    ("incremental", false.into()),
                 ])
             }
         }
@@ -1348,6 +1452,99 @@ fn op_app(state: &ServerState, req: &Json) -> OpResult {
     Ok(ok_response(out))
 }
 
+/// Parse the `"insert"` / `"delete"` arrays of an `update` request into
+/// one op batch. Inserts come first, then deletes — a position named in
+/// both ends deleted (last write wins in the overlay).
+fn parse_update_ops(req: &Json) -> Result<Vec<DeltaOp<f64>>, (ErrorCode, String)> {
+    fn idx(v: &Json, what: &str, k: usize) -> Result<Idx, (ErrorCode, String)> {
+        v.as_u64()
+            .and_then(|n| Idx::try_from(n).ok())
+            .ok_or_else(|| bad(format!("{what}[{k}] indices must be 32-bit integers >= 0")))
+    }
+    let mut ops = Vec::new();
+    if let Some(v) = req.get("insert") {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| bad("'insert' must be an array of [row, col, value] triples".into()))?;
+        for (k, e) in arr.iter().enumerate() {
+            let t = e
+                .as_arr()
+                .filter(|t| t.len() == 2 || t.len() == 3)
+                .ok_or_else(|| {
+                    bad(format!(
+                        "'insert'[{k}] must be [row, col] or [row, col, value]"
+                    ))
+                })?;
+            let val = match t.get(2) {
+                None => 1.0,
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| bad(format!("'insert'[{k}] value must be a number")))?,
+            };
+            ops.push(DeltaOp::Upsert {
+                row: idx(&t[0], "'insert'", k)?,
+                col: idx(&t[1], "'insert'", k)?,
+                val,
+            });
+        }
+    }
+    if let Some(v) = req.get("delete") {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| bad("'delete' must be an array of [row, col] pairs".into()))?;
+        for (k, e) in arr.iter().enumerate() {
+            let t = e
+                .as_arr()
+                .filter(|t| t.len() == 2)
+                .ok_or_else(|| bad(format!("'delete'[{k}] must be [row, col]")))?;
+            ops.push(DeltaOp::Delete {
+                row: idx(&t[0], "'delete'", k)?,
+                col: idx(&t[1], "'delete'", k)?,
+            });
+        }
+    }
+    Ok(ops)
+}
+
+fn op_update(state: &ServerState, req: &Json) -> OpResult {
+    let name = req_str(req, "dataset").map_err(bad)?;
+    let compact = opt_bool(req, "compact", false).map_err(bad)?;
+    let ops = parse_update_ops(req)?;
+    if ops.is_empty() && !compact {
+        return Err(bad(
+            "'update' needs 'insert' and/or 'delete' ops (or 'compact': true)".to_string(),
+        ));
+    }
+    let t0 = Instant::now();
+    let out = state
+        .registry
+        .update(name, &ops, compact, state.config.compact_after_nnz)
+        .map_err(reg_err)?;
+    let secs = t0.elapsed().as_secs_f64();
+    let m = &state.metrics;
+    m.counter("updates_total", &[]).inc();
+    m.counter("updates_total", &[("dataset", name)]).inc();
+    if out.compacted {
+        m.counter("compactions_total", &[]).inc();
+    }
+    m.histogram("update_latency_us", &[])
+        .record((secs * 1e6) as u64);
+    let ds = &out.ds;
+    Ok(ok_response(vec![
+        ("op", Json::str("update")),
+        ("dataset", Json::str(&ds.name)),
+        ("version", out.version.into()),
+        ("applied", out.applied.into()),
+        ("delta_nnz", out.delta_nnz.into()),
+        ("compacted", out.compacted.into()),
+        ("nrows", ds.matrix.nrows().into()),
+        ("nnz", ds.matrix.nnz().into()),
+        ("backend", Json::str(ds.backend().name())),
+        ("mapped_bytes", ds.mapped_bytes().into()),
+        ("seconds", secs.into()),
+    ]))
+}
+
 fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
@@ -1371,6 +1568,8 @@ fn op_stats(state: &ServerState) -> OpResult {
                 ("mem_bytes", ds.mem_bytes().into()),
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
+                ("version", info.version.into()),
+                ("delta_nnz", info.delta_nnz.into()),
                 ("pinned", info.pinned.into()),
                 ("quarantined", info.quarantined.into()),
                 ("panics", u64::from(info.panics).into()),
@@ -1490,6 +1689,8 @@ fn publish_gauges(state: &ServerState) {
         .set(resident.iter().map(|i| i.ds.mapped_bytes()).sum::<u64>() as f64);
     m.gauge("datasets_quarantined", &[])
         .set(resident.iter().filter(|i| i.quarantined).count() as f64);
+    m.gauge("delta_nnz", &[])
+        .set(resident.iter().map(|i| i.delta_nnz as u64).sum::<u64>() as f64);
 }
 
 fn series_fields(series: &Series) -> Vec<(&'static str, Json)> {

@@ -17,6 +17,8 @@
 //!   flop prefix sums, fingerprinting) take; `Csr::view()` produces it
 //!   whatever the backing.
 //! * [`Coo`] — triplet assembly format with canonicalization.
+//! * [`overlay`] — delta-COO overlay for dynamic updates: pending
+//!   upserts/deletes over an immutable base with a merged read path.
 //! * [`transpose()`] — parallel scan-based transpose (CSC is represented as
 //!   the transpose stored in CSR).
 //! * [`ops`] — eWiseMult/eWiseAdd, masking, reductions, selection
@@ -34,6 +36,7 @@
 pub mod coo;
 pub mod csr;
 pub mod ops;
+pub mod overlay;
 pub mod semiring;
 pub mod storage;
 pub mod transpose;
@@ -48,6 +51,7 @@ pub type Idx = u32;
 
 pub use coo::Coo;
 pub use csr::{Csr, StorageReport};
+pub use overlay::{DeltaOp, Overlay};
 pub use semiring::Semiring;
 pub use storage::{SectionOwner, SharedSlice, Storage};
 pub use transpose::transpose;
