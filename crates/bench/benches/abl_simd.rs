@@ -1,0 +1,170 @@
+//! SIMD-level ablation: scalar vs SSE4.2 vs AVX2 inner loops for the
+//! Hash and MSA kernels, normal and complemented masks, on a skewed
+//! R-MAT. This is the experiment behind the runtime-dispatch tiers in
+//! `masked_spgemm::simd`: the hash probe clusters and MSA state scans
+//! are the measured hot loops, and each capped level must produce a
+//! byte-identical CSR (asserted by fingerprint before any timing
+//! counts — vectorization is an implementation detail, never a result).
+//!
+//! Levels above what the host supports are skipped, not faked: the
+//! sweep runs `scalar ..= detected`. Emits CSV on stdout, an aligned
+//! table on stderr, and — for the CI perf lane — a JSON report at
+//! `MSPGEMM_SIMD_JSON`.
+//!
+//! Environment knobs (defaults keep the run CI-sized):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MSPGEMM_SIMD_SCALE` | R-MAT scale of the input | 12 |
+//! | `MSPGEMM_SIMD_JSON` | write the JSON report to this path | (none) |
+//! | `MSPGEMM_REPS` | timing repetitions (best-of) | 3 |
+
+use masked_spgemm::simd::{detected_level, set_level_cap, SimdLevel};
+use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+use mspgemm_bench::banner;
+use mspgemm_gen::RmatParams;
+use mspgemm_harness::report::{json_escape, Table};
+use mspgemm_harness::{csr_fingerprint, env_usize, time_best};
+use mspgemm_sparse::semiring::PlusTimesF64;
+use mspgemm_sparse::Csr;
+
+struct Row {
+    algo: &'static str,
+    mode: &'static str,
+    level: &'static str,
+    seconds: f64,
+    speedup_vs_scalar: f64,
+    fingerprint: u64,
+}
+
+/// The skewed input: hub-heavy R-MAT, the shape where the hash table
+/// probes long clusters and the MSA rows are dense — both SIMD targets.
+fn skewed_rmat(scale: u32) -> Csr<f64> {
+    let params = RmatParams {
+        a: 0.65,
+        b: 0.15,
+        c: 0.15,
+        edge_factor: 16,
+    };
+    mspgemm_gen::rmat_symmetric(scale, params, 7)
+}
+
+fn main() {
+    banner(
+        "abl_simd",
+        "scalar vs SSE4.2 vs AVX2 kernel inner loops on skewed R-MAT",
+    );
+    let reps = env_usize("MSPGEMM_REPS", 3).max(1);
+    let scale = env_usize("MSPGEMM_SIMD_SCALE", 12) as u32;
+    let detected = detected_level();
+    eprintln!("detected SIMD level: {}\n", detected.name());
+
+    let a = skewed_rmat(scale);
+    let mask = a.pattern();
+    let levels: Vec<SimdLevel> = SimdLevel::ALL
+        .into_iter()
+        .filter(|&l| l <= detected)
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for algo in [Algorithm::Hash, Algorithm::Msa] {
+        for mode in [MaskMode::Mask, MaskMode::Complement] {
+            let run = || {
+                masked_mxm::<PlusTimesF64, ()>(&mask, &a, &a, algo, mode, Phases::One)
+                    .expect("masked product failed")
+            };
+            let mut scalar_secs = f64::NAN;
+            let mut scalar_fp = 0u64;
+            for &level in &levels {
+                set_level_cap(Some(level));
+                let (secs, c) = time_best(reps, run);
+                set_level_cap(None);
+                let fp = csr_fingerprint(&c);
+                if level == SimdLevel::Scalar {
+                    scalar_secs = secs;
+                    scalar_fp = fp;
+                }
+                assert_eq!(
+                    fp,
+                    scalar_fp,
+                    "{}/{:?}: {} CSR diverged from scalar",
+                    algo.name(),
+                    mode,
+                    level.name()
+                );
+                rows.push(Row {
+                    algo: algo.name(),
+                    mode: match mode {
+                        MaskMode::Mask => "normal",
+                        MaskMode::Complement => "complement",
+                    },
+                    level: level.name(),
+                    seconds: secs,
+                    speedup_vs_scalar: scalar_secs / secs.max(1e-12),
+                    fingerprint: fp,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(&[
+        "algorithm",
+        "mask",
+        "level",
+        "seconds",
+        "speedup_vs_scalar",
+        "fingerprint",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.algo.to_string(),
+            r.mode.to_string(),
+            r.level.to_string(),
+            format!("{:.6}", r.seconds),
+            format!("{:.2}", r.speedup_vs_scalar),
+            format!("{:016x}", r.fingerprint),
+        ]);
+    }
+    print!("{}", table.to_csv());
+    eprint!("{}", table.to_text());
+
+    if let Ok(json_path) = std::env::var("MSPGEMM_SIMD_JSON") {
+        std::fs::write(&json_path, report_json(scale, &a, detected, &rows))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        eprintln!("json report: {json_path}");
+    }
+}
+
+/// The perf-trajectory artifact the CI benchmark-smoke lane uploads:
+/// one record per (algorithm, mask mode, SIMD level), all fingerprints
+/// asserted equal per (algorithm, mode) group before emission.
+fn report_json(scale: u32, a: &Csr<f64>, detected: SimdLevel, rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"abl_simd\",\n");
+    out.push_str(&format!(
+        "  \"input\": {{\"dataset\": \"rmat{}\", \"nrows\": {}, \"nnz\": {}}},\n",
+        scale,
+        a.nrows(),
+        a.nnz()
+    ));
+    out.push_str(&format!(
+        "  \"detected_level\": \"{}\",\n",
+        json_escape(detected.name())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"mask\": \"{}\", \"level\": \"{}\", \
+             \"seconds\": {:.9}, \"speedup_vs_scalar\": {:.3}, \
+             \"fingerprint\": \"{:016x}\"}}{}\n",
+            json_escape(r.algo),
+            json_escape(r.mode),
+            json_escape(r.level),
+            r.seconds,
+            r.speedup_vs_scalar,
+            r.fingerprint,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

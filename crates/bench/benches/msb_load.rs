@@ -41,6 +41,7 @@ struct Row {
     total_seconds: f64,
     heap_bytes: usize,
     mapped_bytes: usize,
+    unit_bytes: usize,
 }
 
 /// Force every byte of the matrix through the CPU (and, for mmap, fault
@@ -109,6 +110,7 @@ fn bench_one(rows: &mut Vec<Row>, name: &str, path: &PathBuf, reps: usize) {
                 total_seconds,
                 heap_bytes: report.heap_bytes,
                 mapped_bytes: report.shared_bytes,
+                unit_bytes: report.unit_bytes,
             });
         }
     }
@@ -143,6 +145,12 @@ fn main() {
     let p = dir.join(format!("rmat{scale}.msb"));
     write_msb(std::fs::File::create(&p).unwrap(), &g).unwrap();
     cases.push((format!("rmat{scale}"), p));
+    // The same structure as a values-less pattern stream: the value
+    // section (8 bytes/entry) vanishes from the file and loads serve it
+    // from the process-wide unit arena.
+    let pp = dir.join(format!("rmat{scale}.pattern.msb"));
+    mspgemm_io::msb::write_msb_pattern_file(&pp, &g).unwrap();
+    cases.push((format!("rmat{scale}-pattern"), pp));
 
     let mut rows = Vec::new();
     for (name, path) in &cases {
@@ -160,6 +168,7 @@ fn main() {
         "total_seconds",
         "heap_bytes",
         "mapped_bytes",
+        "unit_bytes",
     ];
     let mut table = Table::new(&headers);
     for r in &rows {
@@ -174,10 +183,37 @@ fn main() {
             format!("{:.9}", r.total_seconds),
             r.heap_bytes.to_string(),
             r.mapped_bytes.to_string(),
+            r.unit_bytes.to_string(),
         ]);
     }
     print!("{}", table.to_csv());
     eprint!("{}", table.to_text());
+
+    // Headline: pattern vs values — bytes off disk and warm load+touch.
+    {
+        let warm = |name: &str, backend: &str| {
+            rows.iter()
+                .find(|r| r.dataset == name && r.backend == backend && r.phase == "warm")
+        };
+        let values = format!("rmat{scale}");
+        let pattern = format!("rmat{scale}-pattern");
+        if let (Some(v), Some(p)) = (warm(&values, "mmap"), warm(&pattern, "mmap")) {
+            assert!(
+                p.bytes < v.bytes,
+                "pattern stream must be smaller than the values stream"
+            );
+            eprintln!(
+                "{pattern}: {:.1}% fewer bytes than {values} ({} -> {}), \
+                 warm mapped load+touch {:.2}x ({:.9}s -> {:.9}s)",
+                100.0 * (1.0 - p.bytes as f64 / v.bytes as f64),
+                v.bytes,
+                p.bytes,
+                v.total_seconds / p.total_seconds.max(1e-12),
+                v.total_seconds,
+                p.total_seconds,
+            );
+        }
+    }
 
     // Headline: how much cheaper resident (warm) loads got.
     for (name, _) in &cases {
@@ -213,7 +249,7 @@ fn report_json(rows: &[Row]) -> String {
             "    {{\"dataset\": \"{}\", \"bytes\": {}, \"nnz\": {}, \
              \"backend\": \"{}\", \"phase\": \"{}\", \"load_seconds\": {:.9}, \
              \"load_mb_per_s\": {:.3}, \"total_seconds\": {:.9}, \
-             \"heap_bytes\": {}, \"mapped_bytes\": {}}}{}\n",
+             \"heap_bytes\": {}, \"mapped_bytes\": {}, \"unit_bytes\": {}}}{}\n",
             json_escape(&r.dataset),
             r.bytes,
             r.nnz,
@@ -224,6 +260,7 @@ fn report_json(rows: &[Row]) -> String {
             r.total_seconds,
             r.heap_bytes,
             r.mapped_bytes,
+            r.unit_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

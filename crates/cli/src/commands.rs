@@ -18,8 +18,8 @@ use mspgemm_harness::{
     with_threads,
 };
 use mspgemm_io::{
-    load_matrix_opts, load_matrix_with, save_matrix, CachePolicy, DatasetSource, Format,
-    IngestReport, LoadOpts,
+    load_matrix_opts, load_matrix_with, save_matrix, save_matrix_pattern, CachePolicy,
+    DatasetSource, Format, IngestReport, LoadOpts,
 };
 use mspgemm_sparse::semiring::PlusTimesF64;
 use std::io::Write;
@@ -40,27 +40,41 @@ fn cache_policy(p: &Parsed) -> CachePolicy {
 }
 
 /// The full load options one command invocation pins: cache policy,
-/// parse fan-out, and the `--mmap` zero-copy preference.
+/// parse fan-out, the `--mmap` zero-copy preference, and the
+/// `--pattern` values-less loading mode.
 fn load_opts(p: &Parsed) -> Result<LoadOpts, String> {
     Ok(LoadOpts {
         policy: cache_policy(p),
         parse_threads: p.flag_parse("parse-threads", 0usize)?,
         mmap: p.switch("mmap"),
+        pattern: p.switch("pattern"),
     })
 }
 
 /// The ingest-throughput report line: what moved, how fast, whether the
-/// text parse or the binary sidecar served it, and how the sections are
-/// backed (heap copies vs zero-copy mmap).
+/// text parse or the binary sidecar served it, how the sections are
+/// backed (heap copies vs zero-copy mmap), and whether values were
+/// dropped in favour of the shared unit arena (pattern mode).
 fn ingest_line(r: &IngestReport) -> String {
     format!(
-        "ingest   : {} bytes in {:.6} s ({:.1} MB/s, {:.0} entries/s, {:?}, backend {})",
+        "ingest   : {} bytes in {:.6} s ({:.1} MB/s, {:.0} entries/s, {:?}, backend {}{})",
         r.bytes,
         r.seconds,
         mb_per_s(r.bytes, r.seconds),
         entries_per_s(r.entries, r.seconds),
         r.outcome,
-        r.backend.name()
+        r.backend.name(),
+        if r.pattern { ", pattern" } else { "" }
+    )
+}
+
+/// The kernel SIMD disclosure line shared by `run` (the serve `ping` and
+/// `stats` carry the same field): what the probe/accumulate inner loops
+/// actually ran at on this machine.
+fn simd_line() -> String {
+    format!(
+        "simd     : {} (runtime-detected; MXM_NO_SIMD=1 forces scalar)",
+        masked_spgemm::simd::level().name()
     )
 }
 
@@ -161,6 +175,7 @@ pub fn cmd_run(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         None => writeln!(out, "schedule : {} (no push drives timed)", schedule.name()),
     }
     .map_err(|e| e.to_string())?;
+    writeln!(out, "{}", simd_line()).map_err(|e| e.to_string())?;
     writeln!(
         out,
         "output   : nnz {}, fingerprint {:016x}",
@@ -288,6 +303,7 @@ pub fn cmd_suite(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
         busy_threads: sp.threads,
         pool_hits: pool.hits(),
         pool_misses: pool.misses(),
+        simd: masked_spgemm::simd::level().name().to_string(),
     });
     if let Some(e) = &exec {
         writeln!(
@@ -398,16 +414,31 @@ fn suite_report(
 /// truncated output behind for the sidecar cache to trust. Prints a
 /// one-line summary: dims, nnz, bytes written, and the output format
 /// (`.msb` includes the version — v2, the mmap-able aligned layout).
+/// `--pattern` drops the values section (`.msb` output only): the file
+/// stores structure alone at roughly half the bytes, and loads with
+/// unit values served from the process-wide arena.
 pub fn cmd_convert(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
     let [src, dst] = p.positional.as_slice() else {
-        return Err("usage: mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>".into());
+        return Err(
+            "usage: mxm convert [--parse-threads N] [--pattern] <in.mtx|.msb> <out.mtx|.msb>"
+                .into(),
+        );
     };
     let parse_threads = p.flag_parse("parse-threads", 0usize)?;
+    let pattern = p.switch("pattern");
     let a = load_matrix_with(src, parse_threads).map_err(|e| format!("{src}: {e}"))?;
-    save_matrix(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
+    if pattern {
+        save_matrix_pattern(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
+    } else {
+        save_matrix(dst, &a).map_err(|e| format!("{dst}: {e}"))?;
+    }
     let bytes = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
     let format = match Format::from_path(std::path::Path::new(dst)) {
-        Ok(Format::Msb) => format!("msb v{}", mspgemm_io::msb::MSB_VERSION),
+        Ok(Format::Msb) => format!(
+            "msb v{}{}",
+            mspgemm_io::msb::MSB_VERSION,
+            if pattern { ", pattern" } else { "" }
+        ),
         _ => "mtx text".to_string(),
     };
     writeln!(

@@ -31,12 +31,16 @@ USAGE:
             [--mask normal|complement] [--phases 1|2]
             [--schedule static|guided|flops]
             [--threads N] [--parse-threads N] [--reps R] [--no-cache]
-            [--mmap] [--trace out.json] <matrix.mtx|.msb>
+            [--mmap] [--pattern] [--trace out.json] <matrix.mtx|.msb>
         One masked product C = M (.*) A*A with M = pattern(A). The run
         report includes the ingest throughput (MB/s, entries/s), the
-        load backend (heap vs zero-copy mmap), the row schedule, and the
-        per-thread busy-time spread (max/mean). --mmap memory-maps a v2
-        .msb input (or fresh sidecar) instead of heap-copying it.
+        load backend (heap vs zero-copy mmap), the row schedule, the
+        kernel SIMD level (runtime-detected scalar/sse4.2/avx2;
+        MXM_NO_SIMD=1 forces scalar), and the per-thread busy-time
+        spread (max/mean). --mmap memory-maps a v2 .msb input (or fresh
+        sidecar) instead of heap-copying it. --pattern drops values at
+        load: unit values come from a process-wide shared arena and
+        sidecars are written values-less (~half the bytes).
         --trace records phase-scoped spans (ingest, flop-prefix,
         symbolic, numeric, compaction, ...) to a chrome://tracing JSON
         file and appends a per-phase breakdown table to the report
@@ -47,9 +51,12 @@ USAGE:
               [--schedule static|guided|flops]
               [--reps R] [--threads N] [--parse-threads N] [--k K]
               [--batch B] [--tau-max X] [--json out.json] [--no-cache]
+              [--mmap] [--pattern]
         Sweep an application over datasets x schemes; print the per-case
-        table and Dolan-More profile, optionally write a JSON report.
-        A warm accumulator pool spans the whole sweep.
+        table and Dolan-More profile, optionally write a JSON report
+        (its exec block records the kernel SIMD level). A warm
+        accumulator pool spans the whole sweep. --pattern loads on-disk
+        datasets values-less (TC/k-truss/BC never read weights).
 
     Row schedules (--schedule, default guided): 'static' hands each thread
     one contiguous equal-row block; 'guided' lets threads claim decreasing
@@ -57,11 +64,14 @@ USAGE:
     prefix sum of per-row flops so each chunk carries near-equal work
     (best for power-law graphs). Output is identical across schedules.
 
-    mxm convert [--parse-threads N] <in.mtx|.msb> <out.mtx|.msb>
+    mxm convert [--parse-threads N] [--pattern] <in.mtx|.msb> <out.mtx|.msb>
         Convert between Matrix Market text and the .msb binary cache
         (v2: 8-byte-aligned sections, mmap-able; see docs/MSB_FORMAT.md).
         The output is written to a temp file and renamed atomically; a
         one-line summary reports dims, nnz, bytes, and format version.
+        --pattern writes a values-less .msb (structure only, ~half the
+        bytes); it loads with unit values from a process-wide shared
+        arena — for structural workloads that never read weights.
 
     mxm check
         Generator/kernel self-check (used by CI).
@@ -70,7 +80,8 @@ USAGE:
               [--parse-threads N] [--max-inflight N] [--queue-depth N]
               [--max-resident-bytes B] [--quarantine-after K]
               [--compact-after-nnz NNZ]
-              [--fail SPEC] [--no-cache] [--mmap] [preload.mtx ...]
+              [--fail SPEC] [--no-cache] [--mmap] [--pattern]
+              [preload.mtx ...]
         Long-lived server (default 127.0.0.1:7654; 'unix:/path' for a
         Unix socket): datasets stay resident with pre-transposed
         operands, and requests run on the warm worker pool with shared
@@ -83,7 +94,9 @@ USAGE:
         kernel pass. Preload positional files at startup; serves until a
         'shutdown' request. --mmap keeps v2 .msb datasets resident
         zero-copy (stats reports each dataset's backend and mapped
-        bytes). The server self-heals: a kernel panic restarts the
+        bytes). --pattern loads every dataset values-less: unit values
+        come from one process-wide arena and 'list'/'stats' flag the
+        dataset as pattern. The server self-heals: a kernel panic restarts the
         executor worker and answers 'exec_failed'; --quarantine-after K
         panics (default 3) against one dataset quarantine it until
         unload+load; --max-resident-bytes B evicts least-recently-used
@@ -240,10 +253,11 @@ const QUERY_RAW_VALUE_FLAGS: &[&str] = &[
 /// it rather than silently running without the intended option.
 fn known_switches(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "run" => &["no-cache", "mmap"],
-        "suite" => &["no-cache", "no-baselines", "mmap"],
-        "serve" => &["no-cache", "mmap"],
-        "query" => &["no-cache", "mmap", "json", "compact"],
+        "run" => &["no-cache", "mmap", "pattern"],
+        "suite" => &["no-cache", "no-baselines", "mmap", "pattern"],
+        "convert" => &["pattern"],
+        "serve" => &["no-cache", "mmap", "pattern"],
+        "query" => &["no-cache", "mmap", "json", "compact", "pattern"],
         _ => &[],
     }
 }

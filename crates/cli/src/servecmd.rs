@@ -53,6 +53,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
             parse_threads,
             cache,
             mmap: p.switch("mmap"),
+            pattern: p.switch("pattern"),
             max_inflight,
             queue_depth,
             max_resident_bytes,
@@ -74,7 +75,7 @@ pub fn cmd_serve(p: &Parsed, out: &mut impl Write) -> Result<(), String> {
 const QUERY_USAGE: &str = "usage: mxm query [--connect ADDR] [--retry N] <op> [op flags]\n\
     ops: ping | list | stats | shutdown\n\
          metrics [--format json|prometheus]\n\
-         load --path FILE [--name N] [--parse-threads N] [--no-cache] [--mmap]\n\
+         load --path FILE [--name N] [--parse-threads N] [--no-cache] [--mmap] [--pattern]\n\
          unload --name N\n\
          mxm --dataset D [--algo A] [--mask M] [--phases P] [--schedule S] [--threads T] [--reps R] [--deadline-ms MS]\n\
          app --dataset D [--app tc|ktruss|bc] [--scheme S] [--schedule S] [--threads T] [--k K] [--batch B] [--deadline-ms MS]\n\
@@ -196,6 +197,9 @@ fn build_request(op: &str, p: &Parsed) -> Result<Json, String> {
             }
             if p.switch("mmap") {
                 req.push(("mmap", Json::from(true)));
+            }
+            if p.switch("pattern") {
+                req.push(("pattern", Json::from(true)));
             }
         }
         "unload" => {

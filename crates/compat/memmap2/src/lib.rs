@@ -40,6 +40,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     /// A live kernel mapping (never zero-length).
@@ -80,6 +81,18 @@ mod sys {
             // SAFETY: `ptr..ptr+len` is a live PROT_READ mapping.
             unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
         }
+
+        pub fn advise(&self, advice: c_int) -> io::Result<()> {
+            // SAFETY: `ptr` is the page-aligned base of a live mapping of
+            // exactly `len` bytes (what `new` mapped); madvise is a pure
+            // access-pattern hint over that range.
+            let rc = unsafe { madvise(self.ptr as *mut c_void, self.len, advice) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
     }
 
     impl Drop for RawMap {
@@ -98,6 +111,24 @@ enum Backing {
     /// Non-unix fallback: the file copied to the heap.
     #[cfg(not(unix))]
     Heap(Vec<u8>),
+}
+
+/// Access-pattern hints for [`Mmap::advise`] — the subset of
+/// `memmap2::Advice` this workspace uses, with the POSIX `madvise`
+/// constant values shared by Linux, macOS, and the BSDs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(i32)]
+pub enum Advice {
+    /// No special treatment (`MADV_NORMAL`).
+    Normal = 0,
+    /// Expect random page references (`MADV_RANDOM`).
+    Random = 1,
+    /// Expect sequential page references — read-ahead aggressively and
+    /// drop pages soon after use (`MADV_SEQUENTIAL`).
+    Sequential = 2,
+    /// Expect access in the near future — start read-ahead now
+    /// (`MADV_WILLNEED`).
+    WillNeed = 3,
 }
 
 /// A read-only memory map of an entire file (API-compatible subset of
@@ -169,6 +200,23 @@ impl Mmap {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Advise the kernel about the expected access pattern of the whole
+    /// mapping (same contract as `memmap2::Mmap::advise`). A hint only:
+    /// correctness never depends on it. No-op for empty mappings and the
+    /// non-unix heap fallback.
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        match &self.backing {
+            Backing::Empty => Ok(()),
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.advise(advice as std::ffi::c_int),
+            #[cfg(not(unix))]
+            Backing::Heap(_) => {
+                let _ = advice;
+                Ok(())
+            }
+        }
+    }
 }
 
 impl Deref for Mmap {
@@ -217,6 +265,29 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(&m[..], b"");
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn advise_accepts_every_hint() {
+        let p = tmp("advise", &vec![3u8; 1 << 14]);
+        let m = unsafe { Mmap::map(&File::open(&p).unwrap()) }.unwrap();
+        for advice in [
+            Advice::Normal,
+            Advice::Random,
+            Advice::Sequential,
+            Advice::WillNeed,
+        ] {
+            m.advise(advice)
+                .unwrap_or_else(|e| panic!("madvise({advice:?}) failed on a fresh mapping: {e}"));
+        }
+        // The hint changes nothing observable.
+        assert!(m.iter().all(|&b| b == 3));
+        // Empty mappings take hints as no-ops.
+        let pe = tmp("advise_empty", b"");
+        let me = unsafe { Mmap::map(&File::open(&pe).unwrap()) }.unwrap();
+        me.advise(Advice::Sequential).unwrap();
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&pe).ok();
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod baseline;
 pub mod dispatch;
 pub mod phases;
 pub mod schedule;
+pub mod simd;
 pub mod spmv;
 
 pub use dispatch::{
@@ -59,3 +60,4 @@ pub use dispatch::{
 };
 pub use phases::Phases;
 pub use schedule::{ExecOpts, ExecStats, RowSchedule, WsPool};
+pub use simd::SimdLevel;

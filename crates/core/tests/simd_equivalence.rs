@@ -1,0 +1,123 @@
+//! Property-based tests for the SIMD dispatch tiers: for arbitrary
+//! sparse matrices, capping the kernel at any instruction-set level must
+//! produce a CSR identical to the scalar path — vectorized probe
+//! clusters and state gathers are implementation details, never
+//! observable in results.
+//!
+//! The level cap is process-global, so every test body serializes on one
+//! mutex and restores the cap through a drop guard (a failing assertion
+//! must not leak a cap into a sibling test).
+
+use masked_spgemm::simd::{detected_level, set_level_cap, SimdLevel};
+use masked_spgemm::{masked_mxm, Algorithm, MaskMode, Phases};
+use mspgemm_sparse::semiring::PlusTimesF64;
+use mspgemm_sparse::Csr;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the cap lock and clears the cap again on drop (also on panic).
+struct CapGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> CapGuard<'a> {
+    fn new() -> Self {
+        CapGuard(CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn cap(&self, level: SimdLevel) {
+        set_level_cap(Some(level));
+    }
+}
+
+impl Drop for CapGuard<'_> {
+    fn drop(&mut self) {
+        set_level_cap(None);
+    }
+}
+
+/// Strategy: an `n × n` matrix as a dense option grid with small
+/// integral values (exactly representable, so f64 sums are exact and
+/// CSR equality is meaningful bit-for-bit).
+fn csr_strategy(n: usize, fill: f64) -> impl Strategy<Value = Csr<f64>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::option::weighted(fill, (-3i8..=3).prop_map(f64::from)),
+            n,
+        ),
+        n,
+    )
+    .prop_map(move |d| Csr::from_dense(&d, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_simd_level_matches_scalar(
+        a in csr_strategy(20, 0.35),
+        b in csr_strategy(20, 0.35),
+        mask in csr_strategy(20, 0.45),
+    ) {
+        let mask = mask.pattern();
+        let guard = CapGuard::new();
+        for algo in [Algorithm::Hash, Algorithm::Msa] {
+            for mode in [MaskMode::Mask, MaskMode::Complement] {
+                for phases in [Phases::One, Phases::Two] {
+                    guard.cap(SimdLevel::Scalar);
+                    let want =
+                        masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, algo, mode, phases).unwrap();
+                    for level in SimdLevel::ALL {
+                        if level == SimdLevel::Scalar || level > detected_level() {
+                            continue;
+                        }
+                        guard.cap(level);
+                        let got =
+                            masked_mxm::<PlusTimesF64, ()>(&mask, &a, &b, algo, mode, phases)
+                                .unwrap();
+                        prop_assert_eq!(
+                            &got, &want,
+                            "{:?}/{:?}/{:?} at {}", algo, mode, phases, level.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_levels_agree_on_dense_hub_rows(
+        // One dense row (a hub) forces long hash-probe clusters and full
+        // MSA state scans — the loops the SIMD tiers actually rewrite.
+        cols in proptest::collection::vec(proptest::option::weighted(0.9, 1i8..=3), 24),
+        a in csr_strategy(24, 0.25),
+    ) {
+        let n = 24;
+        let mut dense: Vec<Vec<Option<f64>>> = vec![vec![None; n]; n];
+        for (j, v) in cols.iter().enumerate() {
+            dense[0][j] = v.map(f64::from);
+            dense[j][0] = v.map(f64::from);
+        }
+        let hub = Csr::from_dense(&dense, n);
+        let mask = a.pattern();
+        let guard = CapGuard::new();
+        for algo in [Algorithm::Hash, Algorithm::Msa] {
+            guard.cap(SimdLevel::Scalar);
+            let want = masked_mxm::<PlusTimesF64, ()>(
+                &mask, &hub, &a, algo, MaskMode::Mask, Phases::One,
+            )
+            .unwrap();
+            for level in SimdLevel::ALL {
+                if level == SimdLevel::Scalar || level > detected_level() {
+                    continue;
+                }
+                guard.cap(level);
+                let got = masked_mxm::<PlusTimesF64, ()>(
+                    &mask, &hub, &a, algo, MaskMode::Mask, Phases::One,
+                )
+                .unwrap();
+                prop_assert_eq!(&got, &want, "{:?} at {}", algo, level.name());
+            }
+        }
+    }
+}

@@ -31,12 +31,13 @@ pub mod source;
 pub use error::IoError;
 pub use load::{
     load_graph, load_graph_opts, load_graph_with, load_matrix, load_matrix_cached,
-    load_matrix_opts, load_matrix_report, load_matrix_with, save_matrix, sidecar_path,
-    to_adjacency, AdjacencyStats, CacheOutcome, CachePolicy, Format, IngestReport, LoadOpts,
+    load_matrix_opts, load_matrix_report, load_matrix_with, pattern_sidecar_path, save_matrix,
+    save_matrix_pattern, sidecar_path, to_adjacency, AdjacencyStats, CacheOutcome, CachePolicy,
+    Format, IngestReport, LoadOpts,
 };
 pub use msb::{
-    read_msb, read_msb_file, read_msb_file_auto, write_msb, write_msb_file, write_msb_version,
-    MsbBackend, MsbHeader,
+    read_msb, read_msb_file, read_msb_file_auto, read_msb_header, write_msb, write_msb_file,
+    write_msb_pattern, write_msb_pattern_file, write_msb_version, MsbBackend, MsbHeader,
 };
 pub use mtx::{
     read_mtx, read_mtx_bytes, read_mtx_file, read_mtx_file_parallel, write_mtx, write_mtx_file,

@@ -85,6 +85,22 @@ pub fn save_matrix(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoError> 
     })
 }
 
+/// Save only the pattern of `a` as a values-less `.msb` stream (atomic,
+/// like [`save_matrix`]) — roughly half the bytes of a value `.msb` for
+/// typical `nnz ≫ nrows` matrices. Text output has no values-less
+/// layout, so a non-`.msb` extension is an error.
+pub fn save_matrix_pattern(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    match Format::from_path(path)? {
+        Format::Msb => persist_atomically(path, |tmp| crate::msb::write_msb_pattern_file(tmp, a)),
+        Format::Mtx => Err(IoError::Format(
+            "pattern output requires an .msb destination (Matrix Market has no \
+             values-less binary layout here)"
+                .into(),
+        )),
+    }
+}
+
 /// Sidecar-cache behaviour for [`load_matrix_cached`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CachePolicy {
@@ -111,6 +127,13 @@ pub enum CacheOutcome {
 /// The sidecar path: `graph.mtx` → `graph.msb`.
 pub fn sidecar_path(path: &Path) -> PathBuf {
     path.with_extension("msb")
+}
+
+/// The pattern-only sidecar path: `graph.mtx` → `graph.pattern.msb`.
+/// Kept distinct from [`sidecar_path`] so a pattern load can never poison
+/// a later value load (and vice versa) through the cache.
+pub fn pattern_sidecar_path(path: &Path) -> PathBuf {
+    path.with_extension("pattern.msb")
 }
 
 fn is_fresh(original: &Path, sidecar: &Path) -> bool {
@@ -140,6 +163,12 @@ pub struct IngestReport {
     pub entries: usize,
     /// Seconds spent reading + parsing.
     pub seconds: f64,
+    /// Whether the resident matrix is pattern-only: its values are unit
+    /// (`1.0`) views into the process-wide arena
+    /// ([`mspgemm_sparse::shared_ones`]) instead of an `8·nnz`-byte
+    /// private section — either because the `.msb` stream carried no
+    /// values, or because [`LoadOpts::pattern`] discarded them.
+    pub pattern: bool,
 }
 
 /// Everything [`load_matrix_opts`] lets a caller pin: the sidecar cache
@@ -155,6 +184,13 @@ pub struct LoadOpts {
     /// non-`mmap` builds, and unsupported targets fall back to heap
     /// copies — the report's `backend` field says what happened.
     pub mmap: bool,
+    /// Load as a structural pattern: values are discarded and served as
+    /// unit `1.0` views of the process-wide arena, and text-parse
+    /// sidecars are written values-less (`name.pattern.msb`, roughly half
+    /// the bytes of a value sidecar). Only for workloads that never read
+    /// weights (TC / k-truss / structural masks) — `.msb` inputs that DO
+    /// carry values lose them in memory (the file is untouched).
+    pub pattern: bool,
 }
 
 fn file_len(path: &Path) -> u64 {
@@ -181,7 +217,7 @@ pub fn load_matrix_report(
         &LoadOpts {
             policy,
             parse_threads,
-            mmap: false,
+            ..LoadOpts::default()
         },
     )
 }
@@ -205,12 +241,22 @@ pub fn load_matrix_opts(
     // refusal this degrades gracefully to the heap-copying reader.
     let mmap = opts.mmap && mspgemm_fault::fire("io.mmap").is_none();
     let start = Instant::now();
-    let report = |outcome, backend, bytes, entries| IngestReport {
+    let report = |outcome, backend, bytes, entries, pattern| IngestReport {
         outcome,
         backend,
         bytes,
         entries,
         seconds: start.elapsed().as_secs_f64(),
+        pattern,
+    };
+    // Under `opts.pattern`, whatever came back gets its values rebound to
+    // the shared unit arena (a no-op byte-wise when the stream was
+    // already values-less).
+    let patternize = |a: &mut Csr<f64>| {
+        if opts.pattern && !a.values_unit_shared() {
+            a.set_unit_values();
+        }
+        a.values_unit_shared()
     };
     if Format::from_path(path)? == Format::Msb {
         // Failpoint `io.msb`: a truncated or corrupt binary input —
@@ -218,45 +264,63 @@ pub fn load_matrix_opts(
         if let Some(msg) = mspgemm_fault::fire("io.msb") {
             return Err(IoError::Format(format!("failpoint io.msb: {msg}")));
         }
-        let (a, backend) = read_msb_file_auto(path, mmap)?;
-        let r = report(CacheOutcome::Hit, backend, file_len(path), a.nnz());
+        let (mut a, backend) = read_msb_file_auto(path, mmap)?;
+        let pat = patternize(&mut a);
+        let r = report(CacheOutcome::Hit, backend, file_len(path), a.nnz(), pat);
         return Ok((a, r));
     }
-    let sidecar = sidecar_path(path);
+    // Pattern loads cache under a distinct sidecar name — a values-less
+    // stream at roughly half the bytes — so the two cache flavours never
+    // serve each other's files.
+    let sidecar = if opts.pattern {
+        pattern_sidecar_path(path)
+    } else {
+        sidecar_path(path)
+    };
     if opts.policy != CachePolicy::Off
         && is_fresh(path, &sidecar)
         // Failpoint `io.msb` on a *sidecar* behaves like the corrupt
         // cache it simulates: skip it and fall back to the text parse.
         && mspgemm_fault::fire("io.msb").is_none()
     {
-        if let Ok((a, backend)) = read_msb_file_auto(&sidecar, mmap) {
-            let r = report(CacheOutcome::Hit, backend, file_len(&sidecar), a.nnz());
+        if let Ok((mut a, backend)) = read_msb_file_auto(&sidecar, mmap) {
+            let pat = patternize(&mut a);
+            let r = report(CacheOutcome::Hit, backend, file_len(&sidecar), a.nnz(), pat);
             return Ok((a, r));
         }
         // Corrupt sidecar: fall through to the text parse.
     }
-    let (h, a) = read_mtx_file_parallel(path, opts.parse_threads)?;
+    let (h, mut a) = read_mtx_file_parallel(path, opts.parse_threads)?;
+    let write_sidecar = |tmp: &Path| {
+        if opts.pattern {
+            crate::msb::write_msb_pattern(std::fs::File::create(tmp)?, &a)
+        } else {
+            write_msb_file(tmp, &a)
+        }
+    };
+    let wrote = opts.policy == CachePolicy::ReadWrite
+        && persist_atomically(&sidecar, write_sidecar).is_ok();
+    let pat = patternize(&mut a);
     let mut r = report(
         CacheOutcome::Parsed,
         MsbBackend::Heap,
         file_len(path),
         h.stored_entries,
+        pat,
     );
-    if opts.policy == CachePolicy::ReadWrite
-        && persist_atomically(&sidecar, |tmp| write_msb_file(tmp, &a)).is_ok()
-    {
+    if wrote {
         r.outcome = CacheOutcome::Written;
         // With mmap preferred, swap the fresh parse for a mapping of the
         // sidecar just written: first runs then match repeat runs in
         // backend, and the server's residency is zero-copy from load one.
         if mmap {
-            if let Ok((mapped, MsbBackend::Mmap)) = read_msb_file_auto(&sidecar, true) {
+            if let Ok((mut mapped, MsbBackend::Mmap)) = read_msb_file_auto(&sidecar, true) {
+                r.pattern = patternize(&mut mapped);
                 debug_assert_eq!(mapped, a, "sidecar must round-trip the parse");
                 r.backend = MsbBackend::Mmap;
                 return Ok((mapped, r));
             }
         }
-        return Ok((a, r));
     }
     // Read-only filesystems are fine; the parse still succeeded.
     Ok((a, r))
@@ -323,7 +387,7 @@ pub fn load_graph_with(
         &LoadOpts {
             policy,
             parse_threads,
-            mmap: false,
+            ..LoadOpts::default()
         },
     )
 }
@@ -521,6 +585,78 @@ mod tests {
         );
         std::fs::remove_file(&mtx).ok();
         std::fs::remove_file(&msb).ok();
+    }
+
+    #[test]
+    fn pattern_loads_cache_separately_and_share_unit_values() {
+        let dir = tempdir("pattern");
+        let mtx = dir.join("g.mtx");
+        let value_sc = sidecar_path(&mtx);
+        let pattern_sc = pattern_sidecar_path(&mtx);
+        std::fs::remove_file(&value_sc).ok();
+        std::fs::remove_file(&pattern_sc).ok();
+        crate::mtx::write_mtx_file(&mtx, &directed_sample()).unwrap();
+
+        let popts = LoadOpts {
+            policy: CachePolicy::ReadWrite,
+            pattern: true,
+            ..LoadOpts::default()
+        };
+        // First pattern load parses, writes the values-less sidecar, and
+        // serves unit values from the arena.
+        let (p, r) = load_matrix_opts(&mtx, &popts).unwrap();
+        assert_eq!(r.outcome, CacheOutcome::Written);
+        assert!(r.pattern);
+        assert!(p.values_unit_shared());
+        assert!(p.values().iter().all(|&v| v == 1.0));
+        assert_eq!(p.pattern(), directed_sample().pattern());
+        assert!(pattern_sc.exists());
+        assert!(
+            !value_sc.exists(),
+            "pattern load must not plant a value sidecar"
+        );
+        let header =
+            crate::msb::read_msb_header(&mut std::fs::read(&pattern_sc).unwrap().as_slice())
+                .unwrap();
+        assert!(header.is_pattern(), "sidecar stream is values-less");
+
+        // Second pattern load hits the pattern sidecar.
+        let (p2, r2) = load_matrix_opts(&mtx, &popts).unwrap();
+        assert_eq!(r2.outcome, CacheOutcome::Hit);
+        assert!(r2.pattern && p2.values_unit_shared());
+        assert!(
+            r2.bytes < std::fs::metadata(&mtx).unwrap().len()
+                || r2.bytes == std::fs::metadata(&pattern_sc).unwrap().len(),
+            "pattern hit reads the values-less stream"
+        );
+
+        // A value load of the same file is untouched by the pattern cache:
+        // it parses (or writes its own sidecar) and keeps real weights.
+        let (v, rv) = load_matrix_opts(
+            &mtx,
+            &LoadOpts {
+                policy: CachePolicy::ReadWrite,
+                ..LoadOpts::default()
+            },
+        )
+        .unwrap();
+        assert!(!rv.pattern);
+        assert_eq!(v, directed_sample());
+
+        // A pattern load of a values .msb discards weights in memory only.
+        let msb = dir.join("w.msb");
+        save_matrix(&msb, &directed_sample()).unwrap();
+        let (pm, rm) = load_matrix_opts(&msb, &popts).unwrap();
+        assert!(rm.pattern && pm.values_unit_shared());
+        assert_eq!(pm.pattern(), directed_sample().pattern());
+        assert_eq!(
+            crate::msb::read_msb_file(&msb).unwrap(),
+            directed_sample(),
+            "the on-disk values are untouched"
+        );
+        for f in [&mtx, &value_sc, &pattern_sc, &msb] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -134,6 +134,13 @@ pub fn read_msb_header<R: Read>(r: &mut R) -> Result<MsbHeader, IoError> {
     if flags & !MSB_FLAG_PATTERN != 0 {
         return Err(IoError::Format(format!("unknown flag bits: {flags:#x}")));
     }
+    if version == MSB_VERSION_V1 && flags & MSB_FLAG_PATTERN != 0 {
+        // No v1 writer ever set the pattern bit; a stream claiming both
+        // is corrupt (or forged), not legacy.
+        return Err(IoError::Format(
+            "v1 streams predate the pattern flag; a v1 pattern stream is corrupt".into(),
+        ));
+    }
     let (nrows, ncols, nnz) = (u64_at(16), u64_at(24), u64_at(32));
     let max = usize::MAX as u64;
     if nrows > max || ncols > max || nnz > max {
@@ -297,13 +304,19 @@ pub fn write_msb_pattern<W: Write, T>(w: W, a: &Csr<T>) -> Result<(), IoError> {
 }
 
 /// Read an `.msb` stream into `Csr<f64>`. Pattern streams read with every
-/// value `1.0`. All structural invariants are re-validated.
+/// value `1.0`, served from the process-wide unit arena
+/// ([`mspgemm_sparse::shared_ones`]) rather than a private `8·nnz`-byte
+/// buffer — [`Csr::values_unit_shared`] is `true` on the result. All
+/// structural invariants are re-validated.
 pub fn read_msb<R: Read>(r: R) -> Result<Csr<f64>, IoError> {
     let mut r = BufReader::new(r);
     let h = read_msb_header(&mut r)?;
     let (rowptr, colidx, values) = read_sections(&mut r, &h)?;
-    let values = values.unwrap_or_else(|| vec![1.0; h.nnz]);
-    Csr::try_from_parts(h.nrows, h.ncols, rowptr, colidx, values)
+    let values: mspgemm_sparse::Storage<f64> = match values {
+        Some(v) => v.into(),
+        None => mspgemm_sparse::shared_ones(h.nnz).into(),
+    };
+    Csr::try_from_storage(h.nrows, h.ncols, rowptr.into(), colidx.into(), values)
         .map_err(|e| IoError::Format(format!("invalid CSR in stream: {e}")))
 }
 
@@ -321,6 +334,12 @@ pub fn write_msb_file(path: impl AsRef<Path>, a: &Csr<f64>) -> Result<(), IoErro
     write_msb(std::fs::File::create(path)?, a)
 }
 
+/// Write the pattern of `a` (no values section) to disk — roughly half
+/// the bytes of a value file for typical `nnz ≫ nrows` matrices.
+pub fn write_msb_pattern_file<T>(path: impl AsRef<Path>, a: &Csr<T>) -> Result<(), IoError> {
+    write_msb_pattern(std::fs::File::create(path)?, a)
+}
+
 /// Read an `.msb` file from disk.
 pub fn read_msb_file(path: impl AsRef<Path>) -> Result<Csr<f64>, IoError> {
     read_msb(std::fs::File::open(path)?)
@@ -336,8 +355,9 @@ pub enum MsbBackend {
     /// Sections are `Arc`-shared views into a read-only file mapping —
     /// no on-disk section was copied to the heap. For value streams that
     /// is all of `rowptr`/`colidx`/`values`; a pattern stream has no
-    /// values section on disk, so its unit values are synthesized on the
-    /// heap while `rowptr`/`colidx` stay mapped
+    /// values section on disk, so its unit values come from the
+    /// process-wide arena ([`mspgemm_sparse::shared_ones`]) while
+    /// `rowptr`/`colidx` stay mapped
     /// ([`Csr::storage_report`](mspgemm_sparse::Csr::storage_report)
     /// breaks the split down).
     Mmap,
@@ -416,6 +436,10 @@ mod zero_copy {
         // external truncation while mapped is outside the contract, as
         // with any mmap consumer.
         let map = Arc::new(unsafe { Mmap::map(&file) }.map_err(IoError::Io)?);
+        // Validation below walks the file front to back exactly once:
+        // tell the kernel so read-ahead runs ahead of the scan. Hints
+        // only — a refusal (e.g. exotic filesystems) costs nothing.
+        map.advise(memmap2::Advice::Sequential).ok();
         let bytes: &[u8] = map.as_slice();
         let h = read_msb_header(&mut &bytes[..])?;
         if h.version < MSB_VERSION {
@@ -455,13 +479,21 @@ mod zero_copy {
         // 64-bit) — rowptr reinterprets in place.
         let rowptr = shared_section::<usize>(&map, MSB_HEADER_LEN, rowptr_elems, "rowptr")?;
         let colidx = shared_section::<Idx>(&map, colidx_off, h.nnz, "colidx")?;
+        // Pattern files carry no values section; serve unit values from
+        // the process-wide arena so residency is rowptr+colidx only.
         let values: Storage<f64> = if h.is_pattern() {
-            vec![1.0; h.nnz].into()
+            mspgemm_sparse::shared_ones(h.nnz).into()
         } else {
             shared_section::<f64>(&map, values_off, h.nnz, "values")?.into()
         };
-        Csr::try_from_storage(h.nrows, h.ncols, rowptr.into(), colidx.into(), values)
-            .map_err(|e| IoError::Format(format!("invalid CSR in mapped stream: {e}")))
+        let csr = Csr::try_from_storage(h.nrows, h.ncols, rowptr.into(), colidx.into(), values)
+            .map_err(|e| IoError::Format(format!("invalid CSR in mapped stream: {e}")))?;
+        // The kernels that consume this matrix gather B rows in A-column
+        // order — effectively random page references. Drop the
+        // sequential hint and ask for the whole range up front.
+        map.advise(memmap2::Advice::Random).ok();
+        map.advise(memmap2::Advice::WillNeed).ok();
+        Ok(csr)
     }
 }
 
@@ -538,10 +570,48 @@ mod tests {
         write_msb_pattern(&mut buf, &a.pattern()).unwrap();
         let p = read_msb_pattern(buf.as_slice()).unwrap();
         assert_eq!(p, a.pattern());
-        // Reading a pattern stream as values gives 1.0 everywhere.
+        // Reading a pattern stream as values gives 1.0 everywhere, served
+        // from the process-wide unit arena (no private 8·nnz buffer).
         let ones = read_msb(buf.as_slice()).unwrap();
         assert!(ones.values().iter().all(|&v| v == 1.0));
+        assert!(ones.values_unit_shared());
         assert_eq!(ones.pattern(), a.pattern());
+        // A pattern stream is the value stream minus the values section.
+        let mut full = Vec::new();
+        write_msb(&mut full, &a).unwrap();
+        assert_eq!(buf.len(), full.len() - 8 * a.nnz());
+    }
+
+    #[test]
+    fn pattern_stream_rejects_truncation_and_v1() {
+        let a = sample_odd();
+        let mut buf = Vec::new();
+        write_msb_pattern(&mut buf, &a).unwrap();
+        // Truncation anywhere in a pattern stream still fails loudly.
+        for cut in [0, 10, 39, 40, 56, buf.len() - 1] {
+            assert!(
+                read_msb(&buf[..cut]).is_err(),
+                "accepted truncation at {cut}/{}",
+                buf.len()
+            );
+        }
+        // Trailing bytes where a values section would sit are rejected:
+        // the header said pattern, so the stream must end after colidx.
+        let mut trailing = buf.clone();
+        trailing.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(matches!(
+            read_msb(trailing.as_slice()),
+            Err(IoError::Format(_))
+        ));
+        // The pattern flag on a v1 stream is rejected outright — no v1
+        // writer ever produced one.
+        let mut v1pat = buf.clone();
+        v1pat[4] = 1; // version = 1
+        assert!(matches!(
+            read_msb(v1pat.as_slice()),
+            Err(IoError::Format(_))
+        ));
+        assert!(read_msb_header(&mut v1pat.as_slice()).is_err());
     }
 
     #[test]
@@ -733,6 +803,22 @@ mod tests {
                     r.shared_bytes,
                     8 * (a.nrows() + 1) + 4 * a.nnz() + 8 * a.nnz()
                 );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+
+        #[test]
+        fn mapped_pattern_load_has_no_private_values() {
+            for (tag, a) in [("pat_even", sample()), ("pat_odd", sample_odd())] {
+                let path = msb_file(tag, |buf| write_msb_pattern(&mut *buf, &a).unwrap());
+                let m = map_msb_file(&path).unwrap();
+                assert_eq!(m.pattern(), a.pattern(), "{tag}");
+                assert!(m.values().iter().all(|&v| v == 1.0));
+                assert!(m.values_unit_shared(), "{tag}: values from the arena");
+                let r = m.storage_report();
+                assert_eq!(r.heap_bytes, 0, "{tag}: nothing copied to the heap");
+                assert_eq!(r.shared_bytes, 8 * (a.nrows() + 1) + 4 * a.nnz());
+                assert_eq!(r.unit_bytes, 8 * a.nnz());
                 std::fs::remove_file(&path).ok();
             }
         }

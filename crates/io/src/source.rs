@@ -56,7 +56,7 @@ impl DatasetSource {
         self.load_opts(&LoadOpts {
             policy,
             parse_threads,
-            mmap: false,
+            ..LoadOpts::default()
         })
     }
 

@@ -199,6 +199,7 @@ fn sidecar_cache_serves_mmap_for_v2_and_heap_for_v1() {
         policy: CachePolicy::ReadWrite,
         parse_threads: 1,
         mmap: true,
+        ..LoadOpts::default()
     };
 
     // First load parses, writes the v2 sidecar, and (mmap preferred)

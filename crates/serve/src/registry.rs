@@ -148,8 +148,16 @@ impl Dataset {
         loaded_at: Instant,
     ) -> Dataset {
         let mask = matrix.pattern();
-        let matrix_t = transpose(&matrix);
-        let (adj, adj_stats) = to_adjacency(&matrix);
+        let mut matrix_t = transpose(&matrix);
+        let (mut adj, adj_stats) = to_adjacency(&matrix);
+        if matrix.values_unit_shared() {
+            // Pattern-loaded base: the transpose and the normalized
+            // adjacency are all-ones too, so point their value sections at
+            // the process-wide unit arena instead of keeping nnz private
+            // copies of the literal 1.0 each.
+            matrix_t.share_unit_values();
+            adj.share_unit_values();
+        }
         let mxm_flops = 2 * matrix.flops_with(&matrix);
         Dataset {
             name,
@@ -197,17 +205,39 @@ impl Dataset {
             .clone()
     }
 
-    /// Approximate resident bytes across all held operands.
+    /// Whether the raw matrix is resident pattern-only: its value section
+    /// is a view of the process-wide unit arena rather than per-dataset
+    /// storage (`load` with `"pattern": true`, or a pattern `.msb`).
+    pub fn pattern(&self) -> bool {
+        self.matrix.values_unit_shared()
+    }
+
+    /// Approximate resident bytes across all held operands. Unit-arena
+    /// value sections are excluded — they are one process-wide allocation
+    /// shared by every pattern dataset, disclosed via [`Self::unit_bytes`].
     pub fn mem_bytes(&self) -> u64 {
+        self.sum_reports(|r| (r.heap_bytes + r.shared_bytes) as u64)
+    }
+
+    /// Bytes of value sections served by the shared unit arena across all
+    /// held operands (`0` for value-bearing datasets). These bytes are
+    /// *views*: the arena is resident once per process, not once per
+    /// dataset, so they are deliberately left out of [`Self::mem_bytes`]
+    /// and the eviction budget.
+    pub fn unit_bytes(&self) -> u64 {
+        self.sum_reports(|r| r.unit_bytes as u64)
+    }
+
+    fn sum_reports(&self, f: impl Fn(&mspgemm_sparse::StorageReport) -> u64) -> u64 {
         let tc = self
             .tc_ops
             .get()
-            .map(|ops| csr_mem_bytes(&ops.l) + csr_mem_bytes(&ops.lt))
+            .map(|ops| f(&ops.l.storage_report()) + f(&ops.lt.storage_report()))
             .unwrap_or(0);
-        csr_mem_bytes(&self.matrix)
-            + csr_mem_bytes(&self.mask)
-            + csr_mem_bytes(&self.matrix_t)
-            + csr_mem_bytes(&self.adj)
+        f(&self.matrix.storage_report())
+            + f(&self.mask.storage_report())
+            + f(&self.matrix_t.storage_report())
+            + f(&self.adj.storage_report())
             + tc
     }
 
@@ -221,18 +251,7 @@ impl Dataset {
     /// which shares the mapping — and the derived operands, which are
     /// heap-built and contribute 0).
     pub fn mapped_bytes(&self) -> u64 {
-        let tc = self
-            .tc_ops
-            .get()
-            .map(|ops| {
-                (ops.l.storage_report().shared_bytes + ops.lt.storage_report().shared_bytes) as u64
-            })
-            .unwrap_or(0);
-        (self.matrix.storage_report().shared_bytes
-            + self.mask.storage_report().shared_bytes
-            + self.matrix_t.storage_report().shared_bytes
-            + self.adj.storage_report().shared_bytes) as u64
-            + tc
+        self.sum_reports(|r| r.shared_bytes as u64)
     }
 }
 
@@ -855,7 +874,7 @@ mod tests {
         LoadOpts {
             policy: CachePolicy::Off,
             parse_threads: 1,
-            mmap: false,
+            ..LoadOpts::default()
         }
     }
 

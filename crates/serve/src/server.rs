@@ -68,6 +68,11 @@ pub struct ServeConfig {
     /// Prefer zero-copy mmap residency for v2 `.msb` inputs/sidecars
     /// (`mxm serve --mmap`); requests can override per `load`.
     pub mmap: bool,
+    /// Load datasets pattern-only by default (`mxm serve --pattern`):
+    /// weights are discarded at ingest and the value section becomes a
+    /// view of the process-wide unit arena. Requests can override per
+    /// `load`.
+    pub pattern: bool,
     /// Executor workers draining the admission queue — the number of
     /// heavy requests executing concurrently (`mxm serve
     /// --max-inflight`). Clamped to at least 1.
@@ -97,6 +102,7 @@ impl Default for ServeConfig {
             parse_threads: 0,
             cache: CachePolicy::ReadWrite,
             mmap: false,
+            pattern: false,
             // Two executor slots keep a second core busy while one
             // request fills the other; 64 queued jobs is roughly a
             // second of backlog at interactive kernel sizes. Both are
@@ -270,6 +276,7 @@ impl Server {
                             policy: self.state.config.cache,
                             parse_threads: self.state.config.parse_threads,
                             mmap: self.state.config.mmap,
+                            pattern: self.state.config.pattern,
                         },
                         true,
                     )
@@ -828,6 +835,7 @@ fn op_ping(state: &ServerState) -> OpResult {
         ("op", Json::str("ping")),
         ("pong", true.into()),
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("simd", Json::str(masked_spgemm::simd::level().name())),
         ("uptime_s", state.started.elapsed().as_secs_f64().into()),
         ("datasets", state.registry.len().into()),
     ]))
@@ -850,6 +858,7 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         }
     };
     let mmap = opt_bool(req, "mmap", state.config.mmap).map_err(bad)?;
+    let pattern = opt_bool(req, "pattern", state.config.pattern).map_err(bad)?;
     let pin = opt_bool(req, "pin", false).map_err(bad)?;
     let out = state
         .registry
@@ -860,6 +869,7 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
                 policy: cache,
                 parse_threads,
                 mmap,
+                pattern,
             },
             pin,
         )
@@ -890,6 +900,8 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
         ("mem_bytes", ds.mem_bytes().into()),
         ("backend", Json::str(ds.backend().name())),
         ("mapped_bytes", ds.mapped_bytes().into()),
+        ("pattern", ds.pattern().into()),
+        ("unit_bytes", ds.unit_bytes().into()),
         ("pinned", pin.into()),
         // Full disclosure: which datasets the memory budget pushed out
         // to make room. Their next request gets a typed `evicted` error.
@@ -905,6 +917,7 @@ fn op_load(state: &ServerState, req: &Json) -> OpResult {
                 ("entries", r.entries.into()),
                 ("seconds", r.seconds.into()),
                 ("mb_per_s", mb_per_s(r.bytes, r.seconds).into()),
+                ("pattern", r.pattern.into()),
             ]),
         ),
     ]))
@@ -926,6 +939,8 @@ fn op_list(state: &ServerState) -> OpResult {
                 ("mem_bytes", ds.mem_bytes().into()),
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
+                ("pattern", ds.pattern().into()),
+                ("unit_bytes", ds.unit_bytes().into()),
                 ("age_seconds", ds.loaded_at.elapsed().as_secs_f64().into()),
                 ("version", info.version.into()),
                 ("delta_nnz", info.delta_nnz.into()),
@@ -1568,6 +1583,8 @@ fn op_stats(state: &ServerState) -> OpResult {
                 ("mem_bytes", ds.mem_bytes().into()),
                 ("backend", Json::str(ds.backend().name())),
                 ("mapped_bytes", ds.mapped_bytes().into()),
+                ("pattern", ds.pattern().into()),
+                ("unit_bytes", ds.unit_bytes().into()),
                 ("version", info.version.into()),
                 ("delta_nnz", info.delta_nnz.into()),
                 ("pinned", info.pinned.into()),
@@ -1578,6 +1595,10 @@ fn op_stats(state: &ServerState) -> OpResult {
         .collect();
     let total_mem: u64 = resident.iter().map(|i| i.ds.mem_bytes()).sum();
     let total_mapped: u64 = resident.iter().map(|i| i.ds.mapped_bytes()).sum();
+    // The unit arena is one process-wide allocation every pattern dataset
+    // views, so its resident cost is reported once, not summed per
+    // dataset (the per-dataset `unit_bytes` are view lengths).
+    let unit_arena = mspgemm_sparse::unit_arena_bytes() as u64;
     // Active failpoints: empty in production, the injected-fault table
     // under `--fail`/`MXM_FAILPOINTS` — so an operator puzzled by a
     // misbehaving server can ask it whether the faults are intentional.
@@ -1625,9 +1646,11 @@ fn op_stats(state: &ServerState) -> OpResult {
                 ("count", lat.count.into()),
             ]),
         ),
+        ("simd", Json::str(masked_spgemm::simd::level().name())),
         ("datasets", Json::Arr(datasets)),
         ("total_mem_bytes", total_mem.into()),
         ("total_mapped_bytes", total_mapped.into()),
+        ("unit_arena_bytes", unit_arena.into()),
         (
             "max_resident_bytes",
             state.registry.max_resident_bytes().into(),
@@ -1669,6 +1692,11 @@ fn publish_gauges(state: &ServerState) {
     let m = &state.metrics;
     m.gauge("uptime_seconds", &[])
         .set(state.started.elapsed().as_secs_f64());
+    // SIMD level as an ordinal (0 = scalar, 1 = sse4.2, 2 = avx2), with
+    // the level name on the label so dashboards can show either form.
+    let simd = masked_spgemm::simd::level();
+    m.gauge("simd_level", &[("level", simd.name())])
+        .set(simd as u8 as f64);
     m.gauge("ws_pool_hits", &[])
         .set(state.ws_pool.hits() as f64);
     m.gauge("ws_pool_misses", &[])
@@ -1687,6 +1715,8 @@ fn publish_gauges(state: &ServerState) {
         .set(resident.iter().map(|i| i.ds.mem_bytes()).sum::<u64>() as f64);
     m.gauge("mapped_bytes", &[])
         .set(resident.iter().map(|i| i.ds.mapped_bytes()).sum::<u64>() as f64);
+    m.gauge("unit_arena_bytes", &[])
+        .set(mspgemm_sparse::unit_arena_bytes() as f64);
     m.gauge("datasets_quarantined", &[])
         .set(resident.iter().filter(|i| i.quarantined).count() as f64);
     m.gauge("delta_nnz", &[])
@@ -1945,6 +1975,97 @@ mod tests {
             err_code(&state, r#"{"op":"app","dataset":"g","app":"ktruss","k":2}"#),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn pattern_load_parity_and_accounting() {
+        // A weighted graph: chained triangles (i, i+1, i+2) with non-unit
+        // weights, so a pattern load genuinely discards something.
+        let dir = std::env::temp_dir().join("mspgemm_serve_server_pattern_parity");
+        std::fs::create_dir_all(&dir).unwrap();
+        let n = 30usize;
+        let mut body = String::from("%%MatrixMarket matrix coordinate real symmetric\n");
+        body.push_str(&format!("{n} {n} {}\n", (n - 1) + (n - 2)));
+        for i in 1..n {
+            body.push_str(&format!("{} {} {}.5\n", i + 1, i, (i % 7) + 2));
+        }
+        for i in 1..n - 1 {
+            body.push_str(&format!("{} {} 3.25\n", i + 2, i));
+        }
+        let mtx = dir.join("tri.mtx");
+        std::fs::write(&mtx, body).unwrap();
+        let path = mtx.to_str().unwrap();
+        let state = ServerState::new(ServeConfig {
+            cache: CachePolicy::Off,
+            ..ServeConfig::default()
+        });
+
+        let v = ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"v"}}"#),
+        );
+        assert_eq!(v.get("pattern").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("unit_bytes").unwrap().as_u64(), Some(0));
+        let p = ok(
+            &state,
+            &format!(r#"{{"op":"load","path":"{path}","name":"p","pattern":true}}"#),
+        );
+        assert_eq!(p.get("pattern").unwrap().as_bool(), Some(true));
+        assert!(
+            p.get("unit_bytes").unwrap().as_u64().unwrap() > 0,
+            "pattern operands must report their arena-backed view bytes"
+        );
+        assert!(
+            p.get("mem_bytes").unwrap().as_u64().unwrap()
+                < v.get("mem_bytes").unwrap().as_u64().unwrap(),
+            "dropping per-dataset value sections must shrink resident bytes: {} vs {}",
+            p.to_line(),
+            v.to_line()
+        );
+
+        // Structural applications must not notice the missing weights.
+        for req in [
+            r#"{"op":"app","dataset":"DS","app":"tc"}"#,
+            r#"{"op":"app","dataset":"DS","app":"ktruss","k":3}"#,
+        ] {
+            let rv = ok(&state, &req.replace("DS", "v"));
+            let rp = ok(&state, &req.replace("DS", "p"));
+            assert_eq!(rv.get("triangles"), rp.get("triangles"), "{req}");
+            assert_eq!(rv.get("edges_kept"), rp.get("edges_kept"), "{req}");
+        }
+        let tc = ok(&state, r#"{"op":"app","dataset":"p","app":"tc"}"#);
+        assert_eq!(
+            tc.get("triangles").unwrap().as_u64(),
+            Some((n - 2) as u64),
+            "chained-triangle graph has n-2 triangles"
+        );
+        // The mxm verb still runs against arena-backed values.
+        ok(&state, r#"{"op":"mxm","dataset":"p","algo":"hash"}"#);
+
+        // Disclosure: ping/stats carry the SIMD level, stats carries the
+        // per-dataset pattern flags and the once-per-process arena bytes.
+        let ping = ok(&state, r#"{"op":"ping"}"#);
+        assert!(ping.get("simd").unwrap().as_str().is_some());
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats.get("simd").unwrap().as_str(),
+            Some(masked_spgemm::simd::level().name())
+        );
+        assert!(stats.get("unit_arena_bytes").unwrap().as_u64().unwrap() > 0);
+        let rows = match stats.get("datasets").unwrap() {
+            Json::Arr(rows) => rows,
+            other => panic!("datasets must be an array, got {}", other.to_line()),
+        };
+        let by_name = |want: &str| {
+            rows.iter()
+                .find(|r| r.get("name").unwrap().as_str() == Some(want))
+                .unwrap()
+        };
+        assert_eq!(by_name("v").get("pattern").unwrap().as_bool(), Some(false));
+        assert_eq!(by_name("p").get("pattern").unwrap().as_bool(), Some(true));
+        publish_gauges(&state);
+        let snap = state.metrics.gauge("unit_arena_bytes", &[]).get();
+        assert!(snap > 0.0, "unit_arena_bytes gauge must be published");
     }
 
     #[test]

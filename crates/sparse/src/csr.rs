@@ -50,8 +50,14 @@ impl<T: PartialEq> PartialEq for Csr<T> {
 pub struct StorageReport {
     /// Bytes in heap-owned sections.
     pub heap_bytes: usize,
-    /// Bytes in shared (e.g. mmap-backed) sections.
+    /// Bytes in shared (e.g. mmap-backed) sections, excluding the unit
+    /// arena.
     pub shared_bytes: usize,
+    /// Bytes of values served by the process-wide unit arena
+    /// ([`crate::storage::shared_ones`]) — resident once per process,
+    /// not per matrix, so residency sums should not count them per
+    /// dataset.
+    pub unit_bytes: usize,
 }
 
 impl<T> Csr<T> {
@@ -144,26 +150,26 @@ impl<T> Csr<T> {
         self.rowptr.is_shared() || self.colidx.is_shared() || self.values.is_shared()
     }
 
-    /// Per-backing byte totals of the three sections.
+    /// Per-backing byte totals of the three sections. The categories are
+    /// disjoint: a section is heap-owned, shared (mmap etc.), or a view
+    /// of the process-wide unit arena.
     pub fn storage_report(&self) -> StorageReport {
         let mut r = StorageReport::default();
-        let mut add = |shared: bool, bytes: usize| {
-            if shared {
-                r.shared_bytes += bytes;
-            } else {
-                r.heap_bytes += bytes;
-            }
+        let mut add = |st: (bool, bool), bytes: usize| match st {
+            (true, _) => r.unit_bytes += bytes,
+            (_, true) => r.shared_bytes += bytes,
+            _ => r.heap_bytes += bytes,
         };
         add(
-            self.rowptr.is_shared(),
+            (self.rowptr.is_unit_arena(), self.rowptr.is_shared()),
             std::mem::size_of_val(self.rowptr.as_slice()),
         );
         add(
-            self.colidx.is_shared(),
+            (self.colidx.is_unit_arena(), self.colidx.is_shared()),
             std::mem::size_of_val(self.colidx.as_slice()),
         );
         add(
-            self.values.is_shared(),
+            (self.values.is_unit_arena(), self.values.is_shared()),
             std::mem::size_of_val(self.values.as_slice()),
         );
         r
@@ -326,6 +332,40 @@ impl<T> Csr<T> {
         U: Sync,
     {
         self.view().row_flops_with(b.view())
+    }
+}
+
+impl Csr<f64> {
+    /// `true` iff the values section is a view of the process-wide unit
+    /// arena ([`crate::storage::shared_ones`]) — the signature of a
+    /// pattern-loaded matrix, whose unit values cost the process one
+    /// shared buffer instead of a private `8·nnz`-byte copy.
+    pub fn values_unit_shared(&self) -> bool {
+        self.values.is_unit_arena()
+    }
+
+    /// Rebind the values section to the shared unit arena,
+    /// unconditionally discarding the current values (they become `1.0`
+    /// everywhere). Pattern-izes a weighted matrix in place; the private
+    /// values buffer is freed (or its mmap section released).
+    pub fn set_unit_values(&mut self) {
+        self.values = crate::storage::shared_ones(self.nnz()).into();
+    }
+
+    /// Rebind the values section to the shared unit arena **iff** every
+    /// stored value is already `1.0` (lossless, unlike
+    /// [`Csr::set_unit_values`]). Returns whether the values are now
+    /// arena-backed. Derived unit-valued matrices (adjacency, transposed
+    /// patterns) call this to drop their private all-ones buffers.
+    pub fn share_unit_values(&mut self) -> bool {
+        if self.values.is_unit_arena() {
+            return true;
+        }
+        if self.values.as_slice().iter().all(|&v| v == 1.0) {
+            self.set_unit_values();
+            return true;
+        }
+        false
     }
 }
 

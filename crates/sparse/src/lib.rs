@@ -53,7 +53,9 @@ pub use coo::Coo;
 pub use csr::{Csr, StorageReport};
 pub use overlay::{DeltaOp, Overlay};
 pub use semiring::Semiring;
-pub use storage::{SectionOwner, SharedSlice, Storage};
+pub use storage::{
+    is_shared_ones, shared_ones, unit_arena_bytes, SectionOwner, SharedSlice, Storage,
+};
 pub use transpose::transpose;
 pub use vec::SparseVec;
 pub use view::CsrRef;

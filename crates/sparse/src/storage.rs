@@ -97,6 +97,21 @@ impl<T> SharedSlice<T> {
     }
 }
 
+impl<T> SharedSlice<T> {
+    /// A view of the first `len` elements, sharing the same owner.
+    ///
+    /// # Panics
+    /// If `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> Self {
+        assert!(len <= self.len, "prefix {len} exceeds length {}", self.len);
+        Self {
+            ptr: self.ptr,
+            len,
+            owner: self.owner.clone(),
+        }
+    }
+}
+
 impl<T> Clone for SharedSlice<T> {
     fn clone(&self) -> Self {
         Self {
@@ -143,6 +158,15 @@ impl<T> Storage<T> {
     /// `true` iff backed by a [`SharedSlice`] rather than the heap.
     pub fn is_shared(&self) -> bool {
         matches!(self, Storage::Shared(_))
+    }
+
+    /// `true` iff backed by the process-wide unit arena
+    /// ([`shared_ones`]) — owner-typed, so it works for any `T`.
+    pub fn is_unit_arena(&self) -> bool {
+        match self {
+            Storage::Owned(_) => false,
+            Storage::Shared(s) => is_unit_owner(&s.owner),
+        }
     }
 
     /// Mutable access, copying a shared section to the heap first
@@ -208,6 +232,72 @@ impl<T: PartialEq> PartialEq for Storage<T> {
     }
 }
 
+/// Owner newtype of the process-wide unit arena, so consumers can tell
+/// arena-backed values apart from any other shared section (mmap, ...)
+/// via [`is_shared_ones`].
+struct UnitOnes(#[allow(dead_code)] Vec<f64>);
+
+/// The process-wide all-ones arena, grown monotonically under a lock.
+/// Superseded generations stay alive through the `SharedSlice` clones
+/// that reference them; new requests always serve from the newest.
+static UNIT_ARENA: std::sync::Mutex<Option<SharedSlice<f64>>> = std::sync::Mutex::new(None);
+
+/// Smallest arena ever allocated (elements). 1024 × 8 B = one 8 KiB
+/// allocation for the whole process at minimum.
+const UNIT_ARENA_MIN: usize = 1024;
+
+/// A `len`-element all-`1.0` slice backed by the **process-wide unit
+/// arena** — the values section of every pattern-loaded matrix. Any
+/// number of matrices of any size share one allocation (the arena grows
+/// geometrically to the largest request seen), so unit values cost the
+/// process one buffer, not one per matrix. Detect arena backing with
+/// [`is_shared_ones`].
+pub fn shared_ones(len: usize) -> SharedSlice<f64> {
+    let mut g = UNIT_ARENA.lock().unwrap();
+    let have = g.as_ref().map_or(0, |s| s.len());
+    if g.is_none() || have < len {
+        let cap = len.next_power_of_two().max(UNIT_ARENA_MIN);
+        *g = Some(SharedSlice::from_vec_owner(vec![1.0f64; cap], |v| {
+            Arc::new(UnitOnes(v))
+        }));
+    }
+    g.as_ref().unwrap().prefix(len)
+}
+
+/// Resident bytes of the newest unit-arena generation (`0` before any
+/// [`shared_ones`] call) — what pattern storage actually costs the
+/// process, as opposed to the per-matrix view lengths it serves.
+pub fn unit_arena_bytes() -> usize {
+    let g = UNIT_ARENA.lock().unwrap();
+    g.as_ref()
+        .map_or(0, |s| std::mem::size_of_val(s.as_slice()))
+}
+
+/// `true` iff `s` is a view into the process-wide unit arena (any
+/// generation of it) — i.e. its bytes are amortized across every
+/// pattern matrix in the process rather than resident per matrix.
+pub fn is_shared_ones(s: &SharedSlice<f64>) -> bool {
+    is_unit_owner(&s.owner)
+}
+
+/// Owner-level form of [`is_shared_ones`], usable from generic code that
+/// cannot name the element type.
+pub fn is_unit_owner(owner: &SectionOwner) -> bool {
+    owner.as_ref().is::<UnitOnes>()
+}
+
+impl SharedSlice<f64> {
+    /// Like [`SharedSlice::from_vec`] but with a caller-chosen owner
+    /// wrapper (used to tag the unit arena's allocation).
+    fn from_vec_owner(v: Vec<f64>, wrap: impl FnOnce(Vec<f64>) -> Arc<UnitOnes>) -> Self {
+        let (ptr, len) = (v.as_ptr(), v.len());
+        let owner = wrap(v);
+        // SAFETY: the buffer moved into the owner Arc without its heap
+        // allocation moving; it is aligned, initialized, and immutable.
+        unsafe { Self::from_raw_parts(ptr, len, owner as SectionOwner) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +338,29 @@ mod tests {
         assert_eq!(owned, shared);
         assert!(!owned.is_shared());
         assert!(shared.is_shared());
+    }
+
+    #[test]
+    fn unit_arena_shares_one_allocation() {
+        let a = shared_ones(10);
+        let b = shared_ones(7);
+        assert!(a.iter().all(|&v| v == 1.0));
+        assert_eq!((a.len(), b.len()), (10, 7));
+        assert!(is_shared_ones(&a) && is_shared_ones(&b));
+        // Same generation → literally the same buffer.
+        if Arc::ptr_eq(a.owner(), b.owner()) {
+            assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        }
+        // Growth: a bigger request re-arenas, old views stay valid.
+        let big = shared_ones(a.len() + UNIT_ARENA_MIN * 4);
+        assert!(is_shared_ones(&big));
+        assert!(big.iter().all(|&v| v == 1.0));
+        assert!(a.iter().all(|&v| v == 1.0), "old generation still alive");
+        // Non-arena shared slices are not misdetected.
+        let plain = SharedSlice::from_vec(vec![1.0f64; 4]);
+        assert!(!is_shared_ones(&plain));
+        // Zero-length requests are fine.
+        assert!(shared_ones(0).is_empty());
     }
 
     #[test]
